@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMjdumpCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := filepath.Join(t.TempDir(), "mjdump")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	prog := filepath.Join(t.TempDir(), "p.mj")
+	src := `
+class Data { int f; }
+class W extends Thread {
+    Data d;
+    W(Data d0) { d = d0; }
+    void run() { d.f = d.f + 1; }
+}
+class Main {
+    static void main() {
+        Data x = new Data();
+        W a = new W(x);
+        W b = new W(x);
+        a.start(); b.start(); a.join(); b.join();
+        print(x.f);
+    }
+}`
+	if err := os.WriteFile(prog, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]string{
+		"-tokens":   {"class", "IDENT"},
+		"-ast":      {"class Main {", "extends Thread"},
+		"-ir":       {"func Main.main", "trace", "start", "join"},
+		"-pointsto": {"Data@", "escaped=true"},
+		"-icg":      {"mustThread", "W.run"},
+		"-raceset":  {"may-race", "Data.f"},
+	}
+	for flag, wants := range cases {
+		out, err := exec.Command(bin, flag, prog).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", flag, err, out)
+		}
+		for _, w := range wants {
+			if !strings.Contains(string(out), w) {
+				t.Errorf("%s output missing %q:\n%s", flag, w, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Command racebench regenerates the evaluation of the paper: Table 1
+// (benchmark characteristics), Table 2 (runtime performance of the
+// optimization ablations), Table 3 (objects with dataraces under the
+// accuracy variants), and the §8.3/§9 detector comparison.
+//
+// Usage:
+//
+//	racebench -table all          # everything
+//	racebench -table 2 -runs 5    # Table 2, best of five runs
+//	racebench -compare            # trie vs Eraser/ObjectRace/HB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"racedet/internal/bench"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "all", "which table to regenerate: 1, 2, 3, or all")
+		runs    = flag.Int("runs", 5, "Table 2: runs per configuration (best is reported, as in the paper)")
+		compare = flag.Bool("compare", false, "also print the detector comparison (§8.3/§9)")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "racebench:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	switch *table {
+	case "1":
+		bench.Table1(w)
+	case "2":
+		if err := bench.Table2(w, *runs); err != nil {
+			fail(err)
+		}
+	case "3":
+		if err := bench.Table3(w); err != nil {
+			fail(err)
+		}
+	case "all":
+		bench.Table1(w)
+		fmt.Fprintln(w)
+		if err := bench.Table2(w, *runs); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(w)
+		if err := bench.Table3(w); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(w)
+		if err := bench.CompareDetectors(w); err != nil {
+			fail(err)
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "racebench: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+	if *compare {
+		fmt.Fprintln(w)
+		if err := bench.CompareDetectors(w); err != nil {
+			fail(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Detector comparison on the paper's §8.3 join idiom: two child
+// threads update shared statistics under a common lock, and the parent
+// reads the statistics after joining both children with no lock.
+//
+// The execution is perfectly safe (join orders the parent's reads
+// after the children), but detectors disagree:
+//
+//   - the paper's detector models join with pseudolocks S1/S2: the
+//     three locksets {S1, sync}, {S2, sync}, {S1, S2} are mutually
+//     intersecting, so it stays quiet;
+//   - Eraser demands one common lock over all accesses — the three
+//     locksets have empty intersection, so it reports a spurious race;
+//   - the happens-before detector is quiet here, but on the second
+//     program (a feasible race hidden by accidental lock ordering) it
+//     misses what the lockset detectors catch.
+//
+// Run with:
+//
+//	go run ./examples/detectors
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"racedet"
+)
+
+const joinIdiom = `
+class Stats {
+    int total;
+}
+
+class Child extends Thread {
+    Stats stats;
+    Stats syncObject;
+    int work;
+
+    Child(Stats s, Stats lock, int w) {
+        stats = s;
+        syncObject = lock;
+        work = w;
+    }
+
+    void run() {
+        synchronized (syncObject) {
+            stats.total = stats.total + work;
+        }
+    }
+}
+
+class Main {
+    static void main() {
+        Stats stats = new Stats();
+        Stats lock = new Stats();
+        Child c1 = new Child(stats, lock, 10);
+        Child c2 = new Child(stats, lock, 20);
+        c1.start();
+        c2.start();
+        c1.join();
+        c2.join();
+        print(stats.total); // safe: ordered by the joins, no lock held
+    }
+}
+`
+
+// feasibleRace is §2.2's point, in the exact shape of Figure 2 with
+// T13:p and T20:q aliased: T1 writes data.f with no lock and then
+// enters a critical section on m; T2 writes data.f inside its own
+// critical section on m. When T1's critical section completes before
+// T2's (which the deterministic schedule makes typical), a
+// happens-before detector derives T1.write → T13 → T20 → T2.write and
+// stays silent — yet had T2 acquired m first, the accesses would have
+// raced. The lockset view reports the feasible race on every schedule.
+const feasibleRace = `
+class Data {
+    int f;
+    int g;
+}
+
+class T1 extends Thread {
+    Data data;
+    Data m;
+
+    T1(Data d, Data lock) {
+        data = d;
+        m = lock;
+    }
+
+    void run() {
+        data.f = 50;          // T11: unprotected write
+        synchronized (m) {    // T13
+            data.g = data.f;  // T14
+        }
+    }
+}
+
+class T2 extends Thread {
+    Data data;
+    Data m;
+
+    T2(Data d, Data lock) {
+        data = d;
+        m = lock;
+    }
+
+    void run() {
+        synchronized (m) {    // T20
+            data.f = 10;      // T21
+        }
+    }
+}
+
+class Main {
+    static void main() {
+        Data d = new Data();
+        d.f = 100;            // T01: ordered before the children by start()
+        Data m = new Data();
+        T1 t1 = new T1(d, m);
+        T2 t2 = new T2(d, m);
+        t1.start();
+        t2.start();
+        t1.join();
+        t2.join();
+        print(d.f);
+    }
+}
+`
+
+func run(name, src string, det racedet.Detector) (int, []string) {
+	res, err := racedet.Detect(name, src, racedet.Options{Detector: det})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lines []string
+	for _, r := range res.Races {
+		lines = append(lines, "    "+r.String())
+	}
+	for _, r := range res.BaselineReports {
+		lines = append(lines, "    "+r)
+	}
+	return res.RacyObjects, lines
+}
+
+func main() {
+	detectors := []struct {
+		name string
+		det  racedet.Detector
+	}{
+		{"paper (trie + pseudolocks)", racedet.Trie},
+		{"Eraser (single common lock)", racedet.Eraser},
+		{"object-granularity", racedet.ObjectRace},
+		{"happens-before (vector clocks)", racedet.HappensBefore},
+	}
+
+	fmt.Println("== join idiom (safe; §8.3) ==")
+	for _, d := range detectors {
+		n, lines := run("join.mj", joinIdiom, d.det)
+		fmt.Printf("%-32s -> %d racy object(s)\n", d.name, n)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("== feasible race (buggy; §2.2) ==")
+	for _, d := range detectors {
+		n, lines := run("feasible.mj", feasibleRace, d.det)
+		fmt.Printf("%-32s -> %d racy object(s)\n", d.name, n)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+
+	// Coverage: the lockset view reports the feasible race on every
+	// schedule; the happens-before view only when the observed
+	// execution leaves the accesses unordered.
+	fmt.Println()
+	fmt.Println("== schedule sweep over 10 seeds (feasible race) ==")
+	for _, d := range []struct {
+		name string
+		det  racedet.Detector
+	}{
+		{"paper (lockset)", racedet.Trie},
+		{"happens-before", racedet.HappensBefore},
+	} {
+		found := 0
+		for seed := int64(0); seed < 10; seed++ {
+			res, err := racedet.Detect("feasible.mj", feasibleRace,
+				racedet.Options{Detector: d.det, Seed: seed})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.RacyObjects > 0 {
+				found++
+			}
+		}
+		fmt.Printf("%-32s -> reported in %d/10 schedules\n", d.name, found)
+	}
+}

@@ -1,0 +1,120 @@
+// Optimizations tour: shows what each of the paper's optimization
+// phases contributes on an array-relaxation kernel (the sor2 pattern)
+// by running the same program under Table 2's configurations and
+// printing the deterministic work counters.
+//
+// Expected shape (mirroring the paper's Table 2 for sor2): disabling
+// the static weaker-than elimination or loop peeling multiplies the
+// number of executed trace instructions, while disabling the cache
+// multiplies the number of events that reach the trie detector.
+//
+// Run with:
+//
+//	go run ./examples/optimizations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"racedet"
+)
+
+const kernel = `
+class Grid {
+    int[][] rows;
+
+    Grid(int h, int w) {
+        rows = new int[h][];
+        int i = 0;
+        while (i < h) {
+            int[] row = new int[w];
+            int j = 0;
+            while (j < w) {
+                row[j] = (i * 31 + j * 7) % 100;
+                j = j + 1;
+            }
+            rows[i] = row;
+            i = i + 1;
+        }
+    }
+}
+
+class Relaxer extends Thread {
+    Grid grid;
+    int from;
+    int to;
+    int width;
+
+    Relaxer(Grid g, int f, int t, int w) {
+        grid = g;
+        from = f;
+        to = t;
+        width = w;
+    }
+
+    void run() {
+        int[][] rows = grid.rows;
+        int i = from;
+        while (i < to) {
+            int[] row = rows[i];
+            int[] up = rows[i - 1];
+            int j = 1;
+            while (j < width - 1) {
+                row[j] = (row[j - 1] + row[j + 1] + up[j]) / 3;
+                j = j + 1;
+            }
+            i = i + 1;
+        }
+    }
+}
+
+class Main {
+    static void main() {
+        Grid g = new Grid(60, 40);
+        Relaxer r1 = new Relaxer(g, 1, 30, 40);
+        Relaxer r2 = new Relaxer(g, 30, 60, 40);
+        r1.start();
+        r2.start();
+        r1.join();
+        r2.join();
+        print(g.rows[15][20]);
+    }
+}
+`
+
+func main() {
+	configs := []struct {
+		name string
+		opts racedet.Options
+	}{
+		{"Full", racedet.Options{}},
+		{"NoStatic", racedet.Options{DisableStaticAnalysis: true}},
+		{"NoDominators", racedet.Options{DisableWeakerThan: true}},
+		{"NoPeeling", racedet.Options{DisablePeeling: true}},
+		{"NoCache", racedet.Options{DisableCache: true}},
+		{"NoOwnership", racedet.Options{DisableOwnership: true}},
+	}
+
+	fmt.Printf("%-14s %9s %11s %11s %10s %10s %7s\n",
+		"config", "traces", "eliminated", "traceEvents", "cacheHits", "trieEvents", "races")
+	for _, c := range configs {
+		res, err := racedet.Detect("kernel.mj", kernel, c.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Stats
+		fmt.Printf("%-14s %9d %11d %11d %10d %10d %7d\n",
+			c.name, s.TracesInserted, s.TracesEliminated, s.TraceEvents,
+			s.CacheHits, s.TrieEvents, res.RacyObjects)
+	}
+	fmt.Println()
+	fmt.Println("Reading the table:")
+	fmt.Println("  * NoDominators/NoPeeling: the per-element traces in the inner loop")
+	fmt.Println("    survive, so executed trace events explode (the paper's sor2 row).")
+	fmt.Println("  * NoCache: every event skips the cache, so more of them reach the trie.")
+	fmt.Println("  * NoOwnership: races are reported on the rows the main thread")
+	fmt.Println("    initialized (spurious; Table 3's NoOwnership column).")
+	fmt.Println("  * Full reports the boundary row shared by both relaxers (row 29/30")
+	fmt.Println("    neighborhood) — a true unordered access in this program.")
+}

@@ -1,0 +1,119 @@
+package racedet
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicPostMortem exercises Options.RecordTo + Replay + FullRace
+// through the public API.
+func TestPublicPostMortem(t *testing.T) {
+	var log strings.Builder
+	res, err := Detect("racy.mj", racyProgram, Options{RecordTo: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() == 0 {
+		t.Fatal("no event log recorded")
+	}
+	replayed, err := Replay(strings.NewReader(log.String()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.RacyObjects != res.RacyObjects {
+		t.Fatalf("replay reports %d racy objects, original %d", replayed.RacyObjects, res.RacyObjects)
+	}
+	pairs, err := FullRace(strings.NewReader(log.String()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("FullRace empty on a racy log")
+	}
+	if pairs[0].First == "" || pairs[0].Second == "" {
+		t.Fatalf("pair rendering empty: %+v", pairs[0])
+	}
+	capped, err := FullRace(strings.NewReader(log.String()), 1)
+	if err != nil || len(capped) != 1 {
+		t.Fatalf("maxPairs not honored: %d, %v", len(capped), err)
+	}
+}
+
+// TestPublicDeadlockAndImmutability exercises the §10 extensions
+// through the public API.
+func TestPublicDeadlockAndImmutability(t *testing.T) {
+	const src = `
+class Lock { int pad; }
+class Cfg { int n; }
+class W extends Thread {
+    Lock p; Lock q; Cfg cfg; int acc;
+    W(Lock p0, Lock q0, Cfg c) { p = p0; q = q0; cfg = c; }
+    void run() {
+        synchronized (p) { synchronized (q) { acc = acc + cfg.n; } }
+    }
+}
+class Main {
+    static void main() {
+        Lock a = new Lock();
+        Lock b = new Lock();
+        Cfg cfg = new Cfg();
+        cfg.n = 5;
+        W w1 = new W(a, b, cfg);
+        W w2 = new W(b, a, cfg);
+        w1.start(); w1.join();
+        w2.start(); w2.join();
+        print(w1.acc + w2.acc);
+    }
+}`
+	res, err := Detect("ext.mj", src, Options{
+		DetectDeadlocks:     true,
+		AnalyzeImmutability: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PotentialDeadlocks) != 1 {
+		t.Errorf("deadlocks = %v, want the AB-BA cycle", res.PotentialDeadlocks)
+	}
+	found := false
+	for _, r := range res.Immutability {
+		if strings.Contains(r, "OBSERVED-IMMUTABLE Cfg.n") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Cfg.n should be observed immutable: %v", res.Immutability)
+	}
+}
+
+// TestPublicPackedTrie: same reports, smaller history.
+func TestPublicPackedTrie(t *testing.T) {
+	plain, err := Detect("racy.mj", racyProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := Detect("racy.mj", racyProgram, Options{UsePackedTrie: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.RacyObjects != packed.RacyObjects {
+		t.Fatalf("packed trie changed detection: %d vs %d", packed.RacyObjects, plain.RacyObjects)
+	}
+	if packed.Stats.TrieNodes > plain.Stats.TrieNodes {
+		t.Errorf("packed nodes %d > plain %d", packed.Stats.TrieNodes, plain.Stats.TrieNodes)
+	}
+}
+
+// TestPublicStaticPartners: the §2.6 debugging hints reach the API.
+func TestPublicStaticPartners(t *testing.T) {
+	res, err := Detect("racy.mj", racyProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Races) == 0 || len(res.Races[0].StaticPartners) == 0 {
+		t.Fatalf("races lack static partner hints: %+v", res.Races)
+	}
+	if !strings.Contains(res.Races[0].StaticPartners[0], "racy.mj:") {
+		t.Errorf("partner hint lacks position: %q", res.Races[0].StaticPartners[0])
+	}
+}

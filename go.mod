@@ -1,0 +1,3 @@
+module racedet
+
+go 1.22

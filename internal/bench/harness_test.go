@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Output(t *testing.T) {
+	var buf strings.Builder
+	Table1(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table 1", "mtrt", "tsp", "sor2", "elevator", "hedc", "Threads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 7 { // header x2 + 5 rows
+		t.Errorf("Table 1 has %d lines, want 7", got)
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	var buf strings.Builder
+	if err := Table2(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 2", "Base", "Full", "NoStatic", "NoDominators", "NoPeeling", "NoCache", "DetWork"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 output missing %q", want)
+		}
+	}
+	// Only the CPU-bound benchmarks appear.
+	if strings.Contains(out, "elevator") || strings.Contains(out, "hedc") {
+		t.Error("Table 2 must exclude the interactive benchmarks")
+	}
+	// 3 benchmarks x 6 configs = 18 data rows.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "mtrt") || strings.HasPrefix(line, "tsp") || strings.HasPrefix(line, "sor2") {
+			rows++
+		}
+	}
+	if rows != 18 {
+		t.Errorf("Table 2 data rows = %d, want 18", rows)
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	var buf strings.Builder
+	if err := Table3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 3", "FieldsMerged", "NoOwnership"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 output missing %q", want)
+		}
+	}
+	// The elevator row must report 0 under Full.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "elevator") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 || fields[1] != "0" {
+				t.Errorf("elevator row = %q, want Full column 0", line)
+			}
+		}
+	}
+}
+
+func TestCompareDetectorsOutput(t *testing.T) {
+	var buf strings.Builder
+	if err := CompareDetectors(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Trie", "NoPseudo", "Eraser", "ObjectRace", "VClock"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison output missing %q", want)
+		}
+	}
+}
+
+func TestTable2BenchRowsConsistent(t *testing.T) {
+	b, _ := ByName("sor2")
+	rows, err := Table2Bench(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 || rows[0].Config != "Base" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	base := rows[0]
+	if base.TraceEvents != 0 || base.TrieEvents != 0 {
+		t.Error("Base must have no detector work")
+	}
+	for _, r := range rows[1:] {
+		if r.Steps < base.Steps {
+			t.Errorf("%s executed fewer instructions than Base", r.Config)
+		}
+		if r.DetWork < r.Steps {
+			t.Errorf("%s DetWork below instruction count", r.Config)
+		}
+		if r.SlowPath+r.CacheHits != r.TraceEvents {
+			t.Errorf("%s: slow(%d) + hits(%d) != traceEvents(%d)",
+				r.Config, r.SlowPath, r.CacheHits, r.TraceEvents)
+		}
+	}
+}

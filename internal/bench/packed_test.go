@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+
+	"racedet/internal/core"
+)
+
+// TestPackedTrieSpace reproduces §8.2's space observation: the
+// multi-location packing stores the same histories in fewer trie
+// nodes (the paper reports 7967 nodes for 6562 tsp locations), while
+// reporting exactly the same racy objects.
+func TestPackedTrieSpace(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			plain, err := b.Run(core.Full())
+			if err != nil {
+				t.Fatal(err)
+			}
+			packedCfg := core.Full()
+			packedCfg.PackedTrie = true
+			packed, err := b.Run(packedCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(plain.RacyObjects) != len(packed.RacyObjects) {
+				t.Fatalf("packing changed detection: %v vs %v", plain.RacyObjects, packed.RacyObjects)
+			}
+			if plain.TrieLocations != packed.TrieLocations {
+				t.Errorf("location counts differ: %d vs %d", plain.TrieLocations, packed.TrieLocations)
+			}
+			if packed.TrieNodes > plain.TrieNodes {
+				t.Errorf("packed nodes (%d) exceed plain (%d)", packed.TrieNodes, plain.TrieNodes)
+			}
+			t.Logf("%s: locations=%d plainNodes=%d packedNodes=%d (%.2f / %.2f nodes/loc)",
+				b.Name, plain.TrieLocations, plain.TrieNodes, packed.TrieNodes,
+				float64(plain.TrieNodes)/float64(max(1, plain.TrieLocations)),
+				float64(packed.TrieNodes)/float64(max(1, plain.TrieLocations)))
+
+		})
+	}
+}

@@ -1,0 +1,490 @@
+// Package core orchestrates the full pipeline of Figure 1: static
+// datarace analysis → optimized instrumentation → execution with the
+// runtime optimizer and runtime detector. Every configuration knob of
+// the paper's evaluation (Table 2's Base/Full/NoStatic/NoDominators/
+// NoPeeling/NoCache and Table 3's Full/FieldsMerged/NoOwnership) is a
+// field of Config, and the baseline detectors plug in through the same
+// event stream.
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"racedet/internal/escape"
+	"racedet/internal/icfg"
+	"racedet/internal/instrument"
+	"racedet/internal/interp"
+	"racedet/internal/ir"
+	"racedet/internal/lang/ast"
+	"racedet/internal/lang/parser"
+	"racedet/internal/lang/sem"
+	"racedet/internal/lower"
+	"racedet/internal/pointsto"
+	"racedet/internal/racestatic"
+	"racedet/internal/rt/deadlock"
+	"racedet/internal/rt/detector"
+	"racedet/internal/rt/eraser"
+	"racedet/internal/rt/event"
+	"racedet/internal/rt/immutable"
+	"racedet/internal/rt/objectrace"
+	"racedet/internal/rt/postmortem"
+	"racedet/internal/rt/vclock"
+)
+
+// DetectorKind selects the runtime detector.
+type DetectorKind int
+
+// Detector kinds.
+const (
+	DetTrie       DetectorKind = iota // the paper's detector
+	DetEraser                         // Eraser lockset baseline
+	DetObjectRace                     // Praun-Gross object-granularity baseline
+	DetVClock                         // vector-clock happens-before baseline
+	DetNone                           // no detector (Base measurements)
+)
+
+func (k DetectorKind) String() string {
+	switch k {
+	case DetTrie:
+		return "trie"
+	case DetEraser:
+		return "eraser"
+	case DetObjectRace:
+		return "objectrace"
+	case DetVClock:
+		return "vclock"
+	case DetNone:
+		return "none"
+	}
+	return "?"
+}
+
+// Config selects pipeline phases and detector options. Use Full() or
+// Base() and the With* helpers rather than constructing it literally.
+type Config struct {
+	// Instrument inserts trace pseudo-instructions (false = the
+	// paper's "Base": uninstrumented execution).
+	Instrument bool
+	// Static runs the §5 static datarace analysis and instruments only
+	// the static datarace set (false = "NoStatic": trace everything).
+	Static bool
+	// Dominators enables the §6.1 static weaker-than elimination
+	// (false = "NoDominators"; implies no peeling, as in the paper).
+	Dominators bool
+	// Peeling enables §6.3 loop peeling (false = "NoPeeling").
+	Peeling bool
+	// Cache enables the §4 runtime optimizer (false = "NoCache").
+	Cache bool
+	// Ownership enables the §7 ownership filter (false =
+	// "NoOwnership").
+	Ownership bool
+	// FieldsMerged collapses instance fields per object (Table 3).
+	FieldsMerged bool
+	// PseudoLocks models join via dummy locks (§2.3); disabling shows
+	// the single-common-lock false positive of §8.3.
+	PseudoLocks bool
+	// ReportAll reports every racing access, not one per location.
+	ReportAll bool
+	// Detector selects the runtime algorithm.
+	Detector DetectorKind
+
+	// Seed/Quantum/MaxSteps configure the deterministic scheduler.
+	Seed     int64
+	Quantum  int
+	MaxSteps uint64
+
+	// Out receives the program's print output; nil discards.
+	Out io.Writer
+
+	// RecordTo, when non-nil, also streams the runtime event log to
+	// this writer for post-mortem analysis (§1/§2.6): replay it with
+	// ReplayLog or reconstruct FullRace with postmortem.FullRace.
+	RecordTo io.Writer
+
+	// DetectDeadlocks additionally runs the lock-order-graph
+	// potential-deadlock analysis (the paper's §10 future work).
+	DetectDeadlocks bool
+
+	// AnalyzeImmutability additionally runs the dynamic immutability
+	// analysis (the other §10 future-work item): per shared field,
+	// whether it was only written before cross-thread publication.
+	AnalyzeImmutability bool
+
+	// PackedTrie selects the §8.2 multi-location trie representation
+	// (one trie per object instead of per location).
+	PackedTrie bool
+}
+
+// Full returns the paper's complete configuration.
+func Full() Config {
+	return Config{
+		Instrument:  true,
+		Static:      true,
+		Dominators:  true,
+		Peeling:     true,
+		Cache:       true,
+		Ownership:   true,
+		PseudoLocks: true,
+		Detector:    DetTrie,
+	}
+}
+
+// Base returns the uninstrumented configuration (Table 2 "Base").
+func Base() Config {
+	c := Full()
+	c.Instrument = false
+	c.Detector = DetNone
+	return c
+}
+
+// NoStatic disables static race analysis (Table 2 "NoStatic").
+func (c Config) NoStatic() Config { c.Static = false; return c }
+
+// NoDominators disables the static weaker-than elimination and loop
+// peeling (Table 2 "NoDominators"; peeling is useless without it).
+func (c Config) NoDominators() Config { c.Dominators = false; c.Peeling = false; return c }
+
+// NoPeeling disables loop peeling only (Table 2 "NoPeeling").
+func (c Config) NoPeeling() Config { c.Peeling = false; return c }
+
+// NoCache disables the runtime optimizer (Table 2 "NoCache").
+func (c Config) NoCache() Config { c.Cache = false; return c }
+
+// NoOwnership disables the ownership filter (Table 3 "NoOwnership").
+func (c Config) NoOwnership() Config { c.Ownership = false; return c }
+
+// MergedFields enables object-granularity fields (Table 3
+// "FieldsMerged").
+func (c Config) MergedFields() Config { c.FieldsMerged = true; return c }
+
+// WithDetector selects a runtime detector baseline.
+func (c Config) WithDetector(k DetectorKind) Config { c.Detector = k; return c }
+
+// WithSeed sets the scheduler seed (0 = fixed round-robin quantum).
+func (c Config) WithSeed(seed int64) Config { c.Seed = seed; return c }
+
+// StaticStats summarizes the static analysis phase.
+type StaticStats struct {
+	AccessSites       int
+	RaceSetSize       int
+	PairCount         int
+	ThreadLocalPruned int
+	SameThreadPruned  int
+	CommonSyncPruned  int
+}
+
+// Pipeline is a compiled program plus everything the runtime needs.
+type Pipeline struct {
+	Config Config
+	File   string
+
+	AST    *ast.Program
+	Sem    *sem.Program
+	Lower  *lower.Result
+	Prog   *ir.Program
+	Static *racestatic.Result // nil when Config.Static is false
+	Pts    *pointsto.Result
+	ICG    *icfg.Graph
+	Esc    *escape.Result
+
+	InstrStats  instrument.Stats
+	StaticStats StaticStats
+}
+
+// Compile runs phases 1–2 of Figure 1 (static analysis and optimized
+// instrumentation) on MJ source text.
+func Compile(file, src string, cfg Config) (*Pipeline, error) {
+	prog, err := parser.Parse(file, src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	sp, err := sem.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+
+	p := &Pipeline{Config: cfg, File: file, AST: prog, Sem: sp}
+
+	// Loop peeling rewrites the AST; re-check to annotate new nodes.
+	if cfg.Instrument && cfg.Peeling && cfg.Dominators {
+		isField := func(id *ast.Ident) bool {
+			return sp.IdentRef[id].Kind == sem.RefField
+		}
+		p.InstrStats.LoopsPeeled = instrument.PeelLoops(prog, isField)
+		sp, err = sem.Check(prog)
+		if err != nil {
+			return nil, fmt.Errorf("re-check after peeling: %w", err)
+		}
+		p.Sem = sp
+	}
+
+	p.Lower = lower.Lower(sp)
+	p.Prog = p.Lower.Prog
+
+	// Whole-program analyses (needed for static race analysis; cheap
+	// enough to run always so tools can inspect them).
+	p.Pts = pointsto.Analyze(p.Prog)
+	p.ICG = icfg.Build(p.Prog, p.Lower, p.Pts)
+	p.Esc = escape.Analyze(p.Prog, p.Pts)
+
+	var filter instrument.Filter
+	if cfg.Static {
+		p.Static = racestatic.Analyze(p.Prog, p.Pts, p.ICG, p.Esc)
+		filter = p.Static.Filter()
+		p.StaticStats = StaticStats{
+			AccessSites:       len(p.Static.Sites),
+			RaceSetSize:       len(p.Static.InRaceSet),
+			PairCount:         len(p.Static.Pairs),
+			ThreadLocalPruned: p.Static.PrunedThreadLocal,
+			SameThreadPruned:  p.Static.PrunedSameThread,
+			CommonSyncPruned:  p.Static.PrunedCommonSync,
+		}
+	}
+
+	if cfg.Instrument {
+		for _, fn := range p.Prog.Funcs {
+			st := instrument.InsertTraces(fn, filter)
+			p.InstrStats.Accesses += st.Accesses
+			p.InstrStats.Inserted += st.Inserted
+			if cfg.Dominators {
+				p.InstrStats.Eliminated += instrument.EliminateRedundant(fn)
+			}
+		}
+	}
+	return p, nil
+}
+
+// RunResult is one execution's outcome.
+type RunResult struct {
+	Config Config
+
+	// Reports from the paper's detector (empty for baselines).
+	Reports []detector.Report
+	// StaticHints is aligned with Reports: for each reported race, the
+	// source locations the static analysis identified as potential
+	// racing partners of the reported access (§2.6's debugging
+	// support). Empty when static analysis is disabled.
+	StaticHints [][]string
+	// BaselineReports renders baseline detectors' reports as strings.
+	BaselineReports []string
+	// DeadlockReports lists potential deadlocks (lock-order cycles)
+	// when Config.DetectDeadlocks is set.
+	DeadlockReports []string
+	// ImmutabilityReports lists per-field mutability verdicts when
+	// Config.AnalyzeImmutability is set.
+	ImmutabilityReports []string
+	// RacyObjects is the count Table 3 reports: distinct objects with
+	// at least one reported race.
+	RacyObjects []event.ObjID
+
+	Interp        interp.Result
+	DetectorStats detector.Stats
+	TrieNodes     int
+	TrieLocations int
+
+	InstrStats  instrument.Stats
+	StaticStats StaticStats
+
+	Output   string
+	Duration time.Duration
+	Err      error // runtime error (deadlock etc.), nil on clean exit
+}
+
+// Run executes the compiled program under the configured detector.
+func (p *Pipeline) Run() (*RunResult, error) {
+	cfg := p.Config
+
+	var sink event.Sink
+	var det *detector.Detector
+	var era *eraser.Detector
+	var obr *objectrace.Detector
+	var vcl *vclock.Detector
+	switch cfg.Detector {
+	case DetTrie:
+		det = detector.New(detector.Options{
+			NoCache:       !cfg.Cache,
+			NoOwnership:   !cfg.Ownership,
+			FieldsMerged:  cfg.FieldsMerged,
+			NoPseudoLocks: !cfg.PseudoLocks,
+			ReportAll:     cfg.ReportAll,
+			PackedTrie:    cfg.PackedTrie,
+		})
+		sink = det
+	case DetEraser:
+		era = eraser.New()
+		sink = era
+	case DetObjectRace:
+		obr = objectrace.New()
+		sink = obr
+	case DetVClock:
+		vcl = vclock.New()
+		sink = vcl
+	default:
+		sink = event.NullSink{}
+	}
+
+	var dl *deadlock.Detector
+	if cfg.DetectDeadlocks {
+		dl = deadlock.New()
+		sink = event.MultiSink{dl, sink}
+	}
+	var imm *immutable.Detector
+	if cfg.AnalyzeImmutability {
+		imm = immutable.New()
+		sink = event.MultiSink{imm, sink}
+	}
+
+	var recorder *postmortem.Recorder
+	if cfg.RecordTo != nil {
+		recorder = postmortem.NewRecorder(cfg.RecordTo)
+		// The recorder must observe every event, including the ones
+		// the detector's inlined fast path would absorb, so it wraps
+		// the sink in a MultiSink (which has no fast path).
+		sink = event.MultiSink{recorder, sink}
+	}
+
+	var out strings.Builder
+	var w io.Writer = &out
+	if cfg.Out != nil {
+		w = io.MultiWriter(&out, cfg.Out)
+	}
+	machine := interp.New(p.Prog, interp.Options{
+		Sink:     sink,
+		Out:      w,
+		Quantum:  cfg.Quantum,
+		Seed:     cfg.Seed,
+		MaxSteps: cfg.MaxSteps,
+	})
+	if det != nil {
+		det.SetDescribeObj(machine.DescribeObj)
+	}
+
+	start := time.Now()
+	res, err := machine.Run()
+	dur := time.Since(start)
+	if recorder != nil {
+		if ferr := recorder.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+
+	rr := &RunResult{
+		Config:      cfg,
+		Interp:      res,
+		InstrStats:  p.InstrStats,
+		StaticStats: p.StaticStats,
+		Output:      out.String(),
+		Duration:    dur,
+		Err:         err,
+	}
+	if dl != nil {
+		for _, r := range dl.Reports() {
+			rr.DeadlockReports = append(rr.DeadlockReports, r.String())
+		}
+	}
+	if imm != nil {
+		for _, r := range imm.Reports() {
+			rr.ImmutabilityReports = append(rr.ImmutabilityReports, r.String())
+		}
+	}
+	switch {
+	case det != nil:
+		rr.Reports = det.Reports()
+		rr.StaticHints = p.staticHints(rr.Reports)
+		rr.RacyObjects = det.RacyObjects()
+		rr.DetectorStats = det.Stats()
+		rr.TrieNodes = det.TrieNodeCount()
+		rr.TrieLocations = det.TrieLocationCount()
+	case era != nil:
+		for _, r := range era.Reports() {
+			rr.BaselineReports = append(rr.BaselineReports, r.String())
+		}
+		rr.RacyObjects = era.RacyObjects()
+	case obr != nil:
+		for _, r := range obr.Reports() {
+			rr.BaselineReports = append(rr.BaselineReports, r.String())
+		}
+		rr.RacyObjects = obr.RacyObjects()
+	case vcl != nil:
+		for _, r := range vcl.Reports() {
+			rr.BaselineReports = append(rr.BaselineReports, r.String())
+		}
+		rr.RacyObjects = vcl.RacyObjects()
+	}
+	return rr, nil
+}
+
+// staticHints maps each runtime report to the static may-race
+// partners of the reported statement (§2.6): the statements whose
+// execution could potentially race with the reported access, usually a
+// small set that pinpoints the other side of the bug in the source.
+func (p *Pipeline) staticHints(reports []detector.Report) [][]string {
+	hints := make([][]string, len(reports))
+	if p.Static == nil {
+		return hints
+	}
+	// Index the static pairs by each side's source position.
+	partners := make(map[string][]string)
+	add := func(at, other racestatic.AccessSite) {
+		key := at.Instr.Pos.String()
+		val := fmt.Sprintf("%s (%s)", other.Instr.Pos, other.Fn.Name)
+		for _, existing := range partners[key] {
+			if existing == val {
+				return
+			}
+		}
+		partners[key] = append(partners[key], val)
+	}
+	for _, pair := range p.Static.Pairs {
+		add(pair[0], pair[1])
+		add(pair[1], pair[0])
+	}
+	for i, r := range reports {
+		hints[i] = partners[r.Access.Pos.String()]
+	}
+	return hints
+}
+
+// RunSource compiles and runs in one step.
+func RunSource(file, src string, cfg Config) (*RunResult, error) {
+	p, err := Compile(file, src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run()
+}
+
+// ReplayLog performs post-mortem detection: it feeds a recorded event
+// log (produced via Config.RecordTo) into a fresh detector configured
+// by cfg and returns its reports. The detector sees exactly the same
+// event stream as the on-the-fly run, so the reports match (tested in
+// postmortem_test.go).
+func ReplayLog(r io.Reader, cfg Config) (*RunResult, error) {
+	det := detector.New(detector.Options{
+		NoCache:       !cfg.Cache,
+		NoOwnership:   !cfg.Ownership,
+		FieldsMerged:  cfg.FieldsMerged,
+		NoPseudoLocks: !cfg.PseudoLocks,
+		ReportAll:     cfg.ReportAll,
+	})
+	start := time.Now()
+	n, err := postmortem.Replay(r, det)
+	if err != nil {
+		return nil, err
+	}
+	rr := &RunResult{
+		Config:        cfg,
+		Reports:       det.Reports(),
+		RacyObjects:   det.RacyObjects(),
+		DetectorStats: det.Stats(),
+		TrieNodes:     det.TrieNodeCount(),
+		TrieLocations: det.TrieLocationCount(),
+		Duration:      time.Since(start),
+	}
+	rr.Interp.TraceEvents = rr.DetectorStats.Accesses
+	_ = n
+	return rr, nil
+}

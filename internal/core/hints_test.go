@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStaticHintsPointAtPartner verifies §2.6: a runtime report is
+// accompanied by the static may-race partner locations, which point at
+// the other side of the bug.
+func TestStaticHintsPointAtPartner(t *testing.T) {
+	src := `
+class Data { int f; }
+class Writer extends Thread {
+    Data d;
+    Writer(Data d0) { d = d0; }
+    void run() {
+        d.f = 1;        // line 7: one side of the race
+    }
+}
+class Reader extends Thread {
+    Data d;
+    int got;
+    Reader(Data d0) { d = d0; }
+    void run() {
+        got = d.f;      // line 15: the other side
+    }
+}
+class Main {
+    static void main() {
+        Data x = new Data();
+        x.f = 0;
+        Writer w = new Writer(x);
+        Reader r = new Reader(x);
+        w.start(); r.start();
+        w.join(); r.join();
+        print(r.got);
+    }
+}`
+	res, err := RunSource("hint.mj", src, Full())
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v/%v", err, res.Err)
+	}
+	if len(res.Reports) == 0 {
+		t.Fatal("expected a race report")
+	}
+	if len(res.StaticHints) != len(res.Reports) {
+		t.Fatalf("hints misaligned: %d vs %d", len(res.StaticHints), len(res.Reports))
+	}
+	hints := res.StaticHints[0]
+	if len(hints) == 0 {
+		t.Fatalf("report carries no static partner hints; report = %v", res.Reports[0])
+	}
+	// The reported access is in one run method; the partner hint must
+	// name the other (Writer.run at line 8 or Reader.run at line 16).
+	joined := strings.Join(hints, " | ")
+	reportLine := res.Reports[0].Access.Pos.Line
+	var wantOther string
+	if reportLine == 7 {
+		wantOther = "hint.mj:15"
+	} else {
+		wantOther = "hint.mj:7"
+	}
+	if !strings.Contains(joined, wantOther) {
+		t.Errorf("hints %q do not name the partner %s (report at line %d)", joined, wantOther, reportLine)
+	}
+}
+
+// TestStaticHintsEmptyWithoutStatic: NoStatic has no pair information.
+func TestStaticHintsEmptyWithoutStatic(t *testing.T) {
+	res, err := RunSource("racy.mj", racySrc, Full().NoStatic())
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v/%v", err, res.Err)
+	}
+	for _, h := range res.StaticHints {
+		if len(h) != 0 {
+			t.Fatalf("NoStatic run produced hints: %v", h)
+		}
+	}
+}

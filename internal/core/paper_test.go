@@ -1,0 +1,300 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure2 is §2.2's example, transliterated to MJ (see also
+// examples/quickstart). T11:a.f and T14:b.f race with T21:d.f; T01:x.f
+// does not because start() orders it before the children.
+const figure2 = `
+class Shared { int f; int g; }
+
+class T1 extends Thread {
+    Shared a; Shared b; Shared p;
+    T1(Shared obj, Shared lock) { a = obj; b = obj; p = lock; }
+    synchronized void foo() {
+        a.f = 50;
+        synchronized (p) { b.g = b.f; }
+    }
+    void run() { foo(); }
+}
+
+class T2 extends Thread {
+    Shared d; Shared q;
+    T2(Shared obj, Shared lock) { d = obj; q = lock; }
+    void bar() { synchronized (q) { d.f = 10; } }
+    void run() { bar(); }
+}
+
+class Main {
+    static Shared x;
+    static void main() {
+        x = new Shared();
+        x.f = 100;
+        Shared lockP = new Shared();
+        Shared lockQ = new Shared();
+        Thread t1 = new T1(x, lockP);
+        Thread t2 = new T2(x, lockQ);
+        t1.start();
+        t2.start();
+        t1.join();
+        t2.join();
+        print(x.f);
+    }
+}
+`
+
+func TestFigure2RaceDetected(t *testing.T) {
+	for _, seed := range []int64{0, 1, 5, 11} {
+		res, err := RunSource("fig2.mj", figure2, Full().WithSeed(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Err != nil {
+			t.Fatalf("seed %d: runtime: %v", seed, res.Err)
+		}
+		if len(res.RacyObjects) != 1 {
+			t.Fatalf("seed %d: racy objects = %v, want exactly the shared object", seed, res.RacyObjects)
+		}
+		for _, r := range res.Reports {
+			if r.Access.FieldName != "Shared.f" {
+				t.Errorf("seed %d: race on %s, want Shared.f", seed, r.Access.FieldName)
+			}
+		}
+	}
+}
+
+// figure2Aliased is the §2.2 variant where T13:p and T20:q point to
+// the SAME lock object. The happens-before baseline sees the lock
+// transfer and goes quiet (the race is merely feasible); the paper's
+// lockset detector still reports T11 vs T21.
+const figure2Aliased = `
+class Shared { int f; int g; }
+
+class T1 extends Thread {
+    Shared a; Shared b; Shared p;
+    T1(Shared obj, Shared lock) { a = obj; b = obj; p = lock; }
+    synchronized void foo() {
+        a.f = 50;
+        synchronized (p) { b.g = b.f; }
+    }
+    void run() { foo(); }
+}
+
+class T2 extends Thread {
+    Shared d; Shared q;
+    T2(Shared obj, Shared lock) { d = obj; q = lock; }
+    void bar() { synchronized (q) { d.f = 10; } }
+    void run() { bar(); }
+}
+
+class Main {
+    static Shared x;
+    static void main() {
+        x = new Shared();
+        x.f = 100;
+        Shared common = new Shared();
+        Thread t1 = new T1(x, common);
+        Thread t2 = new T2(x, common);
+        t1.start();
+        t2.start();
+        t1.join();
+        t2.join();
+        print(x.f);
+    }
+}
+`
+
+func TestFigure2FeasibleVsActual(t *testing.T) {
+	// The paper's detector reports the feasible race regardless of the
+	// observed lock order.
+	res, err := RunSource("fig2b.mj", figure2Aliased, Full())
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v / %v", err, res.Err)
+	}
+	if len(res.RacyObjects) != 1 {
+		t.Fatalf("lockset detector: racy objects = %v, want 1", res.RacyObjects)
+	}
+	// The happens-before baseline stays quiet when T1's critical
+	// section is observed before T2's (the default schedule runs T1
+	// first).
+	resHB, err := RunSource("fig2b.mj", figure2Aliased, Full().WithDetector(DetVClock))
+	if err != nil || resHB.Err != nil {
+		t.Fatalf("%v / %v", err, resHB.Err)
+	}
+	if len(resHB.RacyObjects) != 0 {
+		t.Skipf("observed schedule left the accesses unordered; HB reported %d (legitimate)", len(resHB.RacyObjects))
+	}
+}
+
+// TestJoinPseudolockIdiom is §8.3's mtrt statistics example end to
+// end: our detector is quiet, Eraser reports.
+func TestJoinPseudolockIdiom(t *testing.T) {
+	const src = `
+class Stats { int total; }
+class Child extends Thread {
+    Stats stats; Stats syncObject; int work;
+    Child(Stats s, Stats lock, int w) { stats = s; syncObject = lock; work = w; }
+    void run() {
+        synchronized (syncObject) { stats.total = stats.total + work; }
+    }
+}
+class Main {
+    static void main() {
+        Stats stats = new Stats();
+        Stats lock = new Stats();
+        Child c1 = new Child(stats, lock, 10);
+        Child c2 = new Child(stats, lock, 20);
+        c1.start(); c2.start();
+        c1.join(); c2.join();
+        print(stats.total);
+    }
+}`
+	full, err := RunSource("join.mj", src, Full())
+	if err != nil || full.Err != nil {
+		t.Fatalf("%v / %v", err, full.Err)
+	}
+	if len(full.RacyObjects) != 0 {
+		t.Errorf("pseudolocks should silence the idiom, got %v", full.Reports)
+	}
+	if strings.TrimSpace(full.Output) != "30" {
+		t.Errorf("output = %q", full.Output)
+	}
+
+	noPseudo := Full()
+	noPseudo.PseudoLocks = false
+	np, err := RunSource("join.mj", src, noPseudo)
+	if err != nil || np.Err != nil {
+		t.Fatalf("%v / %v", err, np.Err)
+	}
+	if len(np.RacyObjects) == 0 {
+		t.Error("without pseudolocks the parent read must be reported")
+	}
+
+	eraser, err := RunSource("join.mj", src, Full().WithDetector(DetEraser))
+	if err != nil || eraser.Err != nil {
+		t.Fatalf("%v / %v", err, eraser.Err)
+	}
+	if len(eraser.RacyObjects) == 0 {
+		t.Error("Eraser's single-common-lock rule must report the idiom")
+	}
+}
+
+// TestWeakerThanOptimizationsPreserveReports is the §7.2 experimental
+// verification: the same races are reported with the (theoretically
+// unsafe) weaker-than optimizations enabled and disabled.
+func TestWeakerThanOptimizationsPreserveReports(t *testing.T) {
+	srcs := map[string]string{"racy": racySrc, "sync": syncSrc, "fig2": figure2}
+	for name, src := range srcs {
+		var counts []int
+		for _, cfg := range []Config{
+			Full(),
+			Full().NoDominators(),
+			Full().NoCache(),
+			Full().NoDominators().NoCache(),
+		} {
+			res, err := RunSource(name+".mj", src, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if res.Err != nil {
+				t.Fatalf("%s: runtime: %v", name, res.Err)
+			}
+			counts = append(counts, len(res.RacyObjects))
+		}
+		for i := 1; i < len(counts); i++ {
+			if counts[i] != counts[0] {
+				t.Errorf("%s: optimization changed reports: %v", name, counts)
+			}
+		}
+	}
+}
+
+func TestSeedSweepStability(t *testing.T) {
+	// The lockset detector must find the racy program's race under
+	// every seed and stay quiet on the synchronized program.
+	for seed := int64(0); seed < 8; seed++ {
+		racy, err := RunSource("racy.mj", racySrc, Full().WithSeed(seed))
+		if err != nil || racy.Err != nil {
+			t.Fatalf("seed %d: %v/%v", seed, err, racy.Err)
+		}
+		if len(racy.RacyObjects) != 1 {
+			t.Errorf("seed %d: racy program reported %d objects", seed, len(racy.RacyObjects))
+		}
+		quiet, err := RunSource("sync.mj", syncSrc, Full().WithSeed(seed))
+		if err != nil || quiet.Err != nil {
+			t.Fatalf("seed %d: %v/%v", seed, err, quiet.Err)
+		}
+		if len(quiet.RacyObjects) != 0 {
+			t.Errorf("seed %d: synchronized program reported %v", seed, quiet.Reports)
+		}
+	}
+}
+
+func TestBaseConfigRunsClean(t *testing.T) {
+	res, err := RunSource("racy.mj", racySrc, Base())
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v/%v", err, res.Err)
+	}
+	if res.Interp.TraceEvents != 0 {
+		t.Errorf("Base must not execute traces, got %d", res.Interp.TraceEvents)
+	}
+	if len(res.Reports) != 0 {
+		t.Errorf("Base has no detector, got %v", res.Reports)
+	}
+}
+
+func TestCompileErrorSurface(t *testing.T) {
+	if _, err := RunSource("bad.mj", "class {", Full()); err == nil {
+		t.Error("syntax error must surface")
+	}
+	if _, err := RunSource("bad.mj", "class A { void m() { x = 1; } }", Full()); err == nil {
+		t.Error("type error must surface")
+	}
+}
+
+func TestReportCarriesDebugInfo(t *testing.T) {
+	res, err := RunSource("racy.mj", racySrc, Full())
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v/%v", err, res.Err)
+	}
+	if len(res.Reports) == 0 {
+		t.Fatal("want a report")
+	}
+	r := res.Reports[0]
+	if r.Access.Pos.Line == 0 {
+		t.Error("report lacks a source position")
+	}
+	if r.Access.FieldName == "" {
+		t.Error("report lacks the field name")
+	}
+	if r.ObjDesc == "" || !strings.Contains(r.ObjDesc, "Data#") {
+		t.Errorf("report lacks the object description: %q", r.ObjDesc)
+	}
+	if len(r.Access.Locks) == 0 {
+		t.Error("current lockset should at least contain the thread pseudolock")
+	}
+	// The prior lockset is part of the §2.6 debugging contract.
+	if r.PriorLocks == nil {
+		t.Error("prior lockset missing")
+	}
+}
+
+func TestStatsAreConsistent(t *testing.T) {
+	res, err := RunSource("racy.mj", racySrc, Full())
+	if err != nil || res.Err != nil {
+		t.Fatalf("%v/%v", err, res.Err)
+	}
+	st := res.DetectorStats
+	if st.Accesses != res.Interp.TraceEvents {
+		t.Errorf("detector accesses %d != interp trace events %d", st.Accesses, res.Interp.TraceEvents)
+	}
+	// Every access is either a cache hit, an ownership skip, or a trie
+	// event.
+	if st.CacheHits+st.OwnerSkips+st.Trie.Events != st.Accesses {
+		t.Errorf("access accounting broken: hits=%d + skips=%d + trie=%d != %d",
+			st.CacheHits, st.OwnerSkips, st.Trie.Events, st.Accesses)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"racedet/internal/rt/postmortem"
+)
+
+// TestPostMortemMatchesOnTheFly records the racy smoke program's event
+// log during an on-the-fly run, replays it off-line, and checks the
+// reports agree — the §1 post-mortem mode.
+func TestPostMortemMatchesOnTheFly(t *testing.T) {
+	var log strings.Builder
+	cfg := Full()
+	cfg.RecordTo = &log
+
+	online, err := RunSource("racy.mj", racySrc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online.Err != nil {
+		t.Fatal(online.Err)
+	}
+	if log.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+
+	offline, err := ReplayLog(strings.NewReader(log.String()), Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(online.RacyObjects) != len(offline.RacyObjects) {
+		t.Fatalf("online %v vs offline %v racy objects", online.RacyObjects, offline.RacyObjects)
+	}
+	for i := range online.RacyObjects {
+		if online.RacyObjects[i] != offline.RacyObjects[i] {
+			t.Fatalf("racy objects differ: %v vs %v", online.RacyObjects, offline.RacyObjects)
+		}
+	}
+	if len(offline.Reports) == 0 || offline.Reports[0].Access.FieldName != "Data.f" {
+		t.Fatalf("offline reports = %v", offline.Reports)
+	}
+}
+
+// TestPostMortemFullRace reconstructs the complete racing-pair set
+// from the log (§2.5's FullRace, deliberately not computed on the fly).
+func TestPostMortemFullRace(t *testing.T) {
+	var log strings.Builder
+	cfg := Full()
+	cfg.RecordTo = &log
+	if _, err := RunSource("racy.mj", racySrc, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	pairs, err := postmortem.FullRace(strings.NewReader(log.String()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("FullRace found nothing")
+	}
+	// Every pair is on Data.f, between distinct threads.
+	for _, p := range pairs {
+		if p.First.FieldName != "Data.f" || p.Second.FieldName != "Data.f" {
+			t.Errorf("unexpected pair %v", p)
+		}
+		if p.First.Thread == p.Second.Thread {
+			t.Errorf("same-thread pair %v", p)
+		}
+	}
+	// FullRace is a superset view: the on-the-fly detector reported
+	// one access for the location, FullRace enumerates all pairs.
+	if len(pairs) < 1 {
+		t.Errorf("pairs = %d", len(pairs))
+	}
+}
+
+// TestRecordingDoesNotChangeDetection guards the MultiSink wiring: the
+// recorder disables the inlined cache fast path (MultiSink has none),
+// which must not alter what is reported.
+func TestRecordingDoesNotChangeDetection(t *testing.T) {
+	plain, err := RunSource("racy.mj", racySrc, Full())
+	if err != nil || plain.Err != nil {
+		t.Fatalf("%v/%v", err, plain.Err)
+	}
+	var log strings.Builder
+	cfg := Full()
+	cfg.RecordTo = &log
+	recorded, err := RunSource("racy.mj", racySrc, cfg)
+	if err != nil || recorded.Err != nil {
+		t.Fatalf("%v/%v", err, recorded.Err)
+	}
+	if len(plain.RacyObjects) != len(recorded.RacyObjects) {
+		t.Errorf("recording changed detection: %v vs %v", plain.RacyObjects, recorded.RacyObjects)
+	}
+}

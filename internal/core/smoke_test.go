@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+const racySrc = `
+class Data { int f; int g; }
+
+class Worker extends Thread {
+    Data d;
+    Worker(Data d0) { d = d0; }
+    void run() {
+        d.f = d.f + 1;
+    }
+}
+
+class Main {
+    static Data x;
+    static void main() {
+        x = new Data();
+        x.f = 100;
+        Worker t1 = new Worker(x);
+        Worker t2 = new Worker(x);
+        t1.start();
+        t2.start();
+        t1.join();
+        t2.join();
+        print(x.f);
+    }
+}
+`
+
+const syncSrc = `
+class Counter { int n; }
+
+class Worker extends Thread {
+    Counter c;
+    Worker(Counter c0) { c = c0; }
+    void run() {
+        int i = 0;
+        while (i < 50) {
+            synchronized (c) {
+                c.n = c.n + 1;
+            }
+            i = i + 1;
+        }
+    }
+}
+
+class Main {
+    static void main() {
+        Counter c = new Counter();
+        Worker t1 = new Worker(c);
+        Worker t2 = new Worker(c);
+        t1.start();
+        t2.start();
+        t1.join();
+        t2.join();
+        print(c.n);
+    }
+}
+`
+
+func TestSmokeRacyProgram(t *testing.T) {
+	res, err := RunSource("racy.mj", racySrc, Full())
+	if err != nil {
+		t.Fatalf("RunSource: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("runtime error: %v", res.Err)
+	}
+	if len(res.Reports) == 0 {
+		t.Fatalf("expected a race report on Data.f, got none\ninterp: %+v\ndetector: %+v\ninstr: %+v",
+			res.Interp, res.DetectorStats, res.InstrStats)
+	}
+	found := false
+	for _, r := range res.Reports {
+		if r.Access.FieldName == "Data.f" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no report names Data.f: %v", res.Reports)
+	}
+	if !strings.Contains(res.Output, "10") {
+		t.Errorf("program output missing counter value: %q", res.Output)
+	}
+}
+
+func TestSmokeSynchronizedProgramIsQuiet(t *testing.T) {
+	for _, seed := range []int64{0, 1, 7, 42} {
+		res, err := RunSource("sync.mj", syncSrc, Full().WithSeed(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Err != nil {
+			t.Fatalf("seed %d: runtime error: %v", seed, res.Err)
+		}
+		if len(res.Reports) != 0 {
+			t.Errorf("seed %d: expected no races, got %v", seed, res.Reports)
+		}
+		if strings.TrimSpace(res.Output) != "100" {
+			t.Errorf("seed %d: want output 100, got %q", seed, res.Output)
+		}
+	}
+}
+
+func TestSmokeConfigsAgreeOnRaces(t *testing.T) {
+	configs := map[string]Config{
+		"Full":         Full(),
+		"NoStatic":     Full().NoStatic(),
+		"NoDominators": Full().NoDominators(),
+		"NoPeeling":    Full().NoPeeling(),
+		"NoCache":      Full().NoCache(),
+	}
+	for name, cfg := range configs {
+		res, err := RunSource("racy.mj", racySrc, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Err != nil {
+			t.Fatalf("%s: runtime error: %v", name, res.Err)
+		}
+		if len(res.RacyObjects) != 1 {
+			t.Errorf("%s: want 1 racy object, got %d (%v)", name, len(res.RacyObjects), res.Reports)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWaitNotifyDetection: the detector's lockset tracking must
+// survive Object.wait's release/re-acquire — properly guarded state is
+// quiet, an unguarded side channel still races.
+func TestWaitNotifyDetection(t *testing.T) {
+	const src = `
+class Box {
+    int value;
+    boolean full;
+    int sideChannel; // written without the monitor: the race
+
+    synchronized void put(int v) {
+        while (full) { this.wait(); }
+        value = v;
+        full = true;
+        this.notifyAll();
+    }
+
+    synchronized int take() {
+        while (!full) { this.wait(); }
+        full = false;
+        this.notifyAll();
+        return value;
+    }
+}
+class Producer extends Thread {
+    Box box;
+    Producer(Box b) { box = b; }
+    void run() {
+        for (int i = 1; i <= 15; i++) {
+            box.put(i);
+            box.sideChannel = i; // unguarded
+        }
+    }
+}
+class Consumer extends Thread {
+    Box box;
+    int sum;
+    Consumer(Box b) { box = b; sum = 0; }
+    void run() {
+        for (int i = 0; i < 15; i++) {
+            sum = sum + box.take();
+            sum = sum + box.sideChannel % 2; // unguarded
+        }
+    }
+}
+class Main {
+    static void main() {
+        Box b = new Box();
+        Producer p = new Producer(b);
+        Consumer c = new Consumer(b);
+        c.start();
+        p.start();
+        p.join();
+        c.join();
+        print(c.sum);
+    }
+}`
+	for _, seed := range []int64{0, 3, 9} {
+		res, err := RunSource("wn.mj", src, Full().WithSeed(seed))
+		if err != nil || res.Err != nil {
+			t.Fatalf("seed %d: %v/%v", seed, err, res.Err)
+		}
+		var fields []string
+		for _, r := range res.Reports {
+			fields = append(fields, r.Access.FieldName)
+		}
+		joined := strings.Join(fields, ",")
+		if !strings.Contains(joined, "Box.sideChannel") {
+			t.Errorf("seed %d: unguarded field not reported: %v", seed, fields)
+		}
+		for _, f := range fields {
+			if f == "Box.value" || f == "Box.full" {
+				t.Errorf("seed %d: monitor-guarded field %s reported as racy", seed, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,418 @@
+// Package escape implements the escape analysis of §5.4: classic
+// thread-local object identification, extended with the paper's
+// "thread-specific" refinement for objects tied to a single thread
+// even though references to them escape through the thread object.
+//
+// Roots of escape are static fields and started thread objects;
+// reachability propagates through object fields and array elements —
+// except through the thread-specific fields of safe threads, which by
+// definition only the owning thread dereferences.
+package escape
+
+import (
+	"racedet/internal/ir"
+	"racedet/internal/lang/sem"
+	"racedet/internal/pointsto"
+)
+
+// Result holds the escape classification.
+type Result struct {
+	prog *ir.Program
+	pts  *pointsto.Result
+
+	escaped map[*pointsto.AbsObj]bool
+
+	// threadSpecificFields maps a field to true when every access to
+	// it is a this-access inside a thread-specific method of a safe
+	// thread class.
+	threadSpecificFields map[*sem.Field]bool
+
+	// threadSpecificMethods per class.
+	threadSpecificMethods map[*sem.Method]bool
+
+	// unsafeThreads marks thread classes whose construction may
+	// overlap their execution.
+	unsafeThreads map[*sem.Class]bool
+}
+
+// Analyze computes the escape classification.
+func Analyze(prog *ir.Program, pts *pointsto.Result) *Result {
+	r := &Result{
+		prog:                  prog,
+		pts:                   pts,
+		escaped:               make(map[*pointsto.AbsObj]bool),
+		threadSpecificFields:  make(map[*sem.Field]bool),
+		threadSpecificMethods: make(map[*sem.Method]bool),
+		unsafeThreads:         make(map[*sem.Class]bool),
+	}
+	r.computeThreadSpecific()
+	r.computeEscape()
+	return r
+}
+
+// Escaped reports whether the abstract object may be reachable by more
+// than one thread.
+func (r *Result) Escaped(o *pointsto.AbsObj) bool { return r.escaped[o] }
+
+// ThreadLocalAccess reports that an access instruction can never be
+// involved in a datarace because every object it may touch is
+// unescaped, or the accessed field is thread-specific.
+func (r *Result) ThreadLocalAccess(fn *ir.Func, in *ir.Instr) bool {
+	if !in.IsAccess() {
+		return false
+	}
+	_, isArray, refReg, field := in.AccessInfo()
+	if field != nil && field.Static {
+		return false // statics always escape
+	}
+	if field != nil && r.threadSpecificFields[field] {
+		return true
+	}
+	_ = isArray
+	objs := r.pts.VarPts(fn, refReg)
+	if len(objs) == 0 {
+		// No allocation can reach this access (dead or null-only
+		// path): it cannot race.
+		return true
+	}
+	for o := range objs {
+		if r.escaped[o] {
+			return false
+		}
+	}
+	return true
+}
+
+// ThreadSpecificField reports the §5.4 classification of a field.
+func (r *Result) ThreadSpecificField(f *sem.Field) bool { return r.threadSpecificFields[f] }
+
+// UnsafeThread reports whether the class is an unsafe thread (its
+// execution may overlap its construction).
+func (r *Result) UnsafeThread(cl *sem.Class) bool { return r.unsafeThreads[cl] }
+
+// ---------------------------------------------------------------------------
+// Thread-specific methods and fields
+
+// computeThreadSpecific implements the §5.4 approximation:
+//
+//  1. thread-specific methods: constructors of thread classes and run
+//     methods not invoked explicitly; plus non-static methods all of
+//     whose callers are thread-specific methods of the same class
+//     passing their this as the callee's this;
+//  2. unsafe threads: the constructor transitively calls start, or
+//     this escapes the constructor;
+//  3. thread-specific fields: fields accessed only via this inside
+//     thread-specific methods (of safe threads).
+func (r *Result) computeThreadSpecific() {
+	// Explicitly-invoked run methods are disqualified.
+	explicitRun := make(map[*sem.Method]bool)
+	for _, fn := range r.prog.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall {
+					for _, callee := range r.pts.Callees[in] {
+						if callee.Method.Name == "run" {
+							explicitRun[callee.Method] = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Seed: thread-class constructors and non-explicit runs.
+	for _, cl := range r.prog.Sem.Order {
+		if !cl.IsThread() || cl.Builtin {
+			continue
+		}
+		if ctor := cl.Methods[cl.Name]; ctor != nil && ctor.IsCtor {
+			r.threadSpecificMethods[ctor] = true
+		}
+		if run := cl.Methods["run"]; run != nil && !explicitRun[run] {
+			r.threadSpecificMethods[run] = true
+		}
+	}
+
+	// Closure: m joins if every call site of m is inside a
+	// thread-specific method of the same class with this→this.
+	callers := r.callSites()
+	changed := true
+	for changed {
+		changed = false
+		for _, fn := range r.prog.Funcs {
+			m := fn.Method
+			if m.Static || r.threadSpecificMethods[m] {
+				continue
+			}
+			sites := callers[fn]
+			if len(sites) == 0 {
+				continue
+			}
+			ok := true
+			for _, s := range sites {
+				callerM := s.fn.Method
+				if !r.threadSpecificMethods[callerM] ||
+					callerM.Class != m.Class ||
+					callerM.Static ||
+					len(s.in.Src) == 0 || s.in.Src[0] != 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				r.threadSpecificMethods[m] = true
+				changed = true
+			}
+		}
+	}
+
+	// Unsafe threads: this escapes the constructor, or the constructor
+	// can transitively reach a start.
+	startReach := r.startReachable()
+	for _, cl := range r.prog.Sem.Order {
+		if !cl.IsThread() || cl.Builtin {
+			continue
+		}
+		ctor := cl.Methods[cl.Name]
+		if ctor == nil || !ctor.IsCtor {
+			continue
+		}
+		fn := r.prog.FuncOf[ctor]
+		if fn == nil {
+			continue
+		}
+		if r.thisEscapes(fn) || startReach[fn] {
+			r.unsafeThreads[cl] = true
+		}
+	}
+
+	// Thread-specific fields: every access in the program must be a
+	// this-access inside a thread-specific method of a safe thread.
+	bad := make(map[*sem.Field]bool)
+	candidate := make(map[*sem.Field]bool)
+	for _, fn := range r.prog.Funcs {
+		inTS := r.threadSpecificMethods[fn.Method] && !r.unsafeThreads[fn.Method.Class]
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				var field *sem.Field
+				var refReg int
+				switch in.Op {
+				case ir.OpGetField, ir.OpPutField:
+					field, refReg = in.Field, in.Src[0]
+				default:
+					continue
+				}
+				// Only fields of thread classes qualify.
+				if !field.Class.IsThread() {
+					continue
+				}
+				candidate[field] = true
+				if !inTS || refReg != 0 {
+					bad[field] = true
+				}
+			}
+		}
+	}
+	for f := range candidate {
+		if !bad[f] {
+			r.threadSpecificFields[f] = true
+		}
+	}
+}
+
+type callSite struct {
+	fn *ir.Func
+	in *ir.Instr
+}
+
+func (r *Result) callSites() map[*ir.Func][]callSite {
+	out := make(map[*ir.Func][]callSite)
+	for _, fn := range r.prog.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				for _, callee := range r.pts.Callees[in] {
+					out[callee] = append(out[callee], callSite{fn, in})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// thisEscapes reports whether register 0 of fn is stored to the heap,
+// passed as a non-receiver argument, or returned.
+func (r *Result) thisEscapes(fn *ir.Func) bool {
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpPutField:
+				if in.Src[1] == 0 {
+					return true
+				}
+			case ir.OpPutStatic:
+				if in.Src[0] == 0 {
+					return true
+				}
+			case ir.OpArrayStore:
+				if in.Src[2] == 0 {
+					return true
+				}
+			case ir.OpCall:
+				for i, s := range in.Src {
+					if s == 0 && i > 0 {
+						return true
+					}
+				}
+			case ir.OpReturn:
+				if len(in.Src) > 0 && in.Src[0] == 0 {
+					return true
+				}
+			case ir.OpStart:
+				if in.Src[0] == 0 {
+					return true // this.start() inside the constructor
+				}
+			}
+		}
+	}
+	return false
+}
+
+// startReachable computes functions from which an OpStart is reachable
+// through calls.
+func (r *Result) startReachable() map[*ir.Func]bool {
+	direct := make(map[*ir.Func]bool)
+	callees := make(map[*ir.Func][]*ir.Func)
+	for _, fn := range r.prog.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpStart:
+					direct[fn] = true
+				case ir.OpCall:
+					callees[fn] = append(callees[fn], r.pts.Callees[in]...)
+				}
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for fn, cs := range callees {
+			if direct[fn] {
+				continue
+			}
+			for _, c := range cs {
+				if direct[c] {
+					direct[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return direct
+}
+
+// ---------------------------------------------------------------------------
+// Escape reachability
+
+// label is the escape lattice: NotReached < ThreadSpecific < Escaped.
+type label int8
+
+const (
+	labelNone label = iota
+	labelTS         // reachable only through the thread-specific region
+	labelEscaped
+)
+
+func (r *Result) computeEscape() {
+	labels := make(map[*pointsto.AbsObj]label)
+	var work []*pointsto.AbsObj
+	raise := func(o *pointsto.AbsObj, l label) {
+		if labels[o] >= l {
+			return
+		}
+		labels[o] = l
+		work = append(work, o)
+	}
+
+	// tsAllocated reports whether o was allocated inside a
+	// thread-specific method of a (safe) thread class — the paper's
+	// pattern of per-thread data created during construction or by the
+	// thread itself. Anything else stored into a thread-specific field
+	// came from outside the thread and therefore escapes.
+	tsAllocated := func(o *pointsto.AbsObj) bool {
+		if o.Fn == nil {
+			return false
+		}
+		m := o.Fn.Method
+		return r.threadSpecificMethods[m] && !r.unsafeThreads[m.Class]
+	}
+
+	// Roots: everything stored in static fields, and every started
+	// thread object, escapes.
+	for _, cl := range r.prog.Sem.Order {
+		co := r.pts.ClassObj(cl)
+		for _, f := range cl.StaticSlots() {
+			for o := range r.pts.FieldPts(co, pointsto.StaticSlotKey(f)) {
+				raise(o, labelEscaped)
+			}
+		}
+	}
+	for _, fn := range r.prog.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpStart {
+					continue
+				}
+				for o := range r.pts.VarPts(fn, in.Src[0]) {
+					raise(o, labelEscaped)
+				}
+			}
+		}
+	}
+
+	// Propagate. From an escaped thread object, thread-specific fields
+	// of safe classes demote the flow to labelTS when the target was
+	// allocated inside the thread's own thread-specific methods;
+	// everything else propagates the source label.
+	for len(work) > 0 {
+		o := work[len(work)-1]
+		work = work[:len(work)-1]
+		l := labels[o]
+		prop := func(t *pointsto.AbsObj, throughTSField bool) {
+			out := l
+			if throughTSField && l == labelEscaped && tsAllocated(t) {
+				out = labelTS
+			}
+			if l == labelTS && !tsAllocated(t) {
+				// An outside object reachable through per-thread data
+				// still escapes (it has other owners).
+				out = labelEscaped
+			}
+			raise(t, out)
+		}
+		if o.Kind == pointsto.ObjArray {
+			for t := range r.pts.FieldPts(o, pointsto.ArrayElemSlot) {
+				prop(t, false)
+			}
+			continue
+		}
+		if o.Class != nil {
+			for _, f := range o.Class.InstanceSlots() {
+				throughTS := r.threadSpecificFields[f] && o.Class.IsThread() && !r.unsafeThreads[o.Class]
+				for t := range r.pts.FieldPts(o, f.Index) {
+					prop(t, throughTS)
+				}
+			}
+		}
+	}
+	for o, l := range labels {
+		if l == labelEscaped {
+			r.escaped[o] = true
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package escape
+
+import (
+	"testing"
+
+	"racedet/internal/ir"
+	"racedet/internal/lang/parser"
+	"racedet/internal/lang/sem"
+	"racedet/internal/lower"
+	"racedet/internal/pointsto"
+)
+
+func analyze(t *testing.T, src string) (*ir.Program, *pointsto.Result, *Result) {
+	t.Helper()
+	prog, err := parser.Parse("t.mj", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sem.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	low := lower.Lower(sp)
+	pts := pointsto.Analyze(low.Prog)
+	return low.Prog, pts, Analyze(low.Prog, pts)
+}
+
+// escapedClasses lists the class names of escaped alloc-site objects.
+func escapedClasses(pts *pointsto.Result, esc *Result) map[string]bool {
+	out := map[string]bool{}
+	for _, o := range pts.Objects() {
+		if o.Kind == pointsto.ObjAlloc && esc.Escaped(o) {
+			out[o.Class.Name] = true
+		}
+	}
+	return out
+}
+
+func TestStaticsEscape(t *testing.T) {
+	_, pts, esc := analyze(t, `
+class A { int v; }
+class M {
+    static A global;
+    static void main() {
+        global = new A();
+        A local = new A();
+        local.v = 1;
+    }
+}`)
+	// Exactly one A site escapes (the one stored in the static).
+	count := 0
+	for _, o := range pts.Objects() {
+		if o.Kind == pointsto.ObjAlloc && esc.Escaped(o) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("escaped alloc sites = %d, want 1", count)
+	}
+}
+
+func TestThreadReachableEscapes(t *testing.T) {
+	prog, pts, esc := analyze(t, `
+class Data { int v; }
+class W extends Thread {
+    Data d;
+    W(Data d0) { d = d0; }
+    void run() { d.v = 1; }
+}
+class M {
+    static void main() {
+        Data shared = new Data();
+        Data local = new Data();
+        local.v = 2;
+        W w = new W(shared);
+        w.start();
+        w.join();
+    }
+}`)
+	names := escapedClasses(pts, esc)
+	if !names["W"] {
+		t.Error("started thread object must escape")
+	}
+	if !names["Data"] {
+		t.Error("data handed to a thread must escape")
+	}
+	// The local Data must not: check the local write is thread-local.
+	main := prog.FuncByName("M.main")
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPutField && in.Field.Name == "v" {
+				if !esc.ThreadLocalAccess(main, in) {
+					t.Error("write to the unshared local Data should be thread-local")
+				}
+			}
+		}
+	}
+}
+
+func TestThreadSpecificCtorAllocatedData(t *testing.T) {
+	// The paper's §5.4 pattern: per-thread data allocated in the
+	// constructor and used only by the thread itself. The buffer
+	// escapes through the thread object but is thread-specific.
+	prog, _, esc := analyze(t, `
+class W extends Thread {
+    int[] buf;
+    int sum;
+    W() { buf = new int[16]; }
+    void run() {
+        for (int i = 0; i < 16; i++) { buf[i] = i; }
+        for (int i = 0; i < 16; i++) { sum = sum + buf[i]; }
+    }
+}
+class M {
+    static void main() {
+        W w1 = new W();
+        W w2 = new W();
+        w1.start(); w2.start();
+        w1.join(); w2.join();
+    }
+}`)
+	sp := prog.Sem
+	w := sp.Classes["W"]
+	if !esc.ThreadSpecificField(w.LookupField("buf")) {
+		t.Error("buf accessed only via this in ctor/run must be thread-specific")
+	}
+	if !esc.ThreadSpecificField(w.LookupField("sum")) {
+		t.Error("sum accessed only via this in run must be thread-specific")
+	}
+	if esc.UnsafeThread(w) {
+		t.Error("W is a safe thread")
+	}
+	// The buffer accesses in run must be prunable.
+	run := prog.FuncByName("W.run")
+	for _, b := range run.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpArrayStore {
+				if !esc.ThreadLocalAccess(run, in) {
+					t.Error("writes to the ctor-allocated buffer must be thread-local")
+				}
+			}
+		}
+	}
+}
+
+func TestSharedDataThroughThreadFieldEscapes(t *testing.T) {
+	// The racy-smoke pattern: the SAME Data flows into two threads via
+	// their (thread-specific-looking) field — it must escape.
+	prog, pts, esc := analyze(t, `
+class Data { int f; }
+class W extends Thread {
+    Data d;
+    W(Data d0) { d = d0; }
+    void run() { d.f = d.f + 1; }
+}
+class M {
+    static void main() {
+        Data x = new Data();
+        W w1 = new W(x);
+        W w2 = new W(x);
+        w1.start(); w2.start();
+        w1.join(); w2.join();
+        print(x.f);
+    }
+}`)
+	names := escapedClasses(pts, esc)
+	if !names["Data"] {
+		t.Fatal("Data reachable by two threads must escape")
+	}
+	run := prog.FuncByName("W.run")
+	for _, b := range run.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPutField && in.Field.Name == "f" {
+				if esc.ThreadLocalAccess(run, in) {
+					t.Error("the racy write must not be pruned")
+				}
+			}
+		}
+	}
+}
+
+func TestFieldReadOutsideThreadDisqualifiesTS(t *testing.T) {
+	prog, _, esc := analyze(t, `
+class W extends Thread {
+    int result;
+    void run() { result = 42; }
+}
+class M {
+    static void main() {
+        W w = new W();
+        w.start();
+        w.join();
+        print(w.result); // external access via w, not this
+    }
+}`)
+	w := prog.Sem.Classes["W"]
+	if esc.ThreadSpecificField(w.LookupField("result")) {
+		t.Error("a field read from outside the thread is not thread-specific")
+	}
+}
+
+func TestUnsafeThreadByStartInCtor(t *testing.T) {
+	prog, _, esc := analyze(t, `
+class W extends Thread {
+    int n;
+    W() { this.start(); }
+    void run() { n = 1; }
+}
+class M {
+    static void main() {
+        W w = new W();
+        w.join();
+    }
+}`)
+	w := prog.Sem.Classes["W"]
+	if !esc.UnsafeThread(w) {
+		t.Error("starting inside the constructor makes the thread unsafe")
+	}
+	if esc.ThreadSpecificField(w.LookupField("n")) {
+		t.Error("fields of unsafe threads cannot be thread-specific")
+	}
+}
+
+func TestUnsafeThreadByEscapingThis(t *testing.T) {
+	prog, _, esc := analyze(t, `
+class Registry { static W last; }
+class W extends Thread {
+    int n;
+    W() { Registry.last = this; }
+    void run() { n = 1; }
+}
+class M {
+    static void main() {
+        W w = new W();
+        w.start();
+        w.join();
+    }
+}`)
+	w := prog.Sem.Classes["W"]
+	if !esc.UnsafeThread(w) {
+		t.Error("this escaping the constructor makes the thread unsafe")
+	}
+}
+
+func TestExplicitRunCallDisqualifies(t *testing.T) {
+	prog, _, esc := analyze(t, `
+class W extends Thread {
+    int n;
+    void run() { n = 1; }
+}
+class M {
+    static void main() {
+        W w = new W();
+        w.run(); // explicit call: run is not thread-specific
+        w.start();
+        w.join();
+    }
+}`)
+	w := prog.Sem.Classes["W"]
+	if esc.ThreadSpecificField(w.LookupField("n")) {
+		t.Error("explicitly-invoked run disqualifies its fields")
+	}
+}

@@ -1,0 +1,299 @@
+// Package instrument implements the optimized-instrumentation phase
+// of the paper (§6): inserting trace pseudo-instructions after memory
+// accesses, eliminating statically redundant traces with the static
+// weaker-than relation, and the loop-peeling transformation (§6.3)
+// that exposes in-loop traces to that elimination.
+package instrument
+
+import (
+	"racedet/internal/ir"
+	"racedet/internal/ssa"
+)
+
+// Stats reports what instrumentation did to one function or program.
+type Stats struct {
+	Accesses    int // heap access instructions seen
+	Inserted    int // traces inserted
+	Eliminated  int // traces removed by the static weaker-than relation
+	LoopsPeeled int
+}
+
+// Add accumulates s2 into s.
+func (s *Stats) Add(s2 Stats) {
+	s.Accesses += s2.Accesses
+	s.Inserted += s2.Inserted
+	s.Eliminated += s2.Eliminated
+	s.LoopsPeeled += s2.LoopsPeeled
+}
+
+// Filter decides whether an access instruction gets a trace. A nil
+// Filter instruments everything (the paper's default when static
+// datarace analysis is skipped).
+type Filter func(*ir.Instr) bool
+
+// InsertTraces inserts one OpTrace after every heap-access instruction
+// accepted by filter. The trace copies the access's object register,
+// field, kind, source position, and synchronized-region stack.
+func InsertTraces(f *ir.Func, filter Filter) Stats {
+	var st Stats
+	for _, b := range f.Blocks {
+		out := make([]*ir.Instr, 0, len(b.Instrs)*2)
+		for _, in := range b.Instrs {
+			out = append(out, in)
+			if !in.IsAccess() {
+				continue
+			}
+			st.Accesses++
+			if filter != nil && !filter(in) {
+				continue
+			}
+			kind, isArray, refReg, field := in.AccessInfo()
+			name := "[]"
+			if field != nil {
+				name = field.QualifiedName()
+			}
+			tr := &ir.Instr{
+				Op:           ir.OpTrace,
+				Dst:          ir.NoReg,
+				Access:       kind,
+				IsArrayTrace: isArray,
+				Field:        field,
+				TraceName:    name,
+				SyncRegions:  in.SyncRegions,
+				Pos:          in.Pos,
+			}
+			if refReg != ir.NoReg {
+				tr.Src = []int{refReg}
+			}
+			out = append(out, tr)
+			st.Inserted++
+		}
+		b.Instrs = out
+	}
+	return st
+}
+
+// Options configures the static elimination.
+type Options struct {
+	// NoDominators disables the §6.1 static weaker-than elimination
+	// (Table 2 "NoDominators").
+	NoDominators bool
+}
+
+// EliminateRedundant removes trace instructions S_j for which a
+// statically weaker trace S_i exists (Definition 3):
+//
+//	S_i ⊑ S_j ⟺ Exec(S_i, S_j) ∧ a_i ⊑ a_j ∧ outer(S_i, S_j)
+//	            ∧ valnum(o_i) = valnum(o_j) ∧ f_i = f_j
+//
+// Exec(S_i, S_j) (Definition 4) holds when S_i dominates S_j and no
+// method invocation lies on any intraprocedural path between them; we
+// additionally reject monitorenter/monitorexit between the two, which
+// closes the lock-reentry corner the lexical outer() check leaves open
+// (strictly more conservative than the paper).
+//
+// It returns the number of traces removed.
+func EliminateRedundant(f *ir.Func) int {
+	dom := ssa.BuildDomTree(f)
+	ov := ssa.Build(f, dom)
+	gvn := ssa.BuildGVN(ov)
+	reach := blockReachability(f)
+
+	type tracePoint struct {
+		in    *ir.Instr
+		block *ir.Block
+		pos   int
+	}
+	var traces []tracePoint
+	for _, b := range dom.RPO() {
+		for i, in := range b.Instrs {
+			if in.Op == ir.OpTrace {
+				traces = append(traces, tracePoint{in, b, i})
+			}
+		}
+	}
+
+	// barrier[b][i] = true if instruction i of block b is a call-like
+	// or monitor instruction ("barrier" for Exec).
+	isBarrier := func(in *ir.Instr) bool {
+		return in.IsCallLike() || in.Op == ir.OpMonEnter || in.Op == ir.OpMonExit
+	}
+	// blockHasBarrier over the whole block.
+	blockBarrier := make([]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if isBarrier(in) {
+				blockBarrier[b.ID] = true
+				break
+			}
+		}
+	}
+	rangeBarrier := func(b *ir.Block, from, to int) bool { // [from, to)
+		for i := from; i < to && i < len(b.Instrs); i++ {
+			if isBarrier(b.Instrs[i]) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// exec reports Exec(Si, Sj).
+	exec := func(si, sj tracePoint) bool {
+		if !dom.DominatesInstr(si.block, si.pos, sj.block, sj.pos) {
+			return false
+		}
+		if si.block == sj.block {
+			// Also handle the loop case: if the block is in a cycle
+			// with itself, a path can leave after Sj and come back
+			// before Si; the direct segment is what matters for the
+			// most recent Si execution.
+			return !rangeBarrier(si.block, si.pos+1, sj.pos)
+		}
+		// Tail of Si's block and head of Sj's block must be clean.
+		if rangeBarrier(si.block, si.pos+1, len(si.block.Instrs)) {
+			return false
+		}
+		if rangeBarrier(sj.block, 0, sj.pos) {
+			return false
+		}
+		// Every block strictly between (reachable from Si's block and
+		// reaching Sj's block) must be clean. This over-approximates
+		// paths (it tolerates passes through cycles), erring safe.
+		for _, b := range f.Blocks {
+			if b == si.block || b == sj.block {
+				continue
+			}
+			if reach.reaches(si.block, b) && reach.reaches(b, sj.block) && blockBarrier[b.ID] {
+				return false
+			}
+		}
+		// If the two blocks sit on a common cycle, a path may traverse
+		// the full blocks; require them clean too.
+		if reach.reaches(sj.block, si.block) {
+			if blockBarrier[si.block.ID] || blockBarrier[sj.block.ID] {
+				return false
+			}
+		}
+		return true
+	}
+
+	sameLocation := func(si, sj tracePoint) bool {
+		a, b := si.in, sj.in
+		if a.IsArrayTrace != b.IsArrayTrace {
+			return false
+		}
+		if a.IsArrayTrace {
+			// The detector treats a whole array as one location, so
+			// matching array references suffices (the paper compares
+			// index value numbers because its trace models f as the
+			// index; under the one-location-per-array model reference
+			// equality is the right condition).
+			va := gvn.OperandVN(a, 0)
+			vb := gvn.OperandVN(b, 0)
+			return va != ssa.NoVN && va == vb
+		}
+		if a.Field != b.Field {
+			return false
+		}
+		if a.Field.Static {
+			return true // class-qualified: same field ⇒ same location
+		}
+		va := gvn.OperandVN(a, 0)
+		vb := gvn.OperandVN(b, 0)
+		return va != ssa.NoVN && va == vb
+	}
+
+	// Traces are collected in RPO order, so any dominating S_i appears
+	// before S_j in the slice. Scanning only i < j guarantees the
+	// eliminator's own fate was already decided, so every elimination
+	// is justified by a trace that survives (weaker-than is used
+	// pointwise, never through an eliminated intermediary).
+	eliminated := make(map[*ir.Instr]bool)
+	for j, sj := range traces {
+		for i := 0; i < j; i++ {
+			si := traces[i]
+			if eliminated[si.in] {
+				continue
+			}
+			// a_i ⊑ a_j
+			if !(si.in.Access == sj.in.Access || si.in.Access == ir.Write) {
+				continue
+			}
+			if !outer(si.in.SyncRegions, sj.in.SyncRegions) {
+				continue
+			}
+			if !sameLocation(si, sj) {
+				continue
+			}
+			if !exec(si, sj) {
+				continue
+			}
+			eliminated[sj.in] = true
+			break
+		}
+	}
+
+	if len(eliminated) == 0 {
+		return 0
+	}
+	for _, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if !eliminated[in] {
+				out = append(out, in)
+			}
+		}
+		b.Instrs = out
+	}
+	return len(eliminated)
+}
+
+// outer implements outer(S_i, S_j): S_j is at the same synchronized
+// nesting level as S_i or deeper within S_i's innermost region —
+// lexically, S_i's region stack is a prefix of S_j's.
+func outer(si, sj []int) bool {
+	if len(si) > len(sj) {
+		return false
+	}
+	for k := range si {
+		if si[k] != sj[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// reachability is a dense transitive-closure over blocks.
+type reachability struct {
+	n    int
+	bits []uint64 // n x ceil(n/64)
+	w    int
+}
+
+func blockReachability(f *ir.Func) *reachability {
+	n := len(f.Blocks)
+	w := (n + 63) / 64
+	r := &reachability{n: n, bits: make([]uint64, n*w), w: w}
+	// DFS from each block following successor edges.
+	for _, b := range f.Blocks {
+		stack := []*ir.Block{b}
+		seen := make([]bool, n)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range x.Succs {
+				if !seen[s.ID] {
+					seen[s.ID] = true
+					r.bits[b.ID*w+s.ID/64] |= 1 << (uint(s.ID) % 64)
+					stack = append(stack, s)
+				}
+			}
+		}
+	}
+	return r
+}
+
+// reaches reports whether b can reach c via one or more edges.
+func (r *reachability) reaches(b, c *ir.Block) bool {
+	return r.bits[b.ID*r.w+c.ID/64]&(1<<(uint(c.ID)%64)) != 0
+}

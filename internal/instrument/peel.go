@@ -1,0 +1,177 @@
+package instrument
+
+import (
+	"racedet/internal/lang/ast"
+)
+
+// PeelLoops applies the §6.3 loop-peeling transformation to every
+// eligible loop of the program, returning the number of loops peeled.
+// The transformation rewrites
+//
+//	while (c) { B }          →  if (c) { B' ; while (c) { B } }
+//	for (i; c; p) { B }      →  { i; if (c) { B'; p'; for (; c; p) { B } } }
+//
+// where B' is a clone of the body. After peeling, the first
+// iteration's traces dominate the in-loop traces, so the static
+// weaker-than elimination can remove the latter — which plain
+// loop-invariant code motion cannot do because potentially excepting
+// instructions (null checks, bounds checks) may bypass the loop tail.
+//
+// A loop is eligible when its body contains a heap access (field or
+// array) and no break/continue that binds to the loop itself (the
+// clone would detach them from their loop). Peeling works bottom-up so
+// inner loops are peeled before the outer loop's body is cloned.
+//
+// The transformation mutates the program in place; callers peel a
+// cloned program when they need to preserve the original. isFieldIdent
+// (optional) reports whether an unqualified identifier resolves to a
+// field — it lets the eligibility scan see implicit-this heap accesses;
+// nil treats only explicit x.f / a[i] syntax as heap accesses.
+func PeelLoops(prog *ast.Program, isFieldIdent func(*ast.Ident) bool) int {
+	p := &peeler{isFieldIdent: isFieldIdent}
+	for _, c := range prog.Classes {
+		for _, m := range c.Methods {
+			if m.Body != nil {
+				m.Body.Stmts = p.peelStmts(m.Body.Stmts)
+			}
+		}
+	}
+	return p.n
+}
+
+type peeler struct {
+	n            int
+	isFieldIdent func(*ast.Ident) bool
+}
+
+func (p *peeler) peelStmts(stmts []ast.Stmt) []ast.Stmt {
+	out := make([]ast.Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		out = append(out, p.peelStmt(s))
+	}
+	return out
+}
+
+func (p *peeler) peelStmt(s ast.Stmt) ast.Stmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		s.Stmts = p.peelStmts(s.Stmts)
+		return s
+	case *ast.IfStmt:
+		s.Then.Stmts = p.peelStmts(s.Then.Stmts)
+		if s.Else != nil {
+			s.Else = p.peelStmt(s.Else)
+		}
+		return s
+	case *ast.SyncStmt:
+		s.Body.Stmts = p.peelStmts(s.Body.Stmts)
+		return s
+	case *ast.WhileStmt:
+		s.Body.Stmts = p.peelStmts(s.Body.Stmts)
+		if !p.eligible(s.Body) {
+			return s
+		}
+		p.n++
+		peeled := ast.CloneBlock(s.Body)
+		return &ast.IfStmt{
+			TokPos: s.TokPos,
+			Cond:   ast.CloneExpr(s.Cond),
+			Then: &ast.BlockStmt{
+				TokPos: s.TokPos,
+				Stmts:  append(peeled.Stmts, s),
+			},
+		}
+	case *ast.ForStmt:
+		s.Body.Stmts = p.peelStmts(s.Body.Stmts)
+		if !p.eligible(s.Body) {
+			return s
+		}
+		p.n++
+		var pre []ast.Stmt
+		if s.Init != nil {
+			pre = append(pre, s.Init)
+			s.Init = nil
+		}
+		peeled := ast.CloneBlock(s.Body)
+		first := peeled.Stmts
+		if s.Post != nil {
+			first = append(first, ast.CloneStmt(s.Post))
+		}
+		inner := append(first, s)
+		var guarded ast.Stmt
+		if s.Cond != nil {
+			guarded = &ast.IfStmt{
+				TokPos: s.TokPos,
+				Cond:   ast.CloneExpr(s.Cond),
+				Then:   &ast.BlockStmt{TokPos: s.TokPos, Stmts: inner},
+			}
+		} else {
+			guarded = &ast.BlockStmt{TokPos: s.TokPos, Stmts: inner}
+		}
+		return &ast.BlockStmt{TokPos: s.TokPos, Stmts: append(pre, guarded)}
+	default:
+		return s
+	}
+}
+
+// eligible reports whether a loop body is worth (and safe for)
+// peeling: it contains at least one heap access, and no break or
+// continue that binds to this loop.
+func (p *peeler) eligible(body *ast.BlockStmt) bool {
+	return p.containsHeapAccess(body) && !containsLoopExit(body, 0)
+}
+
+// containsHeapAccess scans for field accesses or array indexing
+// anywhere in the subtree (including conditions and nested loops).
+func (p *peeler) containsHeapAccess(n ast.Node) bool {
+	found := false
+	ast.Walk(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := x.(type) {
+		case *ast.FieldAccess, *ast.IndexExpr:
+			found = true
+			return false
+		case *ast.Ident:
+			// Unqualified identifiers may be implicit-this field
+			// accesses; the resolver callback (when provided) tells
+			// them apart from locals.
+			if p.isFieldIdent != nil && p.isFieldIdent(e) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// containsLoopExit reports whether the statements contain a break or
+// continue binding to the loop at nesting depth 0.
+func containsLoopExit(s ast.Stmt, depth int) bool {
+	switch s := s.(type) {
+	case *ast.BreakStmt, *ast.ContinueStmt:
+		return depth == 0
+	case *ast.BlockStmt:
+		for _, inner := range s.Stmts {
+			if containsLoopExit(inner, depth) {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if containsLoopExit(s.Then, depth) {
+			return true
+		}
+		if s.Else != nil && containsLoopExit(s.Else, depth) {
+			return true
+		}
+	case *ast.SyncStmt:
+		return containsLoopExit(s.Body, depth)
+	case *ast.WhileStmt:
+		return containsLoopExit(s.Body, depth+1)
+	case *ast.ForStmt:
+		return containsLoopExit(s.Body, depth+1)
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWaitNotifyProducerConsumer(t *testing.T) {
+	// Classic bounded hand-off: the consumer waits for the producer's
+	// value; the producer notifies after publishing.
+	src := `
+class Box {
+    int value;
+    boolean full;
+
+    synchronized void put(int v) {
+        while (full) { this.wait(); }
+        value = v;
+        full = true;
+        this.notifyAll();
+    }
+
+    synchronized int take() {
+        while (!full) { this.wait(); }
+        full = false;
+        this.notifyAll();
+        return value;
+    }
+}
+class Producer extends Thread {
+    Box box;
+    Producer(Box b) { box = b; }
+    void run() {
+        for (int i = 1; i <= 20; i++) { box.put(i); }
+    }
+}
+class Consumer extends Thread {
+    Box box;
+    int sum;
+    Consumer(Box b) { box = b; sum = 0; }
+    void run() {
+        for (int i = 0; i < 20; i++) { sum = sum + box.take(); }
+    }
+}
+class Main {
+    static void main() {
+        Box b = new Box();
+        Producer p = new Producer(b);
+        Consumer c = new Consumer(b);
+        c.start();
+        p.start();
+        p.join();
+        c.join();
+        print(c.sum); // 1+2+...+20 = 210
+    }
+}`
+	for _, o := range []Options{{}, {Quantum: 3}, {Seed: 7}, {Seed: 11, Quantum: 5}} {
+		out, _ := runSrc(t, src, o)
+		if strings.TrimSpace(out) != "210" {
+			t.Errorf("opts %+v: output = %q, want 210", o, out)
+		}
+	}
+}
+
+func TestWaitRestoresReentrancy(t *testing.T) {
+	src := `
+class Box {
+    boolean ready;
+    int out;
+
+    synchronized void outer() {
+        inner(); // depth 2 during wait
+    }
+    synchronized void inner() {
+        while (!ready) { this.wait(); }
+        out = 42;
+    }
+    synchronized void fire() {
+        ready = true;
+        this.notify();
+    }
+}
+class Waiter extends Thread {
+    Box b;
+    Waiter(Box b0) { b = b0; }
+    void run() { b.outer(); }
+}
+class Main {
+    static void main() {
+        Box b = new Box();
+        Waiter w = new Waiter(b);
+        w.start();
+        b.fire();
+        w.join();
+        print(b.out);
+    }
+}`
+	out, _ := runSrc(t, src, Options{})
+	if strings.TrimSpace(out) != "42" {
+		t.Errorf("output = %q, want 42", out)
+	}
+}
+
+func TestWaitErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"wait without monitor", `
+class A { int f; }
+class M { static void main() { A a = new A(); a.wait(); } }`, "not held"},
+		{"notify without monitor", `
+class A { int f; }
+class M { static void main() { A a = new A(); a.notify(); } }`, "not held"},
+		{"lost wakeup deadlock", `
+class A { int f; }
+class W extends Thread {
+    A a;
+    W(A a0) { a = a0; }
+    void run() { synchronized (a) { a.wait(); } }
+}
+class M {
+    static void main() {
+        A a = new A();
+        W w = new W(a);
+        w.start();
+        w.join(); // nobody ever notifies
+    }
+}`, "deadlock"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := tryRun(t, c.src, Options{})
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestNotifyWakesOne(t *testing.T) {
+	// Two waiters, one notify: exactly one proceeds; a second notify
+	// releases the other.
+	src := `
+class Gate {
+    int passed;
+    synchronized void await() {
+        this.wait();
+        passed = passed + 1;
+    }
+    synchronized void open() { this.notify(); }
+    synchronized int count() { return passed; }
+}
+class Waiter extends Thread {
+    Gate g;
+    Waiter(Gate g0) { g = g0; }
+    void run() { g.await(); }
+}
+class Main {
+    static void main() {
+        Gate g = new Gate();
+        Waiter w1 = new Waiter(g);
+        Waiter w2 = new Waiter(g);
+        w1.start();
+        w2.start();
+        // Let both park, then open twice.
+        int spin = 0;
+        while (spin < 200) { spin = spin + 1; }
+        g.open();
+        g.open();
+        w1.join();
+        w2.join();
+        print(g.count());
+    }
+}`
+	out, _ := runSrc(t, src, Options{})
+	if strings.TrimSpace(out) != "2" {
+		t.Errorf("output = %q, want 2", out)
+	}
+}

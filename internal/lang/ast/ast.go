@@ -1,0 +1,383 @@
+// Package ast declares the abstract syntax tree for MJ, the small
+// multithreaded object-oriented language that serves as the substrate
+// for the PLDI'02 datarace-detection reproduction.
+//
+// MJ deliberately mirrors the Java subset the paper relies on:
+// classes with instance and static fields, methods that may be
+// declared synchronized, synchronized blocks, a built-in Thread base
+// class with start/join, one-dimensional arrays, and structured
+// control flow. The tree is produced by internal/lang/parser, checked
+// by internal/lang/sem, and lowered by internal/lower.
+package ast
+
+import "racedet/internal/lang/token"
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+// Type is the interface for type syntax nodes.
+type Type interface {
+	Node
+	typeNode()
+	String() string
+}
+
+// PrimType is a primitive type: int, boolean, or void.
+type PrimType struct {
+	TokPos token.Pos
+	Kind   token.Kind // token.KWINT, token.BOOLEAN, or token.VOID
+}
+
+// NamedType is a class type written by name.
+type NamedType struct {
+	TokPos token.Pos
+	Name   string
+}
+
+// ArrayType is a one-dimensional array of an element type.
+type ArrayType struct {
+	Elem Type
+}
+
+func (t *PrimType) Pos() token.Pos  { return t.TokPos }
+func (t *NamedType) Pos() token.Pos { return t.TokPos }
+func (t *ArrayType) Pos() token.Pos { return t.Elem.Pos() }
+
+func (*PrimType) typeNode()  {}
+func (*NamedType) typeNode() {}
+func (*ArrayType) typeNode() {}
+
+func (t *PrimType) String() string {
+	switch t.Kind {
+	case token.KWINT:
+		return "int"
+	case token.BOOLEAN:
+		return "boolean"
+	case token.VOID:
+		return "void"
+	}
+	return "?prim?"
+}
+func (t *NamedType) String() string { return t.Name }
+func (t *ArrayType) String() string { return t.Elem.String() + "[]" }
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// Program is a whole MJ compilation unit: a list of classes.
+type Program struct {
+	File    string
+	Classes []*ClassDecl
+}
+
+// Pos returns the position of the first class, or a zero position.
+func (p *Program) Pos() token.Pos {
+	if len(p.Classes) > 0 {
+		return p.Classes[0].Pos()
+	}
+	return token.Pos{}
+}
+
+// ClassDecl is a class declaration with optional superclass.
+type ClassDecl struct {
+	TokPos  token.Pos
+	Name    string
+	Extends string // "" if none; "Thread" makes instances startable
+	Fields  []*FieldDecl
+	Methods []*MethodDecl
+}
+
+func (c *ClassDecl) Pos() token.Pos { return c.TokPos }
+
+// FieldDecl declares one field of a class.
+type FieldDecl struct {
+	TokPos token.Pos
+	Static bool
+	Type   Type
+	Name   string
+}
+
+func (f *FieldDecl) Pos() token.Pos { return f.TokPos }
+
+// Param is a single method parameter.
+type Param struct {
+	TokPos token.Pos
+	Type   Type
+	Name   string
+}
+
+func (p *Param) Pos() token.Pos { return p.TokPos }
+
+// MethodDecl declares a method or a constructor (IsCtor). A
+// constructor is written Java-style: its name equals the class name
+// and it has no return type.
+type MethodDecl struct {
+	TokPos       token.Pos
+	Static       bool
+	Synchronized bool
+	IsCtor       bool
+	Return       Type // void for constructors
+	Name         string
+	Params       []*Param
+	Body         *BlockStmt
+}
+
+func (m *MethodDecl) Pos() token.Pos { return m.TokPos }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is the interface for statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is a brace-delimited statement list with its own scope.
+type BlockStmt struct {
+	TokPos token.Pos
+	Stmts  []Stmt
+}
+
+// VarDeclStmt declares a local variable with an optional initializer.
+type VarDeclStmt struct {
+	TokPos token.Pos
+	Type   Type
+	Name   string
+	Init   Expr // may be nil
+}
+
+// AssignStmt assigns to a variable, field, or array element. Op is
+// token.ASSIGN or a compound assignment operator.
+type AssignStmt struct {
+	TokPos token.Pos
+	LHS    Expr // *Ident, *FieldAccess, or *IndexExpr
+	Op     token.Kind
+	RHS    Expr
+}
+
+// IncDecStmt is `lhs++;` or `lhs--;`.
+type IncDecStmt struct {
+	TokPos token.Pos
+	LHS    Expr
+	Op     token.Kind // token.INC or token.DEC
+}
+
+// IfStmt is a conditional with optional else branch.
+type IfStmt struct {
+	TokPos token.Pos
+	Cond   Expr
+	Then   *BlockStmt
+	Else   Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	TokPos token.Pos
+	Cond   Expr
+	Body   *BlockStmt
+}
+
+// ForStmt is a C-style for loop. Init and Post may be nil; Cond may be
+// nil (meaning true).
+type ForStmt struct {
+	TokPos token.Pos
+	Init   Stmt // *VarDeclStmt, *AssignStmt, *IncDecStmt, or nil
+	Cond   Expr
+	Post   Stmt // *AssignStmt, *IncDecStmt, or nil
+	Body   *BlockStmt
+}
+
+// ReturnStmt returns from the enclosing method.
+type ReturnStmt struct {
+	TokPos token.Pos
+	Value  Expr // nil for void return
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ TokPos token.Pos }
+
+// ContinueStmt jumps to the next iteration of the innermost loop.
+type ContinueStmt struct{ TokPos token.Pos }
+
+// ExprStmt evaluates an expression (a call) for its effects.
+type ExprStmt struct {
+	TokPos token.Pos
+	X      Expr
+}
+
+// SyncStmt is `synchronized (lock) { ... }`.
+type SyncStmt struct {
+	TokPos token.Pos
+	Lock   Expr
+	Body   *BlockStmt
+}
+
+// PrintStmt is the built-in `print(expr);` used by benchmarks for
+// output; it accepts int, boolean, or string-literal operands.
+type PrintStmt struct {
+	TokPos token.Pos
+	Value  Expr
+}
+
+func (s *BlockStmt) Pos() token.Pos    { return s.TokPos }
+func (s *VarDeclStmt) Pos() token.Pos  { return s.TokPos }
+func (s *AssignStmt) Pos() token.Pos   { return s.TokPos }
+func (s *IncDecStmt) Pos() token.Pos   { return s.TokPos }
+func (s *IfStmt) Pos() token.Pos       { return s.TokPos }
+func (s *WhileStmt) Pos() token.Pos    { return s.TokPos }
+func (s *ForStmt) Pos() token.Pos      { return s.TokPos }
+func (s *ReturnStmt) Pos() token.Pos   { return s.TokPos }
+func (s *BreakStmt) Pos() token.Pos    { return s.TokPos }
+func (s *ContinueStmt) Pos() token.Pos { return s.TokPos }
+func (s *ExprStmt) Pos() token.Pos     { return s.TokPos }
+func (s *SyncStmt) Pos() token.Pos     { return s.TokPos }
+func (s *PrintStmt) Pos() token.Pos    { return s.TokPos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarDeclStmt) stmtNode()  {}
+func (*AssignStmt) stmtNode()   {}
+func (*IncDecStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+func (*SyncStmt) stmtNode()     {}
+func (*PrintStmt) stmtNode()    {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is the interface for expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// IntLit is an integer literal (also used for char literals).
+type IntLit struct {
+	TokPos token.Pos
+	Value  int64
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	TokPos token.Pos
+	Value  bool
+}
+
+// StringLit is a string literal (usable only in print statements).
+type StringLit struct {
+	TokPos token.Pos
+	Value  string
+}
+
+// NullLit is the null reference.
+type NullLit struct{ TokPos token.Pos }
+
+// ThisExpr is the receiver reference.
+type ThisExpr struct{ TokPos token.Pos }
+
+// Ident is a use of a named variable, parameter, field (unqualified),
+// or class (as a qualifier for static members).
+type Ident struct {
+	TokPos token.Pos
+	Name   string
+}
+
+// FieldAccess is `x.f`. X may be an Ident naming a class for static
+// field access; sem resolves which.
+type FieldAccess struct {
+	X      Expr
+	Field  string
+	DotPos token.Pos
+}
+
+// IndexExpr is `a[i]`.
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+}
+
+// CallExpr is a method call. Recv may be nil for an implicit-this or
+// same-class-static call; it may also be an Ident naming a class for a
+// static call.
+type CallExpr struct {
+	TokPos token.Pos
+	Recv   Expr // may be nil
+	Method string
+	Args   []Expr
+}
+
+// NewExpr allocates a class instance, invoking a constructor if one
+// matches the arguments.
+type NewExpr struct {
+	TokPos token.Pos
+	Class  string
+	Args   []Expr
+}
+
+// NewArrayExpr allocates an array: `new int[n]`, `new C[n]`.
+type NewArrayExpr struct {
+	TokPos token.Pos
+	Elem   Type
+	Len    Expr
+}
+
+// UnaryExpr is `-x` or `!x`.
+type UnaryExpr struct {
+	TokPos token.Pos
+	Op     token.Kind
+	X      Expr
+}
+
+// BinaryExpr is a binary operation; && and || short-circuit.
+type BinaryExpr struct {
+	X  Expr
+	Op token.Kind
+	Y  Expr
+}
+
+// LenExpr is `a.length` on an array.
+type LenExpr struct {
+	X      Expr
+	DotPos token.Pos
+}
+
+func (e *IntLit) Pos() token.Pos       { return e.TokPos }
+func (e *BoolLit) Pos() token.Pos      { return e.TokPos }
+func (e *StringLit) Pos() token.Pos    { return e.TokPos }
+func (e *NullLit) Pos() token.Pos      { return e.TokPos }
+func (e *ThisExpr) Pos() token.Pos     { return e.TokPos }
+func (e *Ident) Pos() token.Pos        { return e.TokPos }
+func (e *FieldAccess) Pos() token.Pos  { return e.X.Pos() }
+func (e *IndexExpr) Pos() token.Pos    { return e.X.Pos() }
+func (e *CallExpr) Pos() token.Pos     { return e.TokPos }
+func (e *NewExpr) Pos() token.Pos      { return e.TokPos }
+func (e *NewArrayExpr) Pos() token.Pos { return e.TokPos }
+func (e *UnaryExpr) Pos() token.Pos    { return e.TokPos }
+func (e *BinaryExpr) Pos() token.Pos   { return e.X.Pos() }
+func (e *LenExpr) Pos() token.Pos      { return e.X.Pos() }
+
+func (*IntLit) exprNode()       {}
+func (*BoolLit) exprNode()      {}
+func (*StringLit) exprNode()    {}
+func (*NullLit) exprNode()      {}
+func (*ThisExpr) exprNode()     {}
+func (*Ident) exprNode()        {}
+func (*FieldAccess) exprNode()  {}
+func (*IndexExpr) exprNode()    {}
+func (*CallExpr) exprNode()     {}
+func (*NewExpr) exprNode()      {}
+func (*NewArrayExpr) exprNode() {}
+func (*UnaryExpr) exprNode()    {}
+func (*BinaryExpr) exprNode()   {}
+func (*LenExpr) exprNode()      {}

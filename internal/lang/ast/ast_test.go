@@ -1,0 +1,316 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"racedet/internal/lang/token"
+)
+
+// buildTree constructs a small tree covering every node kind by hand
+// (the parser has its own tests; here the AST utilities are exercised
+// in isolation).
+func buildTree() *Program {
+	pos := token.Pos{File: "t.mj", Line: 1, Col: 1}
+	intT := &PrimType{TokPos: pos, Kind: token.KWINT}
+	boolT := &PrimType{TokPos: pos, Kind: token.BOOLEAN}
+	namedT := &NamedType{TokPos: pos, Name: "A"}
+	arrT := &ArrayType{Elem: intT}
+
+	body := &BlockStmt{TokPos: pos, Stmts: []Stmt{
+		&VarDeclStmt{TokPos: pos, Type: intT, Name: "x", Init: &IntLit{TokPos: pos, Value: 3}},
+		&VarDeclStmt{TokPos: pos, Type: boolT, Name: "b"},
+		&VarDeclStmt{TokPos: pos, Type: arrT, Name: "a", Init: &NewArrayExpr{TokPos: pos, Elem: intT, Len: &IntLit{TokPos: pos, Value: 4}}},
+		&AssignStmt{TokPos: pos, LHS: &Ident{TokPos: pos, Name: "x"}, Op: token.PLUSASSIGN, RHS: &IntLit{TokPos: pos, Value: 1}},
+		&IncDecStmt{TokPos: pos, LHS: &Ident{TokPos: pos, Name: "x"}, Op: token.INC},
+		&IfStmt{
+			TokPos: pos,
+			Cond:   &BinaryExpr{X: &Ident{TokPos: pos, Name: "x"}, Op: token.LT, Y: &IntLit{TokPos: pos, Value: 9}},
+			Then:   &BlockStmt{TokPos: pos, Stmts: []Stmt{&PrintStmt{TokPos: pos, Value: &StringLit{TokPos: pos, Value: "hi"}}}},
+			Else: &IfStmt{
+				TokPos: pos,
+				Cond:   &UnaryExpr{TokPos: pos, Op: token.NOT, X: &BoolLit{TokPos: pos, Value: true}},
+				Then:   &BlockStmt{TokPos: pos},
+			},
+		},
+		&WhileStmt{
+			TokPos: pos,
+			Cond:   &BoolLit{TokPos: pos, Value: true},
+			Body: &BlockStmt{TokPos: pos, Stmts: []Stmt{
+				&BreakStmt{TokPos: pos},
+				&ContinueStmt{TokPos: pos},
+			}},
+		},
+		&ForStmt{
+			TokPos: pos,
+			Init:   &VarDeclStmt{TokPos: pos, Type: intT, Name: "i", Init: &IntLit{TokPos: pos, Value: 0}},
+			Cond:   &BinaryExpr{X: &Ident{TokPos: pos, Name: "i"}, Op: token.LT, Y: &IntLit{TokPos: pos, Value: 3}},
+			Post:   &IncDecStmt{TokPos: pos, LHS: &Ident{TokPos: pos, Name: "i"}, Op: token.INC},
+			Body: &BlockStmt{TokPos: pos, Stmts: []Stmt{
+				&AssignStmt{
+					TokPos: pos,
+					LHS:    &IndexExpr{X: &Ident{TokPos: pos, Name: "a"}, Index: &Ident{TokPos: pos, Name: "i"}},
+					Op:     token.ASSIGN,
+					RHS:    &LenExpr{X: &Ident{TokPos: pos, Name: "a"}, DotPos: pos},
+				},
+			}},
+		},
+		&SyncStmt{
+			TokPos: pos,
+			Lock:   &ThisExpr{TokPos: pos},
+			Body: &BlockStmt{TokPos: pos, Stmts: []Stmt{
+				&AssignStmt{
+					TokPos: pos,
+					LHS:    &FieldAccess{X: &ThisExpr{TokPos: pos}, Field: "f", DotPos: pos},
+					Op:     token.ASSIGN,
+					RHS:    &NullLit{TokPos: pos},
+				},
+			}},
+		},
+		&ExprStmt{TokPos: pos, X: &CallExpr{TokPos: pos, Recv: &Ident{TokPos: pos, Name: "o"}, Method: "m", Args: []Expr{
+			&NewExpr{TokPos: pos, Class: "A", Args: []Expr{&UnaryExpr{TokPos: pos, Op: token.MINUS, X: &IntLit{TokPos: pos, Value: 2}}}},
+		}}},
+		&ReturnStmt{TokPos: pos, Value: &Ident{TokPos: pos, Name: "x"}},
+	}}
+
+	m := &MethodDecl{
+		TokPos: pos, Synchronized: true, Return: intT, Name: "work",
+		Params: []*Param{{TokPos: pos, Type: namedT, Name: "o"}},
+		Body:   body,
+	}
+	cls := &ClassDecl{
+		TokPos: pos, Name: "A", Extends: "Thread",
+		Fields:  []*FieldDecl{{TokPos: pos, Static: true, Type: namedT, Name: "f"}},
+		Methods: []*MethodDecl{m},
+	}
+	return &Program{File: "t.mj", Classes: []*ClassDecl{cls}}
+}
+
+func TestWalkVisitsEveryNodeKind(t *testing.T) {
+	prog := buildTree()
+	kinds := map[string]int{}
+	Walk(prog, func(n Node) bool {
+		kinds[typeName(n)]++
+		return true
+	})
+	want := []string{
+		"*ast.Program", "*ast.ClassDecl", "*ast.FieldDecl", "*ast.MethodDecl", "*ast.Param",
+		"*ast.PrimType", "*ast.NamedType", "*ast.ArrayType",
+		"*ast.BlockStmt", "*ast.VarDeclStmt", "*ast.AssignStmt", "*ast.IncDecStmt",
+		"*ast.IfStmt", "*ast.WhileStmt", "*ast.ForStmt", "*ast.ReturnStmt",
+		"*ast.BreakStmt", "*ast.ContinueStmt", "*ast.ExprStmt", "*ast.SyncStmt", "*ast.PrintStmt",
+		"*ast.IntLit", "*ast.BoolLit", "*ast.StringLit", "*ast.NullLit", "*ast.ThisExpr",
+		"*ast.Ident", "*ast.FieldAccess", "*ast.IndexExpr", "*ast.CallExpr",
+		"*ast.NewExpr", "*ast.NewArrayExpr", "*ast.UnaryExpr", "*ast.BinaryExpr", "*ast.LenExpr",
+	}
+	for _, k := range want {
+		if kinds[k] == 0 {
+			t.Errorf("Walk never visited %s", k)
+		}
+	}
+}
+
+func typeName(n Node) string {
+	switch n.(type) {
+	case *Program:
+		return "*ast.Program"
+	case *ClassDecl:
+		return "*ast.ClassDecl"
+	case *FieldDecl:
+		return "*ast.FieldDecl"
+	case *MethodDecl:
+		return "*ast.MethodDecl"
+	case *Param:
+		return "*ast.Param"
+	case *PrimType:
+		return "*ast.PrimType"
+	case *NamedType:
+		return "*ast.NamedType"
+	case *ArrayType:
+		return "*ast.ArrayType"
+	case *BlockStmt:
+		return "*ast.BlockStmt"
+	case *VarDeclStmt:
+		return "*ast.VarDeclStmt"
+	case *AssignStmt:
+		return "*ast.AssignStmt"
+	case *IncDecStmt:
+		return "*ast.IncDecStmt"
+	case *IfStmt:
+		return "*ast.IfStmt"
+	case *WhileStmt:
+		return "*ast.WhileStmt"
+	case *ForStmt:
+		return "*ast.ForStmt"
+	case *ReturnStmt:
+		return "*ast.ReturnStmt"
+	case *BreakStmt:
+		return "*ast.BreakStmt"
+	case *ContinueStmt:
+		return "*ast.ContinueStmt"
+	case *ExprStmt:
+		return "*ast.ExprStmt"
+	case *SyncStmt:
+		return "*ast.SyncStmt"
+	case *PrintStmt:
+		return "*ast.PrintStmt"
+	case *IntLit:
+		return "*ast.IntLit"
+	case *BoolLit:
+		return "*ast.BoolLit"
+	case *StringLit:
+		return "*ast.StringLit"
+	case *NullLit:
+		return "*ast.NullLit"
+	case *ThisExpr:
+		return "*ast.ThisExpr"
+	case *Ident:
+		return "*ast.Ident"
+	case *FieldAccess:
+		return "*ast.FieldAccess"
+	case *IndexExpr:
+		return "*ast.IndexExpr"
+	case *CallExpr:
+		return "*ast.CallExpr"
+	case *NewExpr:
+		return "*ast.NewExpr"
+	case *NewArrayExpr:
+		return "*ast.NewArrayExpr"
+	case *UnaryExpr:
+		return "*ast.UnaryExpr"
+	case *BinaryExpr:
+		return "*ast.BinaryExpr"
+	case *LenExpr:
+		return "*ast.LenExpr"
+	}
+	return "?"
+}
+
+func TestWalkPruning(t *testing.T) {
+	prog := buildTree()
+	total := 0
+	Walk(prog, func(n Node) bool { total++; return true })
+	pruned := 0
+	Walk(prog, func(n Node) bool {
+		pruned++
+		_, isMethod := n.(*MethodDecl)
+		return !isMethod // skip method bodies
+	})
+	if pruned >= total {
+		t.Errorf("pruned walk (%d) should visit fewer nodes than full walk (%d)", pruned, total)
+	}
+}
+
+func TestCloneDeepIndependence(t *testing.T) {
+	prog := buildTree()
+	method := prog.Classes[0].Methods[0]
+	clone := CloneBlock(method.Body)
+
+	// Count nodes in both; they must match.
+	count := func(n Node) int {
+		c := 0
+		Walk(n, func(Node) bool { c++; return true })
+		return c
+	}
+	if count(method.Body) != count(clone) {
+		t.Fatalf("clone has %d nodes, original %d", count(clone), count(method.Body))
+	}
+
+	// No shared statement/expression pointers anywhere.
+	seen := map[Node]bool{}
+	Walk(method.Body, func(n Node) bool {
+		switch n.(type) {
+		case Stmt, Expr:
+			seen[n] = true
+		}
+		return true
+	})
+	Walk(clone, func(n Node) bool {
+		switch n.(type) {
+		case Stmt, Expr:
+			if seen[n] {
+				t.Fatalf("clone shares node %T with original", n)
+			}
+		}
+		return true
+	})
+}
+
+func TestCloneNilHandling(t *testing.T) {
+	if CloneStmt(nil) != nil || CloneExpr(nil) != nil || CloneBlock(nil) != nil {
+		t.Error("nil must clone to nil")
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	pos := token.Pos{Line: 1, Col: 1}
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&IntLit{TokPos: pos, Value: 42}, "42"},
+		{&BoolLit{TokPos: pos, Value: false}, "false"},
+		{&StringLit{TokPos: pos, Value: "a\"b"}, `"a\"b"`},
+		{&NullLit{TokPos: pos}, "null"},
+		{&ThisExpr{TokPos: pos}, "this"},
+		{&Ident{TokPos: pos, Name: "v"}, "v"},
+		{&FieldAccess{X: &ThisExpr{TokPos: pos}, Field: "f"}, "this.f"},
+		{&IndexExpr{X: &Ident{TokPos: pos, Name: "a"}, Index: &IntLit{TokPos: pos, Value: 0}}, "a[0]"},
+		{&LenExpr{X: &Ident{TokPos: pos, Name: "a"}}, "a.length"},
+		{&CallExpr{TokPos: pos, Method: "m", Args: []Expr{&IntLit{TokPos: pos, Value: 1}}}, "m(1)"},
+		{&CallExpr{TokPos: pos, Recv: &Ident{TokPos: pos, Name: "o"}, Method: "m"}, "o.m()"},
+		{&NewExpr{TokPos: pos, Class: "A"}, "new A()"},
+		{&NewArrayExpr{TokPos: pos, Elem: &PrimType{TokPos: pos, Kind: token.KWINT}, Len: &IntLit{TokPos: pos, Value: 3}}, "new int[3]"},
+		{&UnaryExpr{TokPos: pos, Op: token.MINUS, X: &Ident{TokPos: pos, Name: "x"}}, "-x"},
+		{
+			&BinaryExpr{
+				X:  &BinaryExpr{X: &IntLit{TokPos: pos, Value: 1}, Op: token.PLUS, Y: &IntLit{TokPos: pos, Value: 2}},
+				Op: token.STAR,
+				Y:  &IntLit{TokPos: pos, Value: 3},
+			},
+			"(1 + 2) * 3",
+		},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	prog := buildTree()
+	out := prog.String()
+	for _, fragment := range []string{
+		"class A extends Thread {",
+		"static A f;",
+		"synchronized int work(A o) {",
+		"synchronized (this) {",
+		"for (int i = 0; i < 3; i++) {",
+		"while (true) {",
+		"break;",
+		"continue;",
+		"return x;",
+		`print("hi");`,
+	} {
+		if !strings.Contains(out, fragment) {
+			t.Errorf("rendering missing %q:\n%s", fragment, out)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	prog := buildTree()
+	if !prog.Pos().IsValid() {
+		t.Error("program position should come from its first class")
+	}
+	empty := &Program{}
+	if empty.Pos().IsValid() {
+		t.Error("empty program has no position")
+	}
+	// Every node type must answer Pos without panicking.
+	Walk(prog, func(n Node) bool {
+		_ = n.Pos()
+		return true
+	})
+}

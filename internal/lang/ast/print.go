@@ -1,0 +1,278 @@
+package ast
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fprint writes a source-like rendering of the program to w. The
+// output round-trips through the parser (modulo whitespace), which the
+// parser tests exploit.
+func Fprint(w io.Writer, p *Program) {
+	pr := &printer{w: w}
+	for i, c := range p.Classes {
+		if i > 0 {
+			pr.print("\n")
+		}
+		pr.class(c)
+	}
+}
+
+// String renders the program as MJ source text.
+func (p *Program) String() string {
+	var b strings.Builder
+	Fprint(&b, p)
+	return b.String()
+}
+
+type printer struct {
+	w      io.Writer
+	indent int
+}
+
+func (p *printer) print(format string, args ...interface{}) {
+	fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *printer) line(format string, args ...interface{}) {
+	p.print("%s", strings.Repeat("    ", p.indent))
+	p.print(format, args...)
+	p.print("\n")
+}
+
+func (p *printer) class(c *ClassDecl) {
+	ext := ""
+	if c.Extends != "" {
+		ext = " extends " + c.Extends
+	}
+	p.line("class %s%s {", c.Name, ext)
+	p.indent++
+	for _, f := range c.Fields {
+		mod := ""
+		if f.Static {
+			mod = "static "
+		}
+		p.line("%s%s %s;", mod, f.Type, f.Name)
+	}
+	for _, m := range c.Methods {
+		p.method(m)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) method(m *MethodDecl) {
+	var mods []string
+	if m.Static {
+		mods = append(mods, "static")
+	}
+	if m.Synchronized {
+		mods = append(mods, "synchronized")
+	}
+	mod := strings.Join(mods, " ")
+	if mod != "" {
+		mod += " "
+	}
+	var params []string
+	for _, q := range m.Params {
+		params = append(params, fmt.Sprintf("%s %s", q.Type, q.Name))
+	}
+	sig := fmt.Sprintf("%s(%s)", m.Name, strings.Join(params, ", "))
+	if m.IsCtor {
+		p.line("%s%s {", mod, sig)
+	} else {
+		p.line("%s%s %s {", mod, m.Return, sig)
+	}
+	p.indent++
+	for _, s := range m.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		p.line("{")
+		p.indent++
+		for _, inner := range s.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *VarDeclStmt:
+		if s.Init != nil {
+			p.line("%s %s = %s;", s.Type, s.Name, ExprString(s.Init))
+		} else {
+			p.line("%s %s;", s.Type, s.Name)
+		}
+	case *AssignStmt:
+		p.line("%s %s %s;", ExprString(s.LHS), s.Op, ExprString(s.RHS))
+	case *IncDecStmt:
+		p.line("%s%s;", ExprString(s.LHS), s.Op)
+	case *IfStmt:
+		p.line("if (%s) {", ExprString(s.Cond))
+		p.indent++
+		for _, inner := range s.Then.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		switch e := s.Else.(type) {
+		case nil:
+			p.line("}")
+		case *BlockStmt:
+			p.line("} else {")
+			p.indent++
+			for _, inner := range e.Stmts {
+				p.stmt(inner)
+			}
+			p.indent--
+			p.line("}")
+		default:
+			p.line("} else")
+			p.stmt(e)
+		}
+	case *WhileStmt:
+		p.line("while (%s) {", ExprString(s.Cond))
+		p.indent++
+		for _, inner := range s.Body.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *ForStmt:
+		init, cond, post := "", "", ""
+		if s.Init != nil {
+			init = inlineStmt(s.Init)
+		}
+		if s.Cond != nil {
+			cond = ExprString(s.Cond)
+		}
+		if s.Post != nil {
+			post = inlineStmt(s.Post)
+		}
+		p.line("for (%s; %s; %s) {", init, cond, post)
+		p.indent++
+		for _, inner := range s.Body.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *ReturnStmt:
+		if s.Value != nil {
+			p.line("return %s;", ExprString(s.Value))
+		} else {
+			p.line("return;")
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *ExprStmt:
+		p.line("%s;", ExprString(s.X))
+	case *SyncStmt:
+		p.line("synchronized (%s) {", ExprString(s.Lock))
+		p.indent++
+		for _, inner := range s.Body.Stmts {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *PrintStmt:
+		p.line("print(%s);", ExprString(s.Value))
+	default:
+		p.line("/* ?stmt %T */", s)
+	}
+}
+
+// inlineStmt renders a simple statement without trailing semicolon for
+// use in for-loop headers.
+func inlineStmt(s Stmt) string {
+	switch s := s.(type) {
+	case *VarDeclStmt:
+		if s.Init != nil {
+			return fmt.Sprintf("%s %s = %s", s.Type, s.Name, ExprString(s.Init))
+		}
+		return fmt.Sprintf("%s %s", s.Type, s.Name)
+	case *AssignStmt:
+		return fmt.Sprintf("%s %s %s", ExprString(s.LHS), s.Op, ExprString(s.RHS))
+	case *IncDecStmt:
+		return fmt.Sprintf("%s%s", ExprString(s.LHS), s.Op)
+	case *ExprStmt:
+		return ExprString(s.X)
+	}
+	return fmt.Sprintf("?stmt %T", s)
+}
+
+// ExprString renders an expression as MJ source text.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return ""
+	case *IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *BoolLit:
+		return fmt.Sprintf("%t", e.Value)
+	case *StringLit:
+		return fmt.Sprintf("%q", e.Value)
+	case *NullLit:
+		return "null"
+	case *ThisExpr:
+		return "this"
+	case *Ident:
+		return e.Name
+	case *FieldAccess:
+		return ExprString(e.X) + "." + e.Field
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", ExprString(e.X), ExprString(e.Index))
+	case *CallExpr:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, ExprString(a))
+		}
+		call := fmt.Sprintf("%s(%s)", e.Method, strings.Join(args, ", "))
+		if e.Recv != nil {
+			return ExprString(e.Recv) + "." + call
+		}
+		return call
+	case *NewExpr:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, ExprString(a))
+		}
+		return fmt.Sprintf("new %s(%s)", e.Class, strings.Join(args, ", "))
+	case *NewArrayExpr:
+		// `new int[n][]` style: the length belongs to the outermost
+		// dimension, extra dimensions trail.
+		base := e.Elem
+		dims := ""
+		for {
+			at, ok := base.(*ArrayType)
+			if !ok {
+				break
+			}
+			base = at.Elem
+			dims += "[]"
+		}
+		return fmt.Sprintf("new %s[%s]%s", base, ExprString(e.Len), dims)
+	case *UnaryExpr:
+		return fmt.Sprintf("%s%s", e.Op, parenthesize(e.X))
+	case *BinaryExpr:
+		return fmt.Sprintf("%s %s %s", parenthesize(e.X), e.Op, parenthesize(e.Y))
+	case *LenExpr:
+		return ExprString(e.X) + ".length"
+	}
+	return fmt.Sprintf("?expr %T", e)
+}
+
+// parenthesize wraps composite subexpressions so the rendering
+// re-parses with the same structure regardless of precedence.
+func parenthesize(e Expr) string {
+	switch e.(type) {
+	case *BinaryExpr, *UnaryExpr:
+		return "(" + ExprString(e) + ")"
+	}
+	return ExprString(e)
+}

@@ -1,0 +1,221 @@
+package ast
+
+// Visitor is called by Walk for each node; returning false skips the
+// node's children.
+type Visitor func(Node) bool
+
+// Walk traverses the tree rooted at n in depth-first preorder,
+// invoking v for every node.
+func Walk(n Node, v Visitor) {
+	if n == nil || !v(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *Program:
+		for _, c := range n.Classes {
+			Walk(c, v)
+		}
+	case *ClassDecl:
+		for _, f := range n.Fields {
+			Walk(f, v)
+		}
+		for _, m := range n.Methods {
+			Walk(m, v)
+		}
+	case *FieldDecl:
+		Walk(n.Type, v)
+	case *MethodDecl:
+		Walk(n.Return, v)
+		for _, p := range n.Params {
+			Walk(p, v)
+		}
+		Walk(n.Body, v)
+	case *Param:
+		Walk(n.Type, v)
+
+	case *PrimType, *NamedType:
+		// leaves
+	case *ArrayType:
+		Walk(n.Elem, v)
+
+	case *BlockStmt:
+		for _, s := range n.Stmts {
+			Walk(s, v)
+		}
+	case *VarDeclStmt:
+		Walk(n.Type, v)
+		if n.Init != nil {
+			Walk(n.Init, v)
+		}
+	case *AssignStmt:
+		Walk(n.LHS, v)
+		Walk(n.RHS, v)
+	case *IncDecStmt:
+		Walk(n.LHS, v)
+	case *IfStmt:
+		Walk(n.Cond, v)
+		Walk(n.Then, v)
+		if n.Else != nil {
+			Walk(n.Else, v)
+		}
+	case *WhileStmt:
+		Walk(n.Cond, v)
+		Walk(n.Body, v)
+	case *ForStmt:
+		if n.Init != nil {
+			Walk(n.Init, v)
+		}
+		if n.Cond != nil {
+			Walk(n.Cond, v)
+		}
+		if n.Post != nil {
+			Walk(n.Post, v)
+		}
+		Walk(n.Body, v)
+	case *ReturnStmt:
+		if n.Value != nil {
+			Walk(n.Value, v)
+		}
+	case *BreakStmt, *ContinueStmt:
+		// leaves
+	case *ExprStmt:
+		Walk(n.X, v)
+	case *SyncStmt:
+		Walk(n.Lock, v)
+		Walk(n.Body, v)
+	case *PrintStmt:
+		Walk(n.Value, v)
+
+	case *IntLit, *BoolLit, *StringLit, *NullLit, *ThisExpr, *Ident:
+		// leaves
+	case *FieldAccess:
+		Walk(n.X, v)
+	case *IndexExpr:
+		Walk(n.X, v)
+		Walk(n.Index, v)
+	case *CallExpr:
+		if n.Recv != nil {
+			Walk(n.Recv, v)
+		}
+		for _, a := range n.Args {
+			Walk(a, v)
+		}
+	case *NewExpr:
+		for _, a := range n.Args {
+			Walk(a, v)
+		}
+	case *NewArrayExpr:
+		Walk(n.Elem, v)
+		Walk(n.Len, v)
+	case *UnaryExpr:
+		Walk(n.X, v)
+	case *BinaryExpr:
+		Walk(n.X, v)
+		Walk(n.Y, v)
+	case *LenExpr:
+		Walk(n.X, v)
+	}
+}
+
+// CloneStmt returns a deep copy of a statement tree. Loop peeling in
+// internal/instrument duplicates loop bodies with it; positions are
+// preserved so diagnostics from peeled code still point at the source.
+func CloneStmt(s Stmt) Stmt {
+	if s == nil {
+		return nil
+	}
+	switch s := s.(type) {
+	case *BlockStmt:
+		return CloneBlock(s)
+	case *VarDeclStmt:
+		return &VarDeclStmt{TokPos: s.TokPos, Type: s.Type, Name: s.Name, Init: CloneExpr(s.Init)}
+	case *AssignStmt:
+		return &AssignStmt{TokPos: s.TokPos, LHS: CloneExpr(s.LHS), Op: s.Op, RHS: CloneExpr(s.RHS)}
+	case *IncDecStmt:
+		return &IncDecStmt{TokPos: s.TokPos, LHS: CloneExpr(s.LHS), Op: s.Op}
+	case *IfStmt:
+		return &IfStmt{TokPos: s.TokPos, Cond: CloneExpr(s.Cond), Then: CloneBlock(s.Then), Else: CloneStmt(s.Else)}
+	case *WhileStmt:
+		return &WhileStmt{TokPos: s.TokPos, Cond: CloneExpr(s.Cond), Body: CloneBlock(s.Body)}
+	case *ForStmt:
+		return &ForStmt{TokPos: s.TokPos, Init: CloneStmt(s.Init), Cond: CloneExpr(s.Cond), Post: CloneStmt(s.Post), Body: CloneBlock(s.Body)}
+	case *ReturnStmt:
+		return &ReturnStmt{TokPos: s.TokPos, Value: CloneExpr(s.Value)}
+	case *BreakStmt:
+		return &BreakStmt{TokPos: s.TokPos}
+	case *ContinueStmt:
+		return &ContinueStmt{TokPos: s.TokPos}
+	case *ExprStmt:
+		return &ExprStmt{TokPos: s.TokPos, X: CloneExpr(s.X)}
+	case *SyncStmt:
+		return &SyncStmt{TokPos: s.TokPos, Lock: CloneExpr(s.Lock), Body: CloneBlock(s.Body)}
+	case *PrintStmt:
+		return &PrintStmt{TokPos: s.TokPos, Value: CloneExpr(s.Value)}
+	}
+	panic("ast.CloneStmt: unknown statement type")
+}
+
+// CloneBlock deep-copies a block statement; nil stays nil.
+func CloneBlock(b *BlockStmt) *BlockStmt {
+	if b == nil {
+		return nil
+	}
+	out := &BlockStmt{TokPos: b.TokPos, Stmts: make([]Stmt, len(b.Stmts))}
+	for i, s := range b.Stmts {
+		out.Stmts[i] = CloneStmt(s)
+	}
+	return out
+}
+
+// CloneExpr returns a deep copy of an expression tree; nil stays nil.
+// Type nodes are shared (they are immutable after parsing).
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *IntLit:
+		c := *e
+		return &c
+	case *BoolLit:
+		c := *e
+		return &c
+	case *StringLit:
+		c := *e
+		return &c
+	case *NullLit:
+		c := *e
+		return &c
+	case *ThisExpr:
+		c := *e
+		return &c
+	case *Ident:
+		c := *e
+		return &c
+	case *FieldAccess:
+		return &FieldAccess{X: CloneExpr(e.X), Field: e.Field, DotPos: e.DotPos}
+	case *IndexExpr:
+		return &IndexExpr{X: CloneExpr(e.X), Index: CloneExpr(e.Index)}
+	case *CallExpr:
+		args := make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = CloneExpr(a)
+		}
+		return &CallExpr{TokPos: e.TokPos, Recv: CloneExpr(e.Recv), Method: e.Method, Args: args}
+	case *NewExpr:
+		args := make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = CloneExpr(a)
+		}
+		return &NewExpr{TokPos: e.TokPos, Class: e.Class, Args: args}
+	case *NewArrayExpr:
+		return &NewArrayExpr{TokPos: e.TokPos, Elem: e.Elem, Len: CloneExpr(e.Len)}
+	case *UnaryExpr:
+		return &UnaryExpr{TokPos: e.TokPos, Op: e.Op, X: CloneExpr(e.X)}
+	case *BinaryExpr:
+		return &BinaryExpr{X: CloneExpr(e.X), Op: e.Op, Y: CloneExpr(e.Y)}
+	case *LenExpr:
+		return &LenExpr{X: CloneExpr(e.X), DotPos: e.DotPos}
+	}
+	panic("ast.CloneExpr: unknown expression type")
+}

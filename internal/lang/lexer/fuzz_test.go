@@ -1,0 +1,44 @@
+package lexer
+
+import (
+	"testing"
+
+	"racedet/internal/lang/token"
+)
+
+// FuzzScanAll asserts the lexer never panics, always terminates, and
+// always ends with EOF, on arbitrary byte soup. `go test` exercises
+// the seed corpus; `go test -fuzz=FuzzScanAll` explores further.
+func FuzzScanAll(f *testing.F) {
+	seeds := []string{
+		"",
+		"class A { int x; }",
+		`"unterminated`,
+		"/* unterminated",
+		"'a",
+		"12abc @#$ |&",
+		"a+++++b <= >= == != && || ! % /",
+		"\x00\xff\xfe invalid utf8 \x80",
+		"// comment only",
+		"synchronized(this){while(true){}}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, _ := ScanAll("fuzz.mj", src)
+		if len(toks) == 0 {
+			t.Fatal("ScanAll returned no tokens")
+		}
+		if toks[len(toks)-1].Kind != token.EOF {
+			t.Fatal("token stream does not end with EOF")
+		}
+		// Positions must be monotone non-decreasing by (line, col).
+		for i := 1; i < len(toks); i++ {
+			a, b := toks[i-1].Pos, toks[i].Pos
+			if b.Line < a.Line || (b.Line == a.Line && b.Col < a.Col) {
+				t.Fatalf("positions went backwards: %v then %v", a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,315 @@
+// Package lexer implements the scanner for MJ source text.
+//
+// The scanner is a conventional hand-written single-pass lexer. It
+// produces token.Token values, skipping whitespace and comments
+// (both // line comments and /* block comments */). Errors are
+// accumulated rather than aborting so the parser can report several
+// problems at once.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"racedet/internal/lang/token"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans MJ source text into tokens.
+type Lexer struct {
+	file string
+	src  string
+
+	offset int // byte offset of the next rune
+	line   int
+	col    int
+
+	errs []*Error
+}
+
+// New returns a lexer over src. file is used in positions only.
+func New(file, src string) *Lexer {
+	return &Lexer{file: file, src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...interface{}) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+// peek returns the next rune without consuming it; utf8.RuneError with
+// size 0 signals EOF.
+func (l *Lexer) peek() rune {
+	if l.offset >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.offset:])
+	return r
+}
+
+func (l *Lexer) peek2() rune {
+	if l.offset >= len(l.src) {
+		return -1
+	}
+	_, size := utf8.DecodeRuneInString(l.src[l.offset:])
+	if l.offset+size >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.offset+size:])
+	return r
+}
+
+func (l *Lexer) next() rune {
+	if l.offset >= len(l.src) {
+		return -1
+	}
+	r, size := utf8.DecodeRuneInString(l.src[l.offset:])
+	l.offset += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// skipSpaceAndComments consumes whitespace and comments. It reports an
+// error for an unterminated block comment.
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		r := l.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.next()
+		case r == '/' && l.peek2() == '/':
+			for r := l.peek(); r != '\n' && r != -1; r = l.peek() {
+				l.next()
+			}
+		case r == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.next()
+			l.next()
+			closed := false
+			for {
+				r := l.next()
+				if r == -1 {
+					break
+				}
+				if r == '*' && l.peek() == '/' {
+					l.next()
+					closed = true
+					break
+				}
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	r := l.peek()
+	if r == -1 {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+
+	switch {
+	case isIdentStart(r):
+		start := l.offset
+		for isIdentCont(l.peek()) {
+			l.next()
+		}
+		lit := l.src[start:l.offset]
+		return token.Token{Kind: token.Lookup(lit), Lit: lit, Pos: pos}
+
+	case unicode.IsDigit(r):
+		start := l.offset
+		for unicode.IsDigit(l.peek()) {
+			l.next()
+		}
+		if isIdentStart(l.peek()) {
+			l.errorf(pos, "identifier immediately follows number")
+		}
+		return token.Token{Kind: token.INT, Lit: l.src[start:l.offset], Pos: pos}
+
+	case r == '"':
+		return l.scanString(pos)
+	case r == '\'':
+		return l.scanChar(pos)
+	}
+
+	l.next()
+	two := func(second rune, twoKind, oneKind token.Kind) token.Token {
+		if l.peek() == second {
+			l.next()
+			return token.Token{Kind: twoKind, Pos: pos}
+		}
+		return token.Token{Kind: oneKind, Pos: pos}
+	}
+
+	switch r {
+	case '+':
+		if l.peek() == '+' {
+			l.next()
+			return token.Token{Kind: token.INC, Pos: pos}
+		}
+		return two('=', token.PLUSASSIGN, token.PLUS)
+	case '-':
+		if l.peek() == '-' {
+			l.next()
+			return token.Token{Kind: token.DEC, Pos: pos}
+		}
+		return two('=', token.MINUSASSIGN, token.MINUS)
+	case '*':
+		return two('=', token.STARASSIGN, token.STAR)
+	case '/':
+		return two('=', token.SLASHASSIGN, token.SLASH)
+	case '%':
+		return token.Token{Kind: token.PERCENT, Pos: pos}
+	case '=':
+		return two('=', token.EQ, token.ASSIGN)
+	case '!':
+		return two('=', token.NEQ, token.NOT)
+	case '<':
+		return two('=', token.LEQ, token.LT)
+	case '>':
+		return two('=', token.GEQ, token.GT)
+	case '&':
+		if l.peek() == '&' {
+			l.next()
+			return token.Token{Kind: token.AND, Pos: pos}
+		}
+		l.errorf(pos, "unexpected character %q (did you mean &&?)", r)
+		return token.Token{Kind: token.ILLEGAL, Lit: string(r), Pos: pos}
+	case '|':
+		if l.peek() == '|' {
+			l.next()
+			return token.Token{Kind: token.OR, Pos: pos}
+		}
+		l.errorf(pos, "unexpected character %q (did you mean ||?)", r)
+		return token.Token{Kind: token.ILLEGAL, Lit: string(r), Pos: pos}
+	case '(':
+		return token.Token{Kind: token.LPAREN, Pos: pos}
+	case ')':
+		return token.Token{Kind: token.RPAREN, Pos: pos}
+	case '{':
+		return token.Token{Kind: token.LBRACE, Pos: pos}
+	case '}':
+		return token.Token{Kind: token.RBRACE, Pos: pos}
+	case '[':
+		return token.Token{Kind: token.LBRACKET, Pos: pos}
+	case ']':
+		return token.Token{Kind: token.RBRACKET, Pos: pos}
+	case ',':
+		return token.Token{Kind: token.COMMA, Pos: pos}
+	case '.':
+		return token.Token{Kind: token.DOT, Pos: pos}
+	case ';':
+		return token.Token{Kind: token.SEMI, Pos: pos}
+	}
+
+	l.errorf(pos, "unexpected character %q", r)
+	return token.Token{Kind: token.ILLEGAL, Lit: string(r), Pos: pos}
+}
+
+// scanString scans a double-quoted string literal with \n \t \\ \" escapes.
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.next() // opening quote
+	var b strings.Builder
+	for {
+		r := l.next()
+		switch r {
+		case -1, '\n':
+			l.errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.STRING, Lit: b.String(), Pos: pos}
+		case '"':
+			return token.Token{Kind: token.STRING, Lit: b.String(), Pos: pos}
+		case '\\':
+			switch esc := l.next(); esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			default:
+				l.errorf(pos, "invalid escape \\%c in string literal", esc)
+			}
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// scanChar scans a single-quoted character literal; its value is the
+// code point, usable as an int.
+func (l *Lexer) scanChar(pos token.Pos) token.Token {
+	l.next() // opening quote
+	r := l.next()
+	if r == '\\' {
+		switch esc := l.next(); esc {
+		case 'n':
+			r = '\n'
+		case 't':
+			r = '\t'
+		case '\\':
+			r = '\\'
+		case '\'':
+			r = '\''
+		default:
+			l.errorf(pos, "invalid escape \\%c in char literal", esc)
+		}
+	}
+	if l.peek() != '\'' {
+		l.errorf(pos, "unterminated char literal")
+	} else {
+		l.next()
+	}
+	return token.Token{Kind: token.CHAR, Lit: string(r), Pos: pos}
+}
+
+// ScanAll scans the entire input, returning all tokens up to and
+// including EOF. Useful for tests and tooling.
+func ScanAll(file, src string) ([]token.Token, []*Error) {
+	l := New(file, src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, l.Errors()
+		}
+	}
+}

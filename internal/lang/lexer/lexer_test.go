@@ -1,0 +1,217 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"racedet/internal/lang/token"
+)
+
+// kinds scans src and returns the token kinds before EOF.
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, errs := ScanAll("test.mj", src)
+	if len(errs) > 0 {
+		t.Fatalf("unexpected lex errors for %q: %v", src, errs[0])
+	}
+	out := make([]token.Kind, 0, len(toks)-1)
+	for _, tk := range toks {
+		if tk.Kind == token.EOF {
+			break
+		}
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func equalKinds(a, b []token.Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestOperators(t *testing.T) {
+	src := "+ - * / % == != < <= > >= && || ! = += -= *= /= ++ -- ( ) { } [ ] , . ;"
+	want := []token.Kind{
+		token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+		token.EQ, token.NEQ, token.LT, token.LEQ, token.GT, token.GEQ,
+		token.AND, token.OR, token.NOT,
+		token.ASSIGN, token.PLUSASSIGN, token.MINUSASSIGN, token.STARASSIGN, token.SLASHASSIGN,
+		token.INC, token.DEC,
+		token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE,
+		token.LBRACKET, token.RBRACKET, token.COMMA, token.DOT, token.SEMI,
+	}
+	if got := kinds(t, src); !equalKinds(got, want) {
+		t.Errorf("got %v\nwant %v", got, want)
+	}
+}
+
+func TestMaximalMunch(t *testing.T) {
+	// <= must not scan as < =, ++ not as + +, etc.
+	cases := map[string][]token.Kind{
+		"a<=b":  {token.IDENT, token.LEQ, token.IDENT},
+		"a<b":   {token.IDENT, token.LT, token.IDENT},
+		"a==b":  {token.IDENT, token.EQ, token.IDENT},
+		"a=b":   {token.IDENT, token.ASSIGN, token.IDENT},
+		"i++":   {token.IDENT, token.INC},
+		"i+ +j": {token.IDENT, token.PLUS, token.PLUS, token.IDENT},
+		"i+=1":  {token.IDENT, token.PLUSASSIGN, token.INT},
+		"a!=b":  {token.IDENT, token.NEQ, token.IDENT},
+		"!a":    {token.NOT, token.IDENT},
+	}
+	for src, want := range cases {
+		if got := kinds(t, src); !equalKinds(got, want) {
+			t.Errorf("%q: got %v want %v", src, got, want)
+		}
+	}
+}
+
+func TestIdentifiersAndKeywords(t *testing.T) {
+	src := "class Foo extends Thread while whileX _x x1"
+	want := []token.Kind{
+		token.CLASS, token.IDENT, token.EXTENDS, token.IDENT,
+		token.WHILE, token.IDENT, token.IDENT, token.IDENT,
+	}
+	if got := kinds(t, src); !equalKinds(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, errs := ScanAll("t", "0 7 1234567890")
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	wantLits := []string{"0", "7", "1234567890"}
+	for i, want := range wantLits {
+		if toks[i].Kind != token.INT || toks[i].Lit != want {
+			t.Errorf("token %d = %v, want INT(%s)", i, toks[i], want)
+		}
+	}
+}
+
+func TestNumberFollowedByIdentIsError(t *testing.T) {
+	_, errs := ScanAll("t", "12abc")
+	if len(errs) == 0 {
+		t.Fatal("want error for 12abc")
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// a line comment with symbols +-*/ and "strings"
+x /* block
+   spanning lines */ y // trailing
+/* adjacent */z`
+	want := []token.Kind{token.IDENT, token.IDENT, token.IDENT}
+	if got := kinds(t, src); !equalKinds(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, errs := ScanAll("t", "x /* never closed")
+	if len(errs) == 0 {
+		t.Fatal("want unterminated-comment error")
+	}
+	if !strings.Contains(errs[0].Error(), "unterminated block comment") {
+		t.Errorf("unexpected error %v", errs[0])
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks, errs := ScanAll("t", `"hello" "a\nb" "q\"q" "back\\slash" "tab\tx" ""`)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	want := []string{"hello", "a\nb", `q"q`, `back\slash`, "tab\tx", ""}
+	for i, w := range want {
+		if toks[i].Kind != token.STRING || toks[i].Lit != w {
+			t.Errorf("token %d = %v, want STRING(%q)", i, toks[i], w)
+		}
+	}
+}
+
+func TestStringErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, "\"newline\n\"", `"bad \q escape"`} {
+		_, errs := ScanAll("t", src)
+		if len(errs) == 0 {
+			t.Errorf("%q: want error", src)
+		}
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	toks, errs := ScanAll("t", `'a' '\n' '\\' '\''`)
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+	want := []string{"a", "\n", "\\", "'"}
+	for i, w := range want {
+		if toks[i].Kind != token.CHAR || toks[i].Lit != w {
+			t.Errorf("token %d = %v, want CHAR(%q)", i, toks[i], w)
+		}
+	}
+}
+
+func TestIllegalCharacters(t *testing.T) {
+	for _, src := range []string{"@", "#", "$", "a & b", "a | b", "~x"} {
+		_, errs := ScanAll("t", src)
+		if len(errs) == 0 {
+			t.Errorf("%q: want error", src)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	src := "ab cd\n  ef"
+	toks, _ := ScanAll("f.mj", src)
+	wants := []token.Pos{
+		{File: "f.mj", Line: 1, Col: 1},
+		{File: "f.mj", Line: 1, Col: 4},
+		{File: "f.mj", Line: 2, Col: 3},
+	}
+	for i, w := range wants {
+		if toks[i].Pos != w {
+			t.Errorf("token %d pos = %v, want %v", i, toks[i].Pos, w)
+		}
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("t", "x")
+	l.Next() // x
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("Next after end = %v, want EOF", tok)
+		}
+	}
+}
+
+func TestScanWholeProgram(t *testing.T) {
+	src := `
+class Main {
+    static int counter;
+    static void main() {
+        int i = 0;
+        while (i < 10) { counter += i; i++; }
+        print(counter);
+    }
+}`
+	toks, errs := ScanAll("main.mj", src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs[0])
+	}
+	if len(toks) < 30 {
+		t.Errorf("suspiciously few tokens: %d", len(toks))
+	}
+	if toks[len(toks)-1].Kind != token.EOF {
+		t.Error("missing EOF")
+	}
+}

@@ -1,0 +1,35 @@
+package parser
+
+import "testing"
+
+// FuzzParse asserts the parser never panics on arbitrary input and,
+// when it succeeds, its output re-parses (print/parse stability).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"class A { }",
+		"class A extends B { int x; void m(int y) { x = y; } }",
+		"class A { A() { } }",
+		"class M { static void main() { for (int i = 0; i < 3; i++) { print(i); } } }",
+		"class A { void m() { synchronized (this) { return; } } }",
+		"class A { int[] a; void m() { a = new int[3]; a[0] = a.length; } }",
+		"class { } } {",
+		"class A { void m() { if (x ",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse("fuzz.mj", src)
+		if err != nil {
+			return // errors are fine; panics are not
+		}
+		out := prog.String()
+		prog2, err := Parse("fuzz.mj", out)
+		if err != nil {
+			t.Fatalf("printed output does not re-parse: %v\n--- printed ---\n%s", err, out)
+		}
+		if prog2.String() != out {
+			t.Fatalf("print/parse not stable")
+		}
+	})
+}

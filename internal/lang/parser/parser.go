@@ -1,0 +1,668 @@
+// Package parser implements a recursive-descent parser for MJ.
+//
+// The grammar (EBNF, ignoring whitespace/comments):
+//
+//	Program   = { ClassDecl } .
+//	ClassDecl = "class" IDENT [ "extends" IDENT ] "{" { Member } "}" .
+//	Member    = Field | Method .
+//	Field     = [ "static" ] Type IDENT ";" .
+//	Method    = { "static" | "synchronized" } ( Type | "void" ) IDENT
+//	            "(" [ Params ] ")" Block
+//	          | IDENT "(" [ Params ] ")" Block .        // constructor
+//	Params    = Type IDENT { "," Type IDENT } .
+//	Type      = ( "int" | "boolean" | IDENT ) { "[" "]" } .
+//	Block     = "{" { Stmt } "}" .
+//	Stmt      = Block | VarDecl | If | While | For | Return | Break
+//	          | Continue | Sync | Print | SimpleStmt ";" .
+//	Sync      = "synchronized" "(" Expr ")" Block .
+//	SimpleStmt = Assign | IncDec | CallExpr .
+//
+// Expressions use precedence climbing: "||" < "&&" < equality <
+// relational < additive < multiplicative < unary < postfix.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"racedet/internal/lang/ast"
+	"racedet/internal/lang/lexer"
+	"racedet/internal/lang/token"
+)
+
+// Error is a syntax error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is the collection of errors from a parse.
+type ErrorList []*Error
+
+// Error summarizes the list as its first error plus a count.
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// Parse parses src into a Program. file is used in positions. On
+// syntax errors it returns a non-nil ErrorList (and a best-effort
+// partial tree).
+func Parse(file, src string) (*ast.Program, error) {
+	p := &parser{lex: lexer.New(file, src)}
+	p.next()
+	prog := p.parseProgram()
+	prog.File = file
+	for _, le := range p.lex.Errors() {
+		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	if len(p.errs) > 0 {
+		return prog, p.errs
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for known-good sources (tests, embedded
+// benchmark programs); it panics on error.
+func MustParse(file, src string) *ast.Program {
+	prog, err := Parse(file, src)
+	if err != nil {
+		panic(fmt.Sprintf("parser.MustParse(%s): %v", file, err))
+	}
+	return prog
+}
+
+type parser struct {
+	lex   *lexer.Lexer
+	tok   token.Token
+	queue []token.Token // tokens pushed back by lookahead
+	errs  ErrorList
+}
+
+const maxErrors = 25
+
+// fetch returns the next token, draining pushed-back tokens first.
+func (p *parser) fetch() token.Token {
+	if len(p.queue) > 0 {
+		t := p.queue[0]
+		p.queue = p.queue[1:]
+		return t
+	}
+	return p.lex.Next()
+}
+
+func (p *parser) next() { p.tok = p.fetch() }
+
+func (p *parser) errorf(pos token.Pos, format string, args ...interface{}) {
+	if len(p.errs) < maxErrors {
+		p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// expect consumes a token of the given kind, reporting an error (and
+// not consuming) on mismatch. It returns the consumed token.
+func (p *parser) expect(k token.Kind) token.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		return t
+	}
+	p.next()
+	return t
+}
+
+// accept consumes the token if it has the given kind.
+func (p *parser) accept(k token.Kind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{}
+	for p.tok.Kind != token.EOF {
+		if p.tok.Kind != token.CLASS {
+			p.errorf(p.tok.Pos, "expected class declaration, found %s", p.tok)
+			p.next()
+			continue
+		}
+		prog.Classes = append(prog.Classes, p.parseClass())
+	}
+	return prog
+}
+
+func (p *parser) parseClass() *ast.ClassDecl {
+	pos := p.expect(token.CLASS).Pos
+	name := p.expect(token.IDENT).Lit
+	c := &ast.ClassDecl{TokPos: pos, Name: name}
+	if p.accept(token.EXTENDS) {
+		c.Extends = p.expect(token.IDENT).Lit
+	}
+	p.expect(token.LBRACE)
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		p.parseMember(c)
+	}
+	p.expect(token.RBRACE)
+	return c
+}
+
+// parseMember parses one field or method declaration into c.
+func (p *parser) parseMember(c *ast.ClassDecl) {
+	pos := p.tok.Pos
+	static, synchronized := false, false
+	for {
+		if p.accept(token.STATIC) {
+			static = true
+			continue
+		}
+		if p.accept(token.SYNCHRONIZED) {
+			synchronized = true
+			continue
+		}
+		break
+	}
+
+	// Constructor: IDENT matching the class name followed by "(".
+	if p.tok.Kind == token.IDENT && p.tok.Lit == c.Name {
+		// Could still be a field of type <ClassName>; disambiguate by
+		// looking at what follows the identifier.
+		save := p.tok
+		p.next()
+		if p.tok.Kind == token.LPAREN {
+			m := &ast.MethodDecl{
+				TokPos:       pos,
+				Static:       static,
+				Synchronized: synchronized,
+				IsCtor:       true,
+				Return:       &ast.PrimType{TokPos: pos, Kind: token.VOID},
+				Name:         save.Lit,
+			}
+			if static {
+				p.errorf(pos, "constructor cannot be static")
+				m.Static = false
+			}
+			p.parseMethodRest(m)
+			c.Methods = append(c.Methods, m)
+			return
+		}
+		// Not a constructor: it is a type name. Continue as a
+		// field/method with NamedType.
+		typ := p.parseTypeSuffix(&ast.NamedType{TokPos: save.Pos, Name: save.Lit})
+		p.parseFieldOrMethod(c, pos, static, synchronized, typ)
+		return
+	}
+
+	var typ ast.Type
+	switch p.tok.Kind {
+	case token.VOID:
+		typ = &ast.PrimType{TokPos: p.tok.Pos, Kind: token.VOID}
+		p.next()
+	default:
+		typ = p.parseType()
+	}
+	p.parseFieldOrMethod(c, pos, static, synchronized, typ)
+}
+
+func (p *parser) parseFieldOrMethod(c *ast.ClassDecl, pos token.Pos, static, synchronized bool, typ ast.Type) {
+	name := p.expect(token.IDENT).Lit
+	if p.tok.Kind == token.LPAREN {
+		m := &ast.MethodDecl{
+			TokPos:       pos,
+			Static:       static,
+			Synchronized: synchronized,
+			Return:       typ,
+			Name:         name,
+		}
+		p.parseMethodRest(m)
+		c.Methods = append(c.Methods, m)
+		return
+	}
+	if synchronized {
+		p.errorf(pos, "field %s cannot be synchronized", name)
+	}
+	if pt, ok := typ.(*ast.PrimType); ok && pt.Kind == token.VOID {
+		p.errorf(pos, "field %s cannot have type void", name)
+	}
+	c.Fields = append(c.Fields, &ast.FieldDecl{TokPos: pos, Static: static, Type: typ, Name: name})
+	p.expect(token.SEMI)
+}
+
+func (p *parser) parseMethodRest(m *ast.MethodDecl) {
+	p.expect(token.LPAREN)
+	if p.tok.Kind != token.RPAREN {
+		for {
+			ppos := p.tok.Pos
+			typ := p.parseType()
+			name := p.expect(token.IDENT).Lit
+			m.Params = append(m.Params, &ast.Param{TokPos: ppos, Type: typ, Name: name})
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+	}
+	p.expect(token.RPAREN)
+	m.Body = p.parseBlock()
+}
+
+// parseType parses "int", "boolean", or a class name, followed by any
+// number of "[]" suffixes.
+func (p *parser) parseType() ast.Type {
+	var base ast.Type
+	switch p.tok.Kind {
+	case token.KWINT:
+		base = &ast.PrimType{TokPos: p.tok.Pos, Kind: token.KWINT}
+		p.next()
+	case token.BOOLEAN:
+		base = &ast.PrimType{TokPos: p.tok.Pos, Kind: token.BOOLEAN}
+		p.next()
+	case token.IDENT:
+		base = &ast.NamedType{TokPos: p.tok.Pos, Name: p.tok.Lit}
+		p.next()
+	default:
+		p.errorf(p.tok.Pos, "expected type, found %s", p.tok)
+		base = &ast.PrimType{TokPos: p.tok.Pos, Kind: token.KWINT}
+		p.next()
+	}
+	return p.parseTypeSuffix(base)
+}
+
+func (p *parser) parseTypeSuffix(base ast.Type) ast.Type {
+	for p.tok.Kind == token.LBRACKET {
+		p.next()
+		p.expect(token.RBRACKET)
+		base = &ast.ArrayType{Elem: base}
+	}
+	return base
+}
+
+func (p *parser) parseBlock() *ast.BlockStmt {
+	pos := p.expect(token.LBRACE).Pos
+	b := &ast.BlockStmt{TokPos: pos}
+	for p.tok.Kind != token.RBRACE && p.tok.Kind != token.EOF {
+		b.Stmts = append(b.Stmts, p.parseStmt())
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.tok.Kind {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.IF:
+		return p.parseIf()
+	case token.WHILE:
+		return p.parseWhile()
+	case token.FOR:
+		return p.parseFor()
+	case token.RETURN:
+		pos := p.tok.Pos
+		p.next()
+		s := &ast.ReturnStmt{TokPos: pos}
+		if p.tok.Kind != token.SEMI {
+			s.Value = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return s
+	case token.BREAK:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.SEMI)
+		return &ast.BreakStmt{TokPos: pos}
+	case token.CONTINUE:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.SEMI)
+		return &ast.ContinueStmt{TokPos: pos}
+	case token.SYNCHRONIZED:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.LPAREN)
+		lock := p.parseExpr()
+		p.expect(token.RPAREN)
+		body := p.parseBlock()
+		return &ast.SyncStmt{TokPos: pos, Lock: lock, Body: body}
+	case token.PRINT:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.LPAREN)
+		v := p.parseExpr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return &ast.PrintStmt{TokPos: pos, Value: v}
+	case token.KWINT, token.BOOLEAN:
+		s := p.parseVarDecl()
+		p.expect(token.SEMI)
+		return s
+	case token.IDENT:
+		// Could be a var decl (Type IDENT ...) or a simple statement.
+		if p.identStartsVarDecl() {
+			s := p.parseVarDecl()
+			p.expect(token.SEMI)
+			return s
+		}
+		s := p.parseSimpleStmt()
+		p.expect(token.SEMI)
+		return s
+	case token.SEMI:
+		// empty statement: allow and skip
+		pos := p.tok.Pos
+		p.next()
+		return &ast.BlockStmt{TokPos: pos}
+	default:
+		s := p.parseSimpleStmt()
+		p.expect(token.SEMI)
+		return s
+	}
+}
+
+// identStartsVarDecl decides whether the current IDENT begins a local
+// variable declaration (`T x ...` or `T[] x ...`) rather than an
+// expression statement, using two tokens of lookahead. MJ keeps this
+// cheap because the only ambiguity is IDENT IDENT vs IDENT <op>.
+func (p *parser) identStartsVarDecl() bool {
+	t1 := p.fetch()
+	if t1.Kind == token.IDENT {
+		p.pushback(t1) // "Foo bar" => var decl
+		return true
+	}
+	if t1.Kind == token.LBRACKET {
+		t2 := p.fetch()
+		p.pushback(t1, t2)
+		return t2.Kind == token.RBRACKET // "Foo[] ..." => var decl
+	}
+	p.pushback(t1)
+	return false
+}
+
+// pushback returns lookahead tokens to the stream; the current token
+// p.tok is untouched.
+func (p *parser) pushback(toks ...token.Token) {
+	p.queue = append(toks, p.queue...)
+}
+
+func (p *parser) parseVarDecl() ast.Stmt {
+	pos := p.tok.Pos
+	typ := p.parseType()
+	name := p.expect(token.IDENT).Lit
+	s := &ast.VarDeclStmt{TokPos: pos, Type: typ, Name: name}
+	if p.accept(token.ASSIGN) {
+		s.Init = p.parseExpr()
+	}
+	return s
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or call statement
+// (without the trailing semicolon).
+func (p *parser) parseSimpleStmt() ast.Stmt {
+	pos := p.tok.Pos
+	lhs := p.parseExpr()
+	switch {
+	case p.tok.Kind.IsAssignOp():
+		op := p.tok.Kind
+		p.next()
+		rhs := p.parseExpr()
+		if !isLValue(lhs) {
+			p.errorf(pos, "cannot assign to %s", ast.ExprString(lhs))
+		}
+		return &ast.AssignStmt{TokPos: pos, LHS: lhs, Op: op, RHS: rhs}
+	case p.tok.Kind == token.INC || p.tok.Kind == token.DEC:
+		op := p.tok.Kind
+		p.next()
+		if !isLValue(lhs) {
+			p.errorf(pos, "cannot apply %s to %s", op, ast.ExprString(lhs))
+		}
+		return &ast.IncDecStmt{TokPos: pos, LHS: lhs, Op: op}
+	default:
+		if _, ok := lhs.(*ast.CallExpr); !ok {
+			if _, ok := lhs.(*ast.NewExpr); !ok {
+				p.errorf(pos, "expression %s is not a statement", ast.ExprString(lhs))
+			}
+		}
+		return &ast.ExprStmt{TokPos: pos, X: lhs}
+	}
+}
+
+func isLValue(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.FieldAccess, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	pos := p.expect(token.IF).Pos
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	then := p.parseBlockOrStmt()
+	s := &ast.IfStmt{TokPos: pos, Cond: cond, Then: then}
+	if p.accept(token.ELSE) {
+		if p.tok.Kind == token.IF {
+			s.Else = p.parseIf()
+		} else {
+			s.Else = p.parseBlockOrStmt()
+		}
+	}
+	return s
+}
+
+// parseBlockOrStmt accepts either a block or a single statement,
+// normalizing to a block.
+func (p *parser) parseBlockOrStmt() *ast.BlockStmt {
+	if p.tok.Kind == token.LBRACE {
+		return p.parseBlock()
+	}
+	s := p.parseStmt()
+	return &ast.BlockStmt{TokPos: s.Pos(), Stmts: []ast.Stmt{s}}
+}
+
+func (p *parser) parseWhile() ast.Stmt {
+	pos := p.expect(token.WHILE).Pos
+	p.expect(token.LPAREN)
+	cond := p.parseExpr()
+	p.expect(token.RPAREN)
+	body := p.parseBlockOrStmt()
+	return &ast.WhileStmt{TokPos: pos, Cond: cond, Body: body}
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	pos := p.expect(token.FOR).Pos
+	p.expect(token.LPAREN)
+	s := &ast.ForStmt{TokPos: pos}
+	if p.tok.Kind != token.SEMI {
+		if p.tok.Kind == token.KWINT || p.tok.Kind == token.BOOLEAN ||
+			(p.tok.Kind == token.IDENT && p.identStartsVarDecl()) {
+			s.Init = p.parseVarDecl()
+		} else {
+			s.Init = p.parseSimpleStmt()
+		}
+	}
+	p.expect(token.SEMI)
+	if p.tok.Kind != token.SEMI {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(token.SEMI)
+	if p.tok.Kind != token.RPAREN {
+		s.Post = p.parseSimpleStmt()
+	}
+	p.expect(token.RPAREN)
+	s.Body = p.parseBlockOrStmt()
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *parser) parseExpr() ast.Expr {
+	return p.parseBinary(1)
+}
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	lhs := p.parseUnary()
+	for {
+		prec := p.tok.Kind.Precedence()
+		if prec < minPrec || prec == 0 {
+			return lhs
+		}
+		op := p.tok.Kind
+		p.next()
+		rhs := p.parseBinary(prec + 1)
+		lhs = &ast.BinaryExpr{X: lhs, Op: op, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.tok.Kind {
+	case token.MINUS:
+		pos := p.tok.Pos
+		p.next()
+		return &ast.UnaryExpr{TokPos: pos, Op: token.MINUS, X: p.parseUnary()}
+	case token.NOT:
+		pos := p.tok.Pos
+		p.next()
+		return &ast.UnaryExpr{TokPos: pos, Op: token.NOT, X: p.parseUnary()}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() ast.Expr {
+	e := p.parsePrimary()
+	for {
+		switch p.tok.Kind {
+		case token.DOT:
+			dot := p.tok.Pos
+			p.next()
+			name := p.expect(token.IDENT).Lit
+			if p.tok.Kind == token.LPAREN {
+				pos := p.tok.Pos
+				args := p.parseArgs()
+				e = &ast.CallExpr{TokPos: pos, Recv: e, Method: name, Args: args}
+			} else if name == "length" {
+				e = &ast.LenExpr{X: e, DotPos: dot}
+			} else {
+				e = &ast.FieldAccess{X: e, Field: name, DotPos: dot}
+			}
+		case token.LBRACKET:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBRACKET)
+			e = &ast.IndexExpr{X: e, Index: idx}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *parser) parseArgs() []ast.Expr {
+	p.expect(token.LPAREN)
+	var args []ast.Expr
+	if p.tok.Kind != token.RPAREN {
+		for {
+			args = append(args, p.parseExpr())
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+	}
+	p.expect(token.RPAREN)
+	return args
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	t := p.tok
+	switch t.Kind {
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid integer literal %q", t.Lit)
+		}
+		return &ast.IntLit{TokPos: t.Pos, Value: v}
+	case token.CHAR:
+		p.next()
+		var v int64
+		for _, r := range t.Lit {
+			v = int64(r)
+			break
+		}
+		return &ast.IntLit{TokPos: t.Pos, Value: v}
+	case token.STRING:
+		p.next()
+		return &ast.StringLit{TokPos: t.Pos, Value: t.Lit}
+	case token.TRUE:
+		p.next()
+		return &ast.BoolLit{TokPos: t.Pos, Value: true}
+	case token.FALSE:
+		p.next()
+		return &ast.BoolLit{TokPos: t.Pos, Value: false}
+	case token.NULL:
+		p.next()
+		return &ast.NullLit{TokPos: t.Pos}
+	case token.THIS:
+		p.next()
+		return &ast.ThisExpr{TokPos: t.Pos}
+	case token.IDENT:
+		p.next()
+		if p.tok.Kind == token.LPAREN {
+			args := p.parseArgs()
+			return &ast.CallExpr{TokPos: t.Pos, Method: t.Lit, Args: args}
+		}
+		return &ast.Ident{TokPos: t.Pos, Name: t.Lit}
+	case token.NEW:
+		p.next()
+		switch p.tok.Kind {
+		case token.KWINT, token.BOOLEAN:
+			elem := &ast.PrimType{TokPos: p.tok.Pos, Kind: p.tok.Kind}
+			p.next()
+			return p.parseNewArray(t.Pos, elem)
+		case token.IDENT:
+			name := p.tok.Lit
+			npos := p.tok.Pos
+			p.next()
+			if p.tok.Kind == token.LBRACKET {
+				return p.parseNewArray(t.Pos, &ast.NamedType{TokPos: npos, Name: name})
+			}
+			args := p.parseArgs()
+			return &ast.NewExpr{TokPos: t.Pos, Class: name, Args: args}
+		default:
+			p.errorf(p.tok.Pos, "expected type after new, found %s", p.tok)
+			p.next()
+			return &ast.NullLit{TokPos: t.Pos}
+		}
+	case token.LPAREN:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RPAREN)
+		return e
+	}
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	p.next()
+	return &ast.NullLit{TokPos: t.Pos}
+}
+
+// parseNewArray parses the "[len]" and optional extra "[]" dims after
+// `new Elem`. Multi-dimensional allocations allocate the outer array
+// only (inner elements are null), matching Java's `new T[n][]`.
+func (p *parser) parseNewArray(pos token.Pos, elem ast.Type) ast.Expr {
+	p.expect(token.LBRACKET)
+	length := p.parseExpr()
+	p.expect(token.RBRACKET)
+	typ := elem
+	for p.tok.Kind == token.LBRACKET {
+		p.next()
+		p.expect(token.RBRACKET)
+		typ = &ast.ArrayType{Elem: typ}
+	}
+	return &ast.NewArrayExpr{TokPos: pos, Elem: typ, Len: length}
+}

@@ -1,0 +1,296 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"racedet/internal/lang/ast"
+	"racedet/internal/lang/token"
+)
+
+// roundTrip checks that printing a parsed program and re-parsing the
+// output yields an identical rendering — a strong structural check on
+// both parser and printer.
+func roundTrip(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p1, err := Parse("t.mj", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out1 := p1.String()
+	p2, err := Parse("t.mj", out1)
+	if err != nil {
+		t.Fatalf("re-parse of printed output failed: %v\n--- output ---\n%s", err, out1)
+	}
+	out2 := p2.String()
+	if out1 != out2 {
+		t.Fatalf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+	return p1
+}
+
+func TestParseMinimalClass(t *testing.T) {
+	p := roundTrip(t, `class A { }`)
+	if len(p.Classes) != 1 || p.Classes[0].Name != "A" {
+		t.Fatalf("bad class list: %+v", p.Classes)
+	}
+}
+
+func TestParseFieldsAndMethods(t *testing.T) {
+	src := `
+class A extends B {
+    int x;
+    static boolean flag;
+    A[] peers;
+    int[][] grid;
+
+    static void main() { }
+    synchronized int get(int i, boolean b) { return x; }
+    A(int x0) { x = x0; }
+}`
+	p := roundTrip(t, src)
+	c := p.Classes[0]
+	if c.Extends != "B" {
+		t.Errorf("extends = %q", c.Extends)
+	}
+	if len(c.Fields) != 4 {
+		t.Fatalf("fields = %d", len(c.Fields))
+	}
+	if !c.Fields[1].Static {
+		t.Error("flag should be static")
+	}
+	if c.Fields[3].Type.String() != "int[][]" {
+		t.Errorf("grid type = %s", c.Fields[3].Type)
+	}
+	if len(c.Methods) != 3 {
+		t.Fatalf("methods = %d", len(c.Methods))
+	}
+	if !c.Methods[0].Static {
+		t.Error("main should be static")
+	}
+	if !c.Methods[1].Synchronized {
+		t.Error("get should be synchronized")
+	}
+	if !c.Methods[2].IsCtor {
+		t.Error("A(int) should be a constructor")
+	}
+}
+
+func TestCtorVsFieldOfOwnType(t *testing.T) {
+	// `A a;` inside class A must parse as a field, `A() {}` as ctor.
+	src := `class A { A next; A() { next = null; } }`
+	p := roundTrip(t, src)
+	c := p.Classes[0]
+	if len(c.Fields) != 1 || c.Fields[0].Name != "next" {
+		t.Fatalf("fields: %+v", c.Fields)
+	}
+	if len(c.Methods) != 1 || !c.Methods[0].IsCtor {
+		t.Fatalf("methods: %+v", c.Methods)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	src := `class A { static void main() { int x = 1 + 2 * 3 - 4 / 2 % 3; boolean b = 1 < 2 && 3 >= 4 || !(5 == 6); } }`
+	p := roundTrip(t, src)
+	main := p.Classes[0].Methods[0]
+	decl := main.Body.Stmts[0].(*ast.VarDeclStmt)
+	// 1 + 2*3 - 4/2%3 => ((1 + (2*3)) - ((4/2)%3))
+	bin := decl.Init.(*ast.BinaryExpr)
+	if bin.Op != token.MINUS {
+		t.Fatalf("top op = %v", bin.Op)
+	}
+	left := bin.X.(*ast.BinaryExpr)
+	if left.Op != token.PLUS {
+		t.Fatalf("left op = %v", left.Op)
+	}
+	if mul := left.Y.(*ast.BinaryExpr); mul.Op != token.STAR {
+		t.Fatalf("mul op = %v", mul.Op)
+	}
+	if mod := bin.Y.(*ast.BinaryExpr); mod.Op != token.PERCENT {
+		t.Fatalf("mod op = %v", mod.Op)
+	}
+	b := main.Body.Stmts[1].(*ast.VarDeclStmt)
+	or := b.Init.(*ast.BinaryExpr)
+	if or.Op != token.OR {
+		t.Fatalf("want || at top, got %v", or.Op)
+	}
+	and := or.X.(*ast.BinaryExpr)
+	if and.Op != token.AND {
+		t.Fatalf("want && below ||, got %v", and.Op)
+	}
+}
+
+func TestStatements(t *testing.T) {
+	src := `
+class A {
+    int f;
+    void m(int n) {
+        int i;
+        i = 0;
+        i += 2;
+        i++;
+        i--;
+        if (i < n) { i = n; } else if (i == n) { i = 0; } else { i = 1; }
+        while (i > 0) { i = i - 1; if (i == 3) { break; } continue; }
+        for (int j = 0; j < n; j++) { f = f + j; }
+        synchronized (this) { f = 0; }
+        print(i);
+        print("text");
+        return;
+    }
+}`
+	roundTrip(t, src)
+}
+
+func TestVarDeclLookahead(t *testing.T) {
+	src := `
+class B { int v; }
+class A {
+    B b;
+    void m() {
+        B x = new B();       // class-typed decl
+        B[] xs = new B[3];   // array-of-class decl
+        x.v = 1;             // field assignment, not a decl
+        xs[0] = x;           // index assignment
+        b = x;               // plain assignment to field
+    }
+}`
+	p := roundTrip(t, src)
+	m := p.Classes[1].Methods[0]
+	if _, ok := m.Body.Stmts[0].(*ast.VarDeclStmt); !ok {
+		t.Errorf("stmt 0 should be a var decl, got %T", m.Body.Stmts[0])
+	}
+	if _, ok := m.Body.Stmts[1].(*ast.VarDeclStmt); !ok {
+		t.Errorf("stmt 1 should be a var decl, got %T", m.Body.Stmts[1])
+	}
+	if _, ok := m.Body.Stmts[2].(*ast.AssignStmt); !ok {
+		t.Errorf("stmt 2 should be an assignment, got %T", m.Body.Stmts[2])
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	src := `
+class A {
+    int f;
+    A next;
+    int[] arr;
+    int m(A other) {
+        int a = this.f + other.f;
+        int b = arr[2] + other.arr.length;
+        A c = new A();
+        int[] d = new int[10];
+        boolean e = c == null || c != other;
+        int g = -a + m(c);
+        int h = other.m(this);
+        return a + b + g + h;
+    }
+}`
+	roundTrip(t, src)
+}
+
+func TestCharLiteralValue(t *testing.T) {
+	src := `class A { static void main() { int c = 'x'; print(c); } }`
+	p := roundTrip(t, src)
+	decl := p.Classes[0].Methods[0].Body.Stmts[0].(*ast.VarDeclStmt)
+	lit := decl.Init.(*ast.IntLit)
+	if lit.Value != 'x' {
+		t.Errorf("char value = %d, want %d", lit.Value, 'x')
+	}
+}
+
+func TestDanglingElse(t *testing.T) {
+	src := `class A { void m(int x) { if (x > 0) if (x > 1) x = 2; else x = 3; } }`
+	p, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := p.Classes[0].Methods[0].Body.Stmts[0].(*ast.IfStmt)
+	if outer.Else != nil {
+		t.Fatal("else must bind to the inner if")
+	}
+	inner := outer.Then.Stmts[0].(*ast.IfStmt)
+	if inner.Else == nil {
+		t.Fatal("inner if lost its else")
+	}
+}
+
+func TestMultiDimNewArray(t *testing.T) {
+	src := `class A { static void main() { int[][] g = new int[4][]; g[0] = new int[8]; } }`
+	roundTrip(t, src)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`class`,                             // truncated
+		`class A {`,                         // unclosed
+		`class A { int; }`,                  // missing name
+		`class A { void m() { x = ; } }`,    // missing expr
+		`class A { void m() { if x { } } }`, // missing parens
+		`class A { void m() { synchronized x { } } }`, // missing parens
+		`class A { void m() { 1 + 2; } }`,             // expr not a statement
+		`class A { void m(int) { } }`,                 // missing param name
+		`class A { static A() { } }`,                  // static ctor
+		`void m() { }`,                                // method outside class
+	}
+	for _, src := range cases {
+		if _, err := Parse("t", src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestErrorListFormatting(t *testing.T) {
+	_, err := Parse("t", "class A { ?? ?? ?? }")
+	if err == nil {
+		t.Fatal("want errors")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "t:1:") {
+		t.Errorf("error lacks position: %q", msg)
+	}
+	list, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("error is %T, want ErrorList", err)
+	}
+	if len(list) < 2 && !strings.Contains(msg, "more errors") {
+		t.Errorf("multiple errors expected, got %q", msg)
+	}
+}
+
+func TestErrorRecoveryProducesPartialTree(t *testing.T) {
+	src := `
+class Good { int x; }
+class Bad { void m() { x = ; } }
+class AlsoGood { int y; }`
+	p, err := Parse("t", src)
+	if err == nil {
+		t.Fatal("want an error")
+	}
+	if p == nil || len(p.Classes) < 2 {
+		t.Fatalf("recovery should keep parsing; got %d classes", len(p.Classes))
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("t", "class {")
+}
+
+func TestCloneIndependence(t *testing.T) {
+	src := `class A { int f; void m() { while (f < 3) { f = f + 1; } } }`
+	p := MustParse("t", src)
+	loop := p.Classes[0].Methods[0].Body.Stmts[0].(*ast.WhileStmt)
+	clone := ast.CloneStmt(loop).(*ast.WhileStmt)
+	// Mutating the clone must not affect the original.
+	clone.Body.Stmts = nil
+	if len(loop.Body.Stmts) != 1 {
+		t.Fatal("clone shares body with original")
+	}
+	if clone.Pos() != loop.Pos() {
+		t.Error("clone should preserve positions")
+	}
+}

@@ -1,0 +1,738 @@
+package sem
+
+import (
+	"fmt"
+
+	"racedet/internal/lang/ast"
+	"racedet/internal/lang/token"
+)
+
+// Check performs semantic analysis of the parsed program and returns
+// the checked Program. On errors the returned ErrorList is non-nil;
+// the Program is still returned best-effort for tooling.
+func Check(prog *ast.Program) (*Program, error) {
+	c := &checker{
+		p: &Program{
+			AST:         prog,
+			Classes:     make(map[string]*Class),
+			TypeOf:      make(map[ast.Expr]Type),
+			IdentRef:    make(map[*ast.Ident]Ref),
+			FieldOf:     make(map[ast.Expr]*Field),
+			Callee:      make(map[*ast.CallExpr]*Method),
+			CtorOf:      make(map[*ast.NewExpr]*Method),
+			ClassOfNew:  make(map[*ast.NewExpr]*Class),
+			MethodOfAST: make(map[*ast.MethodDecl]*Method),
+		},
+	}
+	c.declareBuiltins()
+	c.collectClasses(prog)
+	c.collectMembers(prog)
+	c.layoutSlots()
+	c.checkBodies(prog)
+	c.findMain()
+	if len(c.errs) > 0 {
+		return c.p, c.errs
+	}
+	return c.p, nil
+}
+
+// MustCheck parses-and-checks known-good programs, panicking on error.
+func MustCheck(prog *ast.Program) *Program {
+	p, err := Check(prog)
+	if err != nil {
+		panic(fmt.Sprintf("sem.MustCheck: %v", err))
+	}
+	return p
+}
+
+type checker struct {
+	p    *Program
+	errs ErrorList
+
+	// Per-method state.
+	curClass  *Class
+	curMethod *Method
+	scopes    []map[string]Type
+	loopDepth int
+}
+
+const maxErrors = 25
+
+func (c *checker) errorf(pos token.Pos, format string, args ...interface{}) {
+	if len(c.errs) < maxErrors {
+		c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// declareBuiltins installs the built-in Thread class with start, join,
+// and a default empty run.
+func (c *checker) declareBuiltins() {
+	th := &Class{
+		Name:    "Thread",
+		Builtin: true,
+		Fields:  make(map[string]*Field),
+		Methods: make(map[string]*Method),
+	}
+	th.Methods["start"] = &Method{Class: th, Name: "start", Return: TypVoid, Builtin: BuiltinStart}
+	th.Methods["join"] = &Method{Class: th, Name: "join", Return: TypVoid, Builtin: BuiltinJoin}
+	th.Methods["run"] = &Method{Class: th, Name: "run", Return: TypVoid, Builtin: BuiltinRunStub}
+	c.p.Classes["Thread"] = th
+	c.p.Order = append(c.p.Order, th)
+}
+
+func (c *checker) collectClasses(prog *ast.Program) {
+	for _, cd := range prog.Classes {
+		if _, dup := c.p.Classes[cd.Name]; dup {
+			c.errorf(cd.Pos(), "duplicate class %s", cd.Name)
+			continue
+		}
+		cl := &Class{
+			Name:    cd.Name,
+			Decl:    cd,
+			Fields:  make(map[string]*Field),
+			Methods: make(map[string]*Method),
+		}
+		c.p.Classes[cd.Name] = cl
+		c.p.Order = append(c.p.Order, cl)
+	}
+	// Resolve superclasses and reject cycles.
+	for _, cd := range prog.Classes {
+		cl := c.p.Classes[cd.Name]
+		if cl == nil || cd.Extends == "" {
+			continue
+		}
+		super, ok := c.p.Classes[cd.Extends]
+		if !ok {
+			c.errorf(cd.Pos(), "class %s extends undeclared class %s", cd.Name, cd.Extends)
+			continue
+		}
+		cl.Super = super
+	}
+	for _, cl := range c.p.Order {
+		slow, fast := cl, cl
+		for fast != nil && fast.Super != nil {
+			slow, fast = slow.Super, fast.Super.Super
+			if slow == fast {
+				c.errorf(cl.Decl.Pos(), "inheritance cycle involving class %s", cl.Name)
+				cl.Super = nil
+				break
+			}
+		}
+	}
+}
+
+// resolveType converts AST type syntax to a semantic type.
+func (c *checker) resolveType(t ast.Type) Type {
+	switch t := t.(type) {
+	case *ast.PrimType:
+		switch t.Kind {
+		case token.KWINT:
+			return TypInt
+		case token.BOOLEAN:
+			return TypBool
+		case token.VOID:
+			return TypVoid
+		}
+	case *ast.NamedType:
+		if cl, ok := c.p.Classes[t.Name]; ok {
+			return &ClassType{Class: cl}
+		}
+		c.errorf(t.Pos(), "undeclared type %s", t.Name)
+		return TypInt
+	case *ast.ArrayType:
+		return &ArrayType{Elem: c.resolveType(t.Elem)}
+	}
+	c.errorf(t.Pos(), "invalid type")
+	return TypInt
+}
+
+func (c *checker) collectMembers(prog *ast.Program) {
+	for _, cd := range prog.Classes {
+		cl := c.p.Classes[cd.Name]
+		if cl == nil || cl.Decl != cd {
+			continue
+		}
+		for _, fd := range cd.Fields {
+			if _, dup := cl.Fields[fd.Name]; dup {
+				c.errorf(fd.Pos(), "duplicate field %s in class %s", fd.Name, cd.Name)
+				continue
+			}
+			cl.Fields[fd.Name] = &Field{
+				Class:  cl,
+				Name:   fd.Name,
+				Type:   c.resolveType(fd.Type),
+				Static: fd.Static,
+				Decl:   fd,
+			}
+		}
+		for _, md := range cd.Methods {
+			switch md.Name {
+			case "wait", "notify", "notifyAll":
+				c.errorf(md.Pos(), "cannot define %s: it is a built-in monitor method", md.Name)
+				continue
+			}
+			if _, dup := cl.Methods[md.Name]; dup {
+				c.errorf(md.Pos(), "duplicate method %s in class %s (overloading is not supported)", md.Name, cd.Name)
+				continue
+			}
+			m := &Method{
+				Class:        cl,
+				Name:         md.Name,
+				Return:       c.resolveType(md.Return),
+				Static:       md.Static,
+				Synchronized: md.Synchronized,
+				IsCtor:       md.IsCtor,
+				Decl:         md,
+			}
+			for _, p := range md.Params {
+				m.Params = append(m.Params, c.resolveType(p.Type))
+				m.ParamNames = append(m.ParamNames, p.Name)
+			}
+			cl.Methods[md.Name] = m
+			c.p.MethodOfAST[md] = m
+		}
+	}
+	// Check overrides have matching signatures.
+	for _, cl := range c.p.Order {
+		if cl.Super == nil {
+			continue
+		}
+		for name, m := range cl.Methods {
+			sup := cl.Super.LookupMethod(name)
+			if sup == nil || sup.Builtin == BuiltinRunStub {
+				continue
+			}
+			if sup.Builtin != NotBuiltin {
+				c.errorf(m.Decl.Pos(), "cannot override built-in Thread.%s", name)
+				continue
+			}
+			if !c.sameSignature(m, sup) {
+				c.errorf(m.Decl.Pos(), "override %s.%s changes the signature of %s.%s", cl.Name, name, sup.Class.Name, name)
+			}
+		}
+	}
+}
+
+func (c *checker) sameSignature(a, b *Method) bool {
+	if !Same(a.Return, b.Return) || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if !Same(a.Params[i], b.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// layoutSlots assigns contiguous slot indexes: instance fields across
+// the inheritance chain (superclass slots first), statics per class.
+func (c *checker) layoutSlots() {
+	var layout func(cl *Class)
+	done := make(map[*Class]bool)
+	layout = func(cl *Class) {
+		if done[cl] {
+			return
+		}
+		done[cl] = true
+		if cl.Super != nil {
+			layout(cl.Super)
+			cl.instanceSlots = append(cl.instanceSlots, cl.Super.instanceSlots...)
+		}
+		// Deterministic order: source declaration order.
+		if cl.Decl != nil {
+			for _, fd := range cl.Decl.Fields {
+				f := cl.Fields[fd.Name]
+				if f == nil || f.Decl != fd {
+					continue
+				}
+				if f.Static {
+					f.Index = len(cl.staticSlots)
+					cl.staticSlots = append(cl.staticSlots, f)
+				} else {
+					f.Index = len(cl.instanceSlots)
+					cl.instanceSlots = append(cl.instanceSlots, f)
+				}
+			}
+		}
+	}
+	for _, cl := range c.p.Order {
+		layout(cl)
+	}
+}
+
+func (c *checker) findMain() {
+	for _, cl := range c.p.Order {
+		if m, ok := cl.Methods["main"]; ok && m.Static && len(m.Params) == 0 {
+			if c.p.Main != nil {
+				c.errorf(m.Decl.Pos(), "multiple static main() methods (%s and %s)", c.p.Main.QualifiedName(), m.QualifiedName())
+				continue
+			}
+			c.p.Main = m
+		}
+	}
+	if c.p.Main == nil {
+		pos := token.Pos{}
+		if len(c.p.AST.Classes) > 0 {
+			pos = c.p.AST.Classes[0].Pos()
+		}
+		c.errorf(pos, "program has no static main() method")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Body checking
+
+func (c *checker) checkBodies(prog *ast.Program) {
+	for _, cd := range prog.Classes {
+		cl := c.p.Classes[cd.Name]
+		if cl == nil || cl.Decl != cd {
+			continue
+		}
+		for _, md := range cd.Methods {
+			m := c.p.MethodOfAST[md]
+			if m == nil {
+				continue
+			}
+			c.checkMethod(cl, m)
+		}
+	}
+}
+
+func (c *checker) checkMethod(cl *Class, m *Method) {
+	c.curClass = cl
+	c.curMethod = m
+	c.scopes = []map[string]Type{{}}
+	c.loopDepth = 0
+	for i, name := range m.ParamNames {
+		if _, dup := c.scopes[0][name]; dup {
+			c.errorf(m.Decl.Params[i].Pos(), "duplicate parameter %s", name)
+		}
+		c.scopes[0][name] = m.Params[i]
+	}
+	c.checkBlock(m.Decl.Body)
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]Type{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookupLocal(name string) (Type, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if t, ok := c.scopes[i][name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (c *checker) declareLocal(pos token.Pos, name string, t Type) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		c.errorf(pos, "duplicate local variable %s", name)
+	}
+	top[name] = t
+}
+
+func (c *checker) checkBlock(b *ast.BlockStmt) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.checkBlock(s)
+	case *ast.VarDeclStmt:
+		t := c.resolveType(s.Type)
+		if s.Init != nil {
+			it := c.checkExpr(s.Init)
+			if !AssignableTo(it, t) {
+				c.errorf(s.Pos(), "cannot initialize %s %s with %s", t, s.Name, it)
+			}
+		}
+		c.declareLocal(s.Pos(), s.Name, t)
+	case *ast.AssignStmt:
+		lt := c.checkExpr(s.LHS)
+		rt := c.checkExpr(s.RHS)
+		if s.Op == token.ASSIGN {
+			if !AssignableTo(rt, lt) {
+				c.errorf(s.Pos(), "cannot assign %s to %s", rt, lt)
+			}
+		} else { // compound: int only
+			if !Same(lt, TypInt) || !Same(rt, TypInt) {
+				c.errorf(s.Pos(), "operator %s requires int operands, got %s and %s", s.Op, lt, rt)
+			}
+		}
+	case *ast.IncDecStmt:
+		lt := c.checkExpr(s.LHS)
+		if !Same(lt, TypInt) {
+			c.errorf(s.Pos(), "operator %s requires an int operand, got %s", s.Op, lt)
+		}
+	case *ast.IfStmt:
+		ct := c.checkExpr(s.Cond)
+		if !Same(ct, TypBool) {
+			c.errorf(s.Cond.Pos(), "if condition must be boolean, got %s", ct)
+		}
+		c.checkBlock(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		ct := c.checkExpr(s.Cond)
+		if !Same(ct, TypBool) {
+			c.errorf(s.Cond.Pos(), "while condition must be boolean, got %s", ct)
+		}
+		c.loopDepth++
+		c.checkBlock(s.Body)
+		c.loopDepth--
+	case *ast.ForStmt:
+		c.pushScope()
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			ct := c.checkExpr(s.Cond)
+			if !Same(ct, TypBool) {
+				c.errorf(s.Cond.Pos(), "for condition must be boolean, got %s", ct)
+			}
+		}
+		if s.Post != nil {
+			c.checkStmt(s.Post)
+		}
+		c.loopDepth++
+		c.checkBlock(s.Body)
+		c.loopDepth--
+		c.popScope()
+	case *ast.ReturnStmt:
+		want := c.curMethod.Return
+		if s.Value == nil {
+			if !Same(want, TypVoid) {
+				c.errorf(s.Pos(), "missing return value in %s (want %s)", c.curMethod.QualifiedName(), want)
+			}
+			return
+		}
+		got := c.checkExpr(s.Value)
+		if Same(want, TypVoid) {
+			c.errorf(s.Pos(), "void method %s returns a value", c.curMethod.QualifiedName())
+		} else if !AssignableTo(got, want) {
+			c.errorf(s.Pos(), "cannot return %s from %s (want %s)", got, c.curMethod.QualifiedName(), want)
+		}
+	case *ast.BreakStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos(), "break outside loop")
+		}
+	case *ast.ContinueStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.Pos(), "continue outside loop")
+		}
+	case *ast.ExprStmt:
+		c.checkExpr(s.X)
+	case *ast.SyncStmt:
+		lt := c.checkExpr(s.Lock)
+		if !IsRef(lt) {
+			c.errorf(s.Lock.Pos(), "synchronized requires a reference, got %s", lt)
+		}
+		c.checkBlock(s.Body)
+	case *ast.PrintStmt:
+		t := c.checkExpr(s.Value)
+		switch {
+		case Same(t, TypInt), Same(t, TypBool), Same(t, TypString):
+		default:
+			c.errorf(s.Pos(), "print requires int, boolean, or string, got %s", t)
+		}
+	default:
+		c.errorf(s.Pos(), "unhandled statement %T", s)
+	}
+}
+
+// checkExpr type-checks e, records its type, and returns it.
+func (c *checker) checkExpr(e ast.Expr) Type {
+	t := c.exprType(e)
+	c.p.TypeOf[e] = t
+	return t
+}
+
+func (c *checker) exprType(e ast.Expr) Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return TypInt
+	case *ast.BoolLit:
+		return TypBool
+	case *ast.StringLit:
+		return TypString
+	case *ast.NullLit:
+		return TypNull
+	case *ast.ThisExpr:
+		if c.curMethod.Static {
+			c.errorf(e.Pos(), "this used in static method %s", c.curMethod.QualifiedName())
+		}
+		return &ClassType{Class: c.curClass}
+	case *ast.Ident:
+		return c.identType(e)
+	case *ast.FieldAccess:
+		return c.fieldAccessType(e)
+	case *ast.IndexExpr:
+		xt := c.checkExpr(e.X)
+		it := c.checkExpr(e.Index)
+		if !Same(it, TypInt) {
+			c.errorf(e.Index.Pos(), "array index must be int, got %s", it)
+		}
+		at, ok := xt.(*ArrayType)
+		if !ok {
+			c.errorf(e.Pos(), "indexing non-array type %s", xt)
+			return TypInt
+		}
+		return at.Elem
+	case *ast.LenExpr:
+		xt := c.checkExpr(e.X)
+		if _, ok := xt.(*ArrayType); !ok {
+			c.errorf(e.Pos(), ".length on non-array type %s", xt)
+		}
+		return TypInt
+	case *ast.CallExpr:
+		return c.callType(e)
+	case *ast.NewExpr:
+		return c.newType(e)
+	case *ast.NewArrayExpr:
+		lt := c.checkExpr(e.Len)
+		if !Same(lt, TypInt) {
+			c.errorf(e.Len.Pos(), "array length must be int, got %s", lt)
+		}
+		return &ArrayType{Elem: c.resolveType(e.Elem)}
+	case *ast.UnaryExpr:
+		xt := c.checkExpr(e.X)
+		switch e.Op {
+		case token.MINUS:
+			if !Same(xt, TypInt) {
+				c.errorf(e.Pos(), "unary - requires int, got %s", xt)
+			}
+			return TypInt
+		case token.NOT:
+			if !Same(xt, TypBool) {
+				c.errorf(e.Pos(), "! requires boolean, got %s", xt)
+			}
+			return TypBool
+		}
+		c.errorf(e.Pos(), "invalid unary operator %s", e.Op)
+		return TypInt
+	case *ast.BinaryExpr:
+		return c.binaryType(e)
+	}
+	c.errorf(e.Pos(), "unhandled expression %T", e)
+	return TypInt
+}
+
+func (c *checker) identType(e *ast.Ident) Type {
+	if t, ok := c.lookupLocal(e.Name); ok {
+		c.p.IdentRef[e] = Ref{Kind: RefLocal}
+		return t
+	}
+	// Field of the enclosing class (instance via implicit this, or
+	// static).
+	if f := c.curClass.LookupField(e.Name); f != nil {
+		if !f.Static && c.curMethod.Static {
+			c.errorf(e.Pos(), "instance field %s used in static method %s", f.QualifiedName(), c.curMethod.QualifiedName())
+		}
+		c.p.IdentRef[e] = Ref{Kind: RefField, Field: f}
+		c.p.FieldOf[e] = f
+		return f.Type
+	}
+	if cl, ok := c.p.Classes[e.Name]; ok {
+		c.p.IdentRef[e] = Ref{Kind: RefClass, Class: cl}
+		// A bare class name has no value type; it only qualifies
+		// static members. Give it the class type so FieldAccess can
+		// detect the static case via IdentRef.
+		return &ClassType{Class: cl}
+	}
+	c.errorf(e.Pos(), "undeclared identifier %s", e.Name)
+	c.p.IdentRef[e] = Ref{Kind: RefLocal}
+	return TypInt
+}
+
+func (c *checker) fieldAccessType(e *ast.FieldAccess) Type {
+	// Static access: Class.field
+	if id, ok := e.X.(*ast.Ident); ok {
+		if _, isLocal := c.lookupLocal(id.Name); !isLocal && c.curClass.LookupField(id.Name) == nil {
+			if cl, isClass := c.p.Classes[id.Name]; isClass {
+				c.checkExpr(e.X) // record the RefClass annotation
+				f := cl.LookupField(e.Field)
+				if f == nil {
+					c.errorf(e.Pos(), "class %s has no field %s", cl.Name, e.Field)
+					return TypInt
+				}
+				if !f.Static {
+					c.errorf(e.Pos(), "field %s is not static", f.QualifiedName())
+				}
+				c.p.FieldOf[e] = f
+				return f.Type
+			}
+		}
+	}
+	xt := c.checkExpr(e.X)
+	ct, ok := xt.(*ClassType)
+	if !ok {
+		c.errorf(e.Pos(), "field access on non-class type %s", xt)
+		return TypInt
+	}
+	f := ct.Class.LookupField(e.Field)
+	if f == nil {
+		c.errorf(e.Pos(), "class %s has no field %s", ct.Class.Name, e.Field)
+		return TypInt
+	}
+	if f.Static {
+		c.errorf(e.Pos(), "static field %s accessed through an instance", f.QualifiedName())
+	}
+	c.p.FieldOf[e] = f
+	return f.Type
+}
+
+// monitorBuiltin returns the built-in monitor-condition method for
+// wait/notify/notifyAll calls; they exist on every object.
+func monitorBuiltin(name string, recv *Class) *Method {
+	var kind BuiltinKind
+	switch name {
+	case "wait":
+		kind = BuiltinWait
+	case "notify":
+		kind = BuiltinNotify
+	case "notifyAll":
+		kind = BuiltinNotifyAll
+	default:
+		return nil
+	}
+	return &Method{Class: recv, Name: name, Return: TypVoid, Builtin: kind}
+}
+
+func (c *checker) callType(e *ast.CallExpr) Type {
+	var m *Method
+	switch {
+	case e.Recv == nil:
+		m = c.curClass.LookupMethod(e.Method)
+		if m == nil {
+			m = monitorBuiltin(e.Method, c.curClass)
+		}
+		if m == nil {
+			c.errorf(e.Pos(), "class %s has no method %s", c.curClass.Name, e.Method)
+			return TypInt
+		}
+		if !m.Static && c.curMethod.Static {
+			c.errorf(e.Pos(), "instance method %s called from static method %s", m.QualifiedName(), c.curMethod.QualifiedName())
+		}
+	default:
+		// Static call: Class.method(...)
+		if id, ok := e.Recv.(*ast.Ident); ok {
+			if _, isLocal := c.lookupLocal(id.Name); !isLocal && c.curClass.LookupField(id.Name) == nil {
+				if cl, isClass := c.p.Classes[id.Name]; isClass {
+					c.checkExpr(e.Recv)
+					m = cl.LookupMethod(e.Method)
+					if m == nil {
+						c.errorf(e.Pos(), "class %s has no method %s", cl.Name, e.Method)
+						return TypInt
+					}
+					if !m.Static {
+						c.errorf(e.Pos(), "instance method %s called through class name", m.QualifiedName())
+					}
+					break
+				}
+			}
+		}
+		rt := c.checkExpr(e.Recv)
+		ct, ok := rt.(*ClassType)
+		if !ok {
+			c.errorf(e.Pos(), "method call on non-class type %s", rt)
+			return TypInt
+		}
+		m = ct.Class.LookupMethod(e.Method)
+		if m == nil {
+			m = monitorBuiltin(e.Method, ct.Class)
+		}
+		if m == nil {
+			c.errorf(e.Pos(), "class %s has no method %s", ct.Class.Name, e.Method)
+			return TypInt
+		}
+		if m.Static {
+			c.errorf(e.Pos(), "static method %s called through an instance", m.QualifiedName())
+		}
+	}
+	if m.IsCtor {
+		c.errorf(e.Pos(), "constructor %s cannot be called directly", m.QualifiedName())
+	}
+	if len(e.Args) != len(m.Params) {
+		c.errorf(e.Pos(), "call to %s has %d arguments, want %d", m.QualifiedName(), len(e.Args), len(m.Params))
+	}
+	for i, a := range e.Args {
+		at := c.checkExpr(a)
+		if i < len(m.Params) && !AssignableTo(at, m.Params[i]) {
+			c.errorf(a.Pos(), "argument %d of %s: cannot use %s as %s", i+1, m.QualifiedName(), at, m.Params[i])
+		}
+	}
+	c.p.Callee[e] = m
+	return m.Return
+}
+
+func (c *checker) newType(e *ast.NewExpr) Type {
+	cl, ok := c.p.Classes[e.Class]
+	if !ok {
+		c.errorf(e.Pos(), "new of undeclared class %s", e.Class)
+		return TypNull
+	}
+	if cl.Builtin && cl.Name == "Thread" {
+		c.errorf(e.Pos(), "cannot instantiate Thread directly; extend it")
+	}
+	c.p.ClassOfNew[e] = cl
+	ctor := cl.Methods[cl.Name]
+	if ctor == nil || !ctor.IsCtor {
+		ctor = nil
+	}
+	if ctor == nil {
+		if len(e.Args) != 0 {
+			c.errorf(e.Pos(), "class %s has no constructor but new has %d arguments", cl.Name, len(e.Args))
+		}
+	} else {
+		if len(e.Args) != len(ctor.Params) {
+			c.errorf(e.Pos(), "constructor %s has %d parameters, call passes %d", ctor.QualifiedName(), len(ctor.Params), len(e.Args))
+		}
+		c.p.CtorOf[e] = ctor
+	}
+	for i, a := range e.Args {
+		at := c.checkExpr(a)
+		if ctor != nil && i < len(ctor.Params) && !AssignableTo(at, ctor.Params[i]) {
+			c.errorf(a.Pos(), "argument %d of %s: cannot use %s as %s", i+1, ctor.QualifiedName(), at, ctor.Params[i])
+		}
+	}
+	return &ClassType{Class: cl}
+}
+
+func (c *checker) binaryType(e *ast.BinaryExpr) Type {
+	xt := c.checkExpr(e.X)
+	yt := c.checkExpr(e.Y)
+	switch e.Op {
+	case token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT:
+		if !Same(xt, TypInt) || !Same(yt, TypInt) {
+			c.errorf(e.Pos(), "operator %s requires int operands, got %s and %s", e.Op, xt, yt)
+		}
+		return TypInt
+	case token.LT, token.LEQ, token.GT, token.GEQ:
+		if !Same(xt, TypInt) || !Same(yt, TypInt) {
+			c.errorf(e.Pos(), "operator %s requires int operands, got %s and %s", e.Op, xt, yt)
+		}
+		return TypBool
+	case token.EQ, token.NEQ:
+		ok := Same(xt, yt) ||
+			(IsRef(xt) && IsRef(yt)) // reference comparison incl. null
+		if !ok {
+			c.errorf(e.Pos(), "operator %s cannot compare %s and %s", e.Op, xt, yt)
+		}
+		return TypBool
+	case token.AND, token.OR:
+		if !Same(xt, TypBool) || !Same(yt, TypBool) {
+			c.errorf(e.Pos(), "operator %s requires boolean operands, got %s and %s", e.Op, xt, yt)
+		}
+		return TypBool
+	}
+	c.errorf(e.Pos(), "invalid binary operator %s", e.Op)
+	return TypInt
+}

@@ -1,0 +1,292 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"racedet/internal/lang/parser"
+)
+
+func check(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := parser.Parse("t.mj", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return p
+}
+
+func checkErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	prog, err := parser.Parse("t.mj", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Check(prog)
+	if err == nil {
+		t.Fatalf("no error; want one containing %q", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not contain %q", err.Error(), wantSubstr)
+	}
+}
+
+const okProgram = `
+class Animal {
+    int legs;
+    Animal(int l) { legs = l; }
+    int speak() { return legs; }
+}
+class Dog extends Animal {
+    Dog() { legs = 4; }
+    int speak() { return legs * 2; }
+}
+class Main {
+    static Animal pet;
+    static void main() {
+        pet = new Dog();
+        print(pet.speak());
+    }
+}`
+
+func TestCheckOK(t *testing.T) {
+	p := check(t, okProgram)
+	if p.Main == nil || p.Main.QualifiedName() != "Main.main" {
+		t.Fatalf("main = %v", p.Main)
+	}
+	dog := p.Classes["Dog"]
+	animal := p.Classes["Animal"]
+	if dog.Super != animal {
+		t.Error("Dog.Super != Animal")
+	}
+	if !dog.IsSubclassOf(animal) || animal.IsSubclassOf(dog) {
+		t.Error("IsSubclassOf wrong")
+	}
+	if f := dog.LookupField("legs"); f == nil || f.Class != animal {
+		t.Error("field lookup through superclass failed")
+	}
+	if m := dog.ResolveOverride("speak"); m == nil || m.Class != dog {
+		t.Error("override resolution failed")
+	}
+}
+
+func TestThreadBuiltin(t *testing.T) {
+	p := check(t, `
+class W extends Thread {
+    int n;
+    void run() { n = 1; }
+}
+class Main {
+    static void main() {
+        W w = new W();
+        w.start();
+        w.join();
+    }
+}`)
+	w := p.Classes["W"]
+	if !w.IsThread() {
+		t.Fatal("W should be a thread class")
+	}
+	if p.Classes["Main"].IsThread() {
+		t.Fatal("Main is not a thread class")
+	}
+	start := w.LookupMethod("start")
+	if start == nil || start.Builtin != BuiltinStart {
+		t.Error("start must resolve to the builtin")
+	}
+	run := w.ResolveOverride("run")
+	if run == nil || run.Builtin != NotBuiltin {
+		t.Error("run must resolve to the user override")
+	}
+}
+
+func TestSlotLayout(t *testing.T) {
+	p := check(t, `
+class A { int x; int y; static int sx; }
+class B extends A { int z; static int sz; }
+class Main { static void main() { } }`)
+	a, b := p.Classes["A"], p.Classes["B"]
+	if n := len(a.InstanceSlots()); n != 2 {
+		t.Fatalf("A instance slots = %d", n)
+	}
+	if n := len(b.InstanceSlots()); n != 3 {
+		t.Fatalf("B instance slots = %d (must include inherited)", n)
+	}
+	// Slot indexes must be unique and superclass-first.
+	if b.LookupField("x").Index != 0 || b.LookupField("y").Index != 1 || b.LookupField("z").Index != 2 {
+		t.Error("slot indexes not laid out superclass-first")
+	}
+	if len(a.StaticSlots()) != 1 || len(b.StaticSlots()) != 1 {
+		t.Error("static slots per class")
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	p := check(t, okProgram)
+	animal := &ClassType{Class: p.Classes["Animal"]}
+	dog := &ClassType{Class: p.Classes["Dog"]}
+	if !AssignableTo(dog, animal) {
+		t.Error("Dog must be assignable to Animal")
+	}
+	if AssignableTo(animal, dog) {
+		t.Error("Animal must not be assignable to Dog")
+	}
+	if !AssignableTo(TypNull, animal) || AssignableTo(TypNull, TypInt) {
+		t.Error("null assignability wrong")
+	}
+	arr := &ArrayType{Elem: TypInt}
+	if !Same(arr, &ArrayType{Elem: TypInt}) || Same(arr, &ArrayType{Elem: TypBool}) {
+		t.Error("array Same wrong")
+	}
+	if !IsRef(arr) || IsRef(TypInt) || !IsRef(animal) {
+		t.Error("IsRef wrong")
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`class A {} class A {} class M { static void main() {} }`, "duplicate class"},
+		{`class A extends B {} class M { static void main() {} }`, "undeclared class"},
+		{`class A extends A { } class M { static void main() {} }`, "inheritance cycle"},
+		{`class A extends B {} class B extends A {} class M { static void main() {} }`, "inheritance cycle"},
+		{`class A { int x; int x; } class M { static void main() {} }`, "duplicate field"},
+		{`class A { void m() {} void m() {} } class M { static void main() {} }`, "duplicate method"},
+		{`class A { void m() {} } class B extends A { int m() { return 1; } } class M { static void main() {} }`, "changes the signature"},
+		{`class A { }`, "no static main"},
+		{`class M { static void main() { int x = true; } }`, "cannot initialize"},
+		{`class M { static void main() { int x = 1; boolean b = x; } }`, "cannot initialize"},
+		{`class M { static void main() { if (1) { } } }`, "must be boolean"},
+		{`class M { static void main() { while (0) { } } }`, "must be boolean"},
+		{`class M { static void main() { int x = 1 + true; } }`, "requires int operands"},
+		{`class M { static void main() { boolean b = true + false; } }`, "requires int operands"},
+		{`class M { static void main() { print(null); } }`, "print requires"},
+		{`class M { static void main() { undeclared = 1; } }`, "undeclared identifier"},
+		{`class M { static void main() { int x = y; } }`, "undeclared identifier"},
+		{`class M { int f; static void main() { f = 1; } }`, "instance field"},
+		{`class M { int m() { return 1; } static void main() { m(); } }`, "instance method"},
+		{`class M { static void main() { int x = this.hashCode(); } }`, "this used in static"},
+		{`class M { static void main() { return 1; } }`, "void method"},
+		{`class M { int m() { return; } static void main() {} }`, "missing return value"},
+		{`class M { static void main() { break; } }`, "break outside loop"},
+		{`class M { static void main() { continue; } }`, "continue outside loop"},
+		{`class M { static void main() { synchronized (1) { } } }`, "requires a reference"},
+		{`class M { static void main() { int x = 0; x.f = 1; } }`, "field access on non-class"},
+		{`class A { int f; } class M { static void main() { A a = new A(); a.missing = 1; } }`, "has no field"},
+		{`class A { } class M { static void main() { A a = new A(); a.m(); } }`, "has no method"},
+		{`class A { void m(int x) {} } class M { static void main() { A a = new A(); a.m(); } }`, "arguments"},
+		{`class A { void m(int x) {} } class M { static void main() { A a = new A(); a.m(true); } }`, "cannot use"},
+		{`class A { } class M { static void main() { A a = new A(1); } }`, "no constructor"},
+		{`class M { static void main() { Thread t = new Thread(); } }`, "cannot instantiate Thread"},
+		{`class W extends Thread { void start() { } } class M { static void main() {} }`, "cannot override built-in"},
+		{`class M { static void main() { int[] a = new int[3]; boolean b = a[0]; } }`, "cannot initialize"},
+		{`class M { static void main() { int x = 1; int y = x[0]; } }`, "indexing non-array"},
+		{`class M { static void main() { int x = 1; int y = x.length; } }`, ".length on non-array"},
+		{`class M { static void main() { int[] a = new int[true]; } }`, "array length must be int"},
+		{`class M { static void main() { int[] a = new int[2]; a[true] = 1; } }`, "array index must be int"},
+		{`class M { static void main() {} static void main2() {} } class N { static void main() {} }`, "multiple static main"},
+		{`class A { int f; } class M { static void main() { int x = A.f; } }`, "is not static"},
+		{`class A { static int s; } class M { static void main() { A a = new A(); int x = a.s; } }`, "accessed through an instance"},
+		{`class A { A(int x) {} } class M { static void main() { A a = new A(); } }`, "parameters"},
+		{`class M { static void main() { boolean b = 1 == true; } }`, "cannot compare"},
+	}
+	for _, c := range cases {
+		checkErr(t, c.src, c.want)
+	}
+}
+
+func TestStaticAccessForms(t *testing.T) {
+	p := check(t, `
+class Config {
+    static int limit;
+    static int get() { return limit; }
+}
+class Main {
+    static void main() {
+        Config.limit = 10;
+        int x = Config.limit + Config.get();
+        print(x);
+    }
+}`)
+	f := p.Classes["Config"].LookupField("limit")
+	if f == nil || !f.Static {
+		t.Fatal("limit must be a static field")
+	}
+}
+
+func TestLocalScoping(t *testing.T) {
+	// Shadowing in nested blocks is allowed; redeclaring in the same
+	// scope is not.
+	check(t, `
+class M {
+    static void main() {
+        int x = 1;
+        { int y = x; { boolean x = true; print(x); } print(y); }
+        print(x);
+    }
+}`)
+	checkErr(t, `
+class M {
+    static void main() {
+        int x = 1;
+        int x = 2;
+    }
+}`, "duplicate local")
+	// Locals in a for-init vanish after the loop.
+	checkErr(t, `
+class M {
+    static void main() {
+        for (int j = 0; j < 3; j++) { }
+        print(j);
+    }
+}`, "undeclared identifier")
+}
+
+func TestRefEqualityWithNull(t *testing.T) {
+	check(t, `
+class A { }
+class M {
+    static void main() {
+        A a = new A();
+        A b = null;
+        boolean x = a == b;
+        boolean y = a != null;
+        boolean z = null == b;
+        print(x == y || z);
+    }
+}`)
+}
+
+func TestAnnotationTables(t *testing.T) {
+	p := check(t, `
+class A {
+    int f;
+    int get() { return f; }
+}
+class M {
+    static void main() {
+        A a = new A();
+        a.f = 3;
+        print(a.get());
+    }
+}`)
+	// Every call expression should be resolved.
+	if len(p.Callee) != 1 {
+		t.Errorf("Callee size = %d, want 1", len(p.Callee))
+	}
+	// FieldOf must be populated for both the qualified access and the
+	// unqualified one inside get().
+	if len(p.FieldOf) < 2 {
+		t.Errorf("FieldOf size = %d, want >= 2", len(p.FieldOf))
+	}
+	for _, cl := range p.Order {
+		if cl.Name == "A" {
+			if cl.LookupMethod("get") == nil {
+				t.Error("method table missing get")
+			}
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package sem implements semantic analysis for MJ: class-table
+// construction, name resolution, and type checking.
+//
+// The result of Check is a Program: the class table plus side tables
+// that annotate AST nodes with their resolved meaning (expression
+// types, identifier references, call targets). Downstream phases —
+// lowering, static datarace analysis, instrumentation — consume these
+// annotations instead of re-deriving them.
+//
+// MJ has a built-in Thread class. A class that (transitively) extends
+// Thread is startable: its instances support the built-in start() and
+// join() methods, and start() runs the instance's run() method in a
+// new thread, exactly as the paper's interthread control-flow
+// machinery assumes.
+package sem
+
+import (
+	"fmt"
+
+	"racedet/internal/lang/ast"
+	"racedet/internal/lang/token"
+)
+
+// Type is the semantic type of an expression or declaration.
+type Type interface {
+	String() string
+	typeMarker()
+}
+
+// BasicKind enumerates the primitive MJ types.
+type BasicKind int
+
+// Primitive kinds.
+const (
+	Int BasicKind = iota
+	Bool
+	Void
+	Null   // the type of the null literal; assignable to any reference
+	String // string literals, valid only as print operands
+)
+
+// Basic is a primitive type.
+type Basic struct{ Kind BasicKind }
+
+// ClassType is an instance type of a declared (or built-in) class.
+type ClassType struct{ Class *Class }
+
+// ArrayType is a one-dimensional array type.
+type ArrayType struct{ Elem Type }
+
+func (*Basic) typeMarker()     {}
+func (*ClassType) typeMarker() {}
+func (*ArrayType) typeMarker() {}
+
+func (b *Basic) String() string {
+	switch b.Kind {
+	case Int:
+		return "int"
+	case Bool:
+		return "boolean"
+	case Void:
+		return "void"
+	case Null:
+		return "null"
+	case String:
+		return "String"
+	}
+	return "?basic?"
+}
+func (c *ClassType) String() string { return c.Class.Name }
+func (a *ArrayType) String() string { return a.Elem.String() + "[]" }
+
+// Canonical primitive type values; compare against these with ==.
+var (
+	TypInt    = &Basic{Kind: Int}
+	TypBool   = &Basic{Kind: Bool}
+	TypVoid   = &Basic{Kind: Void}
+	TypNull   = &Basic{Kind: Null}
+	TypString = &Basic{Kind: String}
+)
+
+// IsRef reports whether t is a reference type (class, array, or null).
+func IsRef(t Type) bool {
+	switch t := t.(type) {
+	case *ClassType, *ArrayType:
+		return true
+	case *Basic:
+		return t.Kind == Null
+	}
+	return false
+}
+
+// Same reports structural type identity.
+func Same(a, b Type) bool {
+	switch a := a.(type) {
+	case *Basic:
+		b, ok := b.(*Basic)
+		return ok && a.Kind == b.Kind
+	case *ClassType:
+		b, ok := b.(*ClassType)
+		return ok && a.Class == b.Class
+	case *ArrayType:
+		b, ok := b.(*ArrayType)
+		return ok && Same(a.Elem, b.Elem)
+	}
+	return false
+}
+
+// AssignableTo reports whether a value of type src may be assigned to
+// a destination of type dst (identity, widening to a superclass, or
+// null to any reference).
+func AssignableTo(src, dst Type) bool {
+	if Same(src, dst) {
+		return true
+	}
+	if sb, ok := src.(*Basic); ok && sb.Kind == Null {
+		return IsRef(dst)
+	}
+	sc, ok1 := src.(*ClassType)
+	dc, ok2 := dst.(*ClassType)
+	if ok1 && ok2 {
+		return sc.Class.IsSubclassOf(dc.Class)
+	}
+	return false
+}
+
+// Field is a resolved field declaration.
+type Field struct {
+	Class  *Class // declaring class
+	Name   string
+	Type   Type
+	Static bool
+	Decl   *ast.FieldDecl // nil for built-ins
+	Index  int            // slot index among the declaring hierarchy's instance or static fields
+}
+
+// QualifiedName renders the field as Class.name for reports.
+func (f *Field) QualifiedName() string { return f.Class.Name + "." + f.Name }
+
+// Method is a resolved method declaration.
+type Method struct {
+	Class        *Class // declaring class
+	Name         string
+	Params       []Type
+	ParamNames   []string
+	Return       Type
+	Static       bool
+	Synchronized bool
+	IsCtor       bool
+	Builtin      BuiltinKind // non-zero for Thread.start/join/run stubs
+	Decl         *ast.MethodDecl
+}
+
+// BuiltinKind tags the built-in Thread methods.
+type BuiltinKind int
+
+// Built-in method kinds.
+const (
+	NotBuiltin BuiltinKind = iota
+	BuiltinStart
+	BuiltinJoin
+	BuiltinRunStub // Thread.run's empty default body
+	// Monitor condition methods, available on every object like in
+	// Java: wait releases the receiver's monitor and sleeps until
+	// notified; notify/notifyAll wake waiter(s). The caller must hold
+	// the receiver's monitor.
+	BuiltinWait
+	BuiltinNotify
+	BuiltinNotifyAll
+)
+
+// QualifiedName renders the method as Class.name for reports.
+func (m *Method) QualifiedName() string { return m.Class.Name + "." + m.Name }
+
+// Class is an entry in the class table.
+type Class struct {
+	Name    string
+	Super   *Class // nil for root classes and Thread
+	Decl    *ast.ClassDecl
+	Builtin bool // true for Thread
+
+	Fields  map[string]*Field  // declared here only
+	Methods map[string]*Method // declared here only; overloading is not supported
+
+	// Layout caches.
+	instanceSlots []*Field // all instance fields incl. inherited, by Index
+	staticSlots   []*Field
+}
+
+// IsSubclassOf reports whether c equals or transitively extends d.
+func (c *Class) IsSubclassOf(d *Class) bool {
+	for x := c; x != nil; x = x.Super {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// IsThread reports whether instances of c are startable threads.
+func (c *Class) IsThread() bool {
+	for x := c; x != nil; x = x.Super {
+		if x.Builtin && x.Name == "Thread" {
+			return true
+		}
+	}
+	return false
+}
+
+// LookupField finds a field by name in c or its superclasses.
+func (c *Class) LookupField(name string) *Field {
+	for x := c; x != nil; x = x.Super {
+		if f, ok := x.Fields[name]; ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// LookupMethod finds a method by name in c or its superclasses
+// (i.e. the statically visible member; dynamic dispatch picks the
+// most-derived override at runtime).
+func (c *Class) LookupMethod(name string) *Method {
+	for x := c; x != nil; x = x.Super {
+		if m, ok := x.Methods[name]; ok {
+			return m
+		}
+	}
+	return nil
+}
+
+// ResolveOverride returns the implementation of method name for a
+// receiver whose dynamic class is c (the most-derived declaration).
+func (c *Class) ResolveOverride(name string) *Method {
+	return c.LookupMethod(name)
+}
+
+// InstanceSlots returns all instance fields of c including inherited
+// ones, ordered by slot index.
+func (c *Class) InstanceSlots() []*Field { return c.instanceSlots }
+
+// StaticSlots returns the static fields declared by c, ordered by
+// slot index.
+func (c *Class) StaticSlots() []*Field { return c.staticSlots }
+
+// RefKind classifies what an identifier refers to.
+type RefKind int
+
+// Identifier reference kinds.
+const (
+	RefLocal RefKind = iota // local variable or parameter
+	RefField                // field of implicit this, or static field of the enclosing class
+	RefClass                // class name used as a static qualifier
+)
+
+// Ref is the resolution of an identifier use.
+type Ref struct {
+	Kind  RefKind
+	Field *Field // for RefField
+	Class *Class // for RefClass
+}
+
+// Program is the fully checked program: class table + AST annotations.
+type Program struct {
+	AST     *ast.Program
+	Classes map[string]*Class
+	Order   []*Class // declaration order, built-ins first
+
+	// Side tables keyed by AST node identity.
+	TypeOf      map[ast.Expr]Type
+	IdentRef    map[*ast.Ident]Ref
+	FieldOf     map[ast.Expr]*Field // for *ast.FieldAccess and field-Idents
+	Callee      map[*ast.CallExpr]*Method
+	CtorOf      map[*ast.NewExpr]*Method // nil entries mean default init
+	ClassOfNew  map[*ast.NewExpr]*Class
+	MethodOfAST map[*ast.MethodDecl]*Method
+
+	// Main is the program entry point: a static method main() in some
+	// class (conventionally Main).
+	Main *Method
+}
+
+// Error is a semantic error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList collects semantic errors.
+type ErrorList []*Error
+
+// Error summarizes the list.
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}

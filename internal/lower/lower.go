@@ -1,0 +1,777 @@
+// Package lower translates checked MJ ASTs into the register IR.
+//
+// Lowering fixes the aspects of evaluation the later phases depend on:
+//
+//   - synchronized methods become an explicit monitorenter on entry
+//     (on `this`, or the class object for static methods) with a
+//     matching monitorexit on every exit path;
+//   - synchronized blocks become monitorenter/monitorexit pairs with
+//     exits emitted on break/continue/return paths that leave them;
+//   - && and || short-circuit via control flow;
+//   - compound assignment and ++/-- on heap locations expand to an
+//     explicit read followed by a write (two access events, matching
+//     the paper's treatment of Java bytecode);
+//   - every instruction carries the stack of lexical synchronized
+//     regions enclosing it, which §6's outer() check consumes.
+package lower
+
+import (
+	"fmt"
+
+	"racedet/internal/ir"
+	"racedet/internal/lang/ast"
+	"racedet/internal/lang/sem"
+	"racedet/internal/lang/token"
+)
+
+// SyncRegion describes one lexical synchronized region in a function.
+type SyncRegion struct {
+	ID          int
+	LockReg     int // register holding the lock at entry
+	MethodLevel bool
+	Pos         token.Pos
+}
+
+// FuncInfo couples a lowered function with its synchronized regions.
+type FuncInfo struct {
+	F       *ir.Func
+	Regions []*SyncRegion
+}
+
+// Result is the outcome of lowering a program.
+type Result struct {
+	Prog  *ir.Program
+	Infos map[*ir.Func]*FuncInfo
+}
+
+// Lower lowers every user-declared method of the checked program.
+func Lower(p *sem.Program) *Result {
+	res := &Result{
+		Prog: &ir.Program{
+			Sem:    p,
+			FuncOf: make(map[*sem.Method]*ir.Func),
+		},
+		Infos: make(map[*ir.Func]*FuncInfo),
+	}
+	for _, cl := range p.Order {
+		if cl.Decl == nil {
+			continue
+		}
+		for _, md := range cl.Decl.Methods {
+			m := p.MethodOfAST[md]
+			if m == nil {
+				continue
+			}
+			lw := newLowerer(p, m)
+			f := lw.lower()
+			res.Prog.Funcs = append(res.Prog.Funcs, f)
+			res.Prog.FuncOf[m] = f
+			res.Infos[f] = &FuncInfo{F: f, Regions: lw.regions}
+		}
+	}
+	return res
+}
+
+type lowerer struct {
+	sem *sem.Program
+	m   *sem.Method
+	f   *ir.Func
+	cur *ir.Block
+
+	scopes []map[string]int // name -> register
+
+	// Synchronized-region bookkeeping.
+	monStack []monEntry
+	regions  []*SyncRegion
+
+	loops []loopCtx
+}
+
+type monEntry struct {
+	lockReg  int
+	regionID int
+}
+
+type loopCtx struct {
+	continueTo *ir.Block
+	breakTo    *ir.Block
+	monDepth   int // monitor stack depth at loop entry
+}
+
+func newLowerer(p *sem.Program, m *sem.Method) *lowerer {
+	numParams := len(m.Params)
+	if !m.Static {
+		numParams++ // register 0 = this
+	}
+	f := ir.NewFunc(m, m.QualifiedName(), numParams)
+	return &lowerer{sem: p, m: m, f: f}
+}
+
+func (lw *lowerer) lower() *ir.Func {
+	lw.cur = lw.f.NewBlock("entry")
+	lw.pushScope()
+	regOff := 0
+	if !lw.m.Static {
+		regOff = 1
+	}
+	for i, name := range lw.m.ParamNames {
+		lw.scopes[0][name] = regOff + i
+	}
+
+	// Synchronized method: enter the monitor before the body.
+	if lw.m.Synchronized {
+		var lockReg int
+		if lw.m.Static {
+			lockReg = lw.f.NewReg()
+			lw.emit(&ir.Instr{Op: ir.OpClassRef, Dst: lockReg, Class: lw.m.Class, Pos: lw.m.Decl.Pos()})
+		} else {
+			lockReg = 0 // this
+		}
+		lw.enterMonitor(lockReg, true, lw.m.Decl.Pos())
+	}
+
+	lw.block(lw.m.Decl.Body)
+
+	// Implicit return at the end of a void method / constructor.
+	if lw.cur.Terminator() == nil {
+		lw.exitAllMonitors(lw.m.Decl.Pos())
+		lw.emit(&ir.Instr{Op: ir.OpReturn, Dst: ir.NoReg, Pos: lw.m.Decl.Pos()})
+	}
+	lw.popScope()
+	lw.f.SyncRegionCount = len(lw.regions)
+	return lw.f
+}
+
+// ---------------------------------------------------------------------------
+// Emission helpers
+
+// emit appends the instruction to the current block, stamping the
+// enclosing synchronized-region stack. After a terminator, emission
+// continues into a fresh unreachable block so that dead trailing
+// statements lower without special cases.
+func (lw *lowerer) emit(in *ir.Instr) *ir.Instr {
+	if lw.cur.Terminator() != nil {
+		lw.cur = lw.f.NewBlock("dead")
+	}
+	in.SyncRegions = lw.regionStack()
+	lw.cur.Instrs = append(lw.cur.Instrs, in)
+	return in
+}
+
+func (lw *lowerer) regionStack() []int {
+	ids := make([]int, len(lw.monStack))
+	for i, m := range lw.monStack {
+		ids[i] = m.regionID
+	}
+	return ids
+}
+
+func (lw *lowerer) jump(to *ir.Block, pos token.Pos) {
+	if lw.cur.Terminator() != nil {
+		return
+	}
+	in := lw.emit(&ir.Instr{Op: ir.OpJump, Dst: ir.NoReg, Pos: pos})
+	lw.f.SetTargets(lw.cur, in, to)
+}
+
+func (lw *lowerer) branch(cond int, yes, no *ir.Block, pos token.Pos) {
+	in := lw.emit(&ir.Instr{Op: ir.OpBranch, Dst: ir.NoReg, Src: []int{cond}, Pos: pos})
+	lw.f.SetTargets(lw.cur, in, yes, no)
+}
+
+func (lw *lowerer) enterMonitor(lockReg int, methodLevel bool, pos token.Pos) {
+	region := &SyncRegion{ID: len(lw.regions), LockReg: lockReg, MethodLevel: methodLevel, Pos: pos}
+	lw.regions = append(lw.regions, region)
+	// The monitorenter itself is outside the region it creates.
+	lw.emit(&ir.Instr{Op: ir.OpMonEnter, Dst: ir.NoReg, Src: []int{lockReg}, Pos: pos})
+	lw.monStack = append(lw.monStack, monEntry{lockReg: lockReg, regionID: region.ID})
+}
+
+func (lw *lowerer) exitMonitor(pos token.Pos) {
+	top := lw.monStack[len(lw.monStack)-1]
+	lw.monStack = lw.monStack[:len(lw.monStack)-1]
+	lw.emit(&ir.Instr{Op: ir.OpMonExit, Dst: ir.NoReg, Src: []int{top.lockReg}, Pos: pos})
+}
+
+// exitMonitorsDownTo emits monitorexits (innermost first) for all
+// monitors above depth, without popping the logical stack — used when
+// control leaves synchronized regions via break/continue/return while
+// the lexical region continues for other paths.
+func (lw *lowerer) exitMonitorsDownTo(depth int, pos token.Pos) {
+	for i := len(lw.monStack) - 1; i >= depth; i-- {
+		// Emit under the region stack that is still active at this point
+		// of the exit sequence.
+		saved := lw.monStack
+		lw.monStack = lw.monStack[:i+1]
+		in := &ir.Instr{Op: ir.OpMonExit, Dst: ir.NoReg, Src: []int{saved[i].lockReg}, Pos: pos}
+		lw.emit(in)
+		lw.monStack = saved
+	}
+}
+
+func (lw *lowerer) exitAllMonitors(pos token.Pos) {
+	lw.exitMonitorsDownTo(0, pos)
+}
+
+func (lw *lowerer) pushScope() { lw.scopes = append(lw.scopes, map[string]int{}) }
+func (lw *lowerer) popScope()  { lw.scopes = lw.scopes[:len(lw.scopes)-1] }
+
+func (lw *lowerer) lookup(name string) (int, bool) {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if r, ok := lw.scopes[i][name]; ok {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (lw *lowerer) block(b *ast.BlockStmt) {
+	lw.pushScope()
+	for _, s := range b.Stmts {
+		lw.stmt(s)
+	}
+	lw.popScope()
+}
+
+func (lw *lowerer) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		lw.block(s)
+	case *ast.VarDeclStmt:
+		reg := lw.f.NewReg()
+		if s.Init != nil {
+			v := lw.expr(s.Init)
+			lw.emit(&ir.Instr{Op: ir.OpMove, Dst: reg, Src: []int{v}, Pos: s.Pos()})
+		} else {
+			lw.emitDefault(reg, s.Type, s.Pos())
+		}
+		lw.scopes[len(lw.scopes)-1][s.Name] = reg
+	case *ast.AssignStmt:
+		lw.assign(s)
+	case *ast.IncDecStmt:
+		op := token.PLUSASSIGN
+		if s.Op == token.DEC {
+			op = token.MINUSASSIGN
+		}
+		lw.assign(&ast.AssignStmt{TokPos: s.TokPos, LHS: s.LHS, Op: op,
+			RHS: &ast.IntLit{TokPos: s.TokPos, Value: 1}})
+	case *ast.IfStmt:
+		lw.ifStmt(s)
+	case *ast.WhileStmt:
+		lw.whileStmt(s)
+	case *ast.ForStmt:
+		lw.forStmt(s)
+	case *ast.ReturnStmt:
+		var src []int
+		if s.Value != nil {
+			src = []int{lw.expr(s.Value)}
+		}
+		lw.exitMonitorsDownTo(0, s.Pos())
+		lw.emit(&ir.Instr{Op: ir.OpReturn, Dst: ir.NoReg, Src: src, Pos: s.Pos()})
+	case *ast.BreakStmt:
+		l := lw.loops[len(lw.loops)-1]
+		lw.exitMonitorsDownTo(l.monDepth, s.Pos())
+		lw.jump(l.breakTo, s.Pos())
+	case *ast.ContinueStmt:
+		l := lw.loops[len(lw.loops)-1]
+		lw.exitMonitorsDownTo(l.monDepth, s.Pos())
+		lw.jump(l.continueTo, s.Pos())
+	case *ast.ExprStmt:
+		lw.expr(s.X)
+	case *ast.SyncStmt:
+		lock := lw.expr(s.Lock)
+		lw.enterMonitor(lock, false, s.Pos())
+		lw.block(s.Body)
+		if lw.cur.Terminator() == nil {
+			lw.exitMonitor(s.Pos())
+		} else {
+			// All paths inside returned/broke; the logical stack still
+			// needs popping for the code that follows lexically.
+			lw.monStack = lw.monStack[:len(lw.monStack)-1]
+		}
+	case *ast.PrintStmt:
+		if str, ok := s.Value.(*ast.StringLit); ok {
+			lw.emit(&ir.Instr{Op: ir.OpPrint, Dst: ir.NoReg, Str: str.Value, Pos: s.Pos()})
+			return
+		}
+		v := lw.expr(s.Value)
+		// Elem carries the operand's semantic type so the interpreter
+		// renders booleans as true/false.
+		lw.emit(&ir.Instr{Op: ir.OpPrint, Dst: ir.NoReg, Src: []int{v}, Elem: lw.sem.TypeOf[s.Value], Pos: s.Pos()})
+	default:
+		panic(fmt.Sprintf("lower: unhandled statement %T", s))
+	}
+}
+
+func (lw *lowerer) emitDefault(reg int, t ast.Type, pos token.Pos) {
+	switch tt := t.(type) {
+	case *ast.PrimType:
+		if tt.Kind == token.BOOLEAN {
+			lw.emit(&ir.Instr{Op: ir.OpBoolConst, Dst: reg, Value: 0, Pos: pos})
+		} else {
+			lw.emit(&ir.Instr{Op: ir.OpConst, Dst: reg, Value: 0, Pos: pos})
+		}
+	default:
+		lw.emit(&ir.Instr{Op: ir.OpNull, Dst: reg, Pos: pos})
+	}
+}
+
+// assign lowers simple and compound assignment to locals, fields,
+// statics, and array elements.
+func (lw *lowerer) assign(s *ast.AssignStmt) {
+	binOf := func(op token.Kind) ir.BinKind {
+		switch op {
+		case token.PLUSASSIGN:
+			return ir.BinAdd
+		case token.MINUSASSIGN:
+			return ir.BinSub
+		case token.STARASSIGN:
+			return ir.BinMul
+		case token.SLASHASSIGN:
+			return ir.BinDiv
+		}
+		panic("lower: bad compound assign op")
+	}
+
+	switch lhs := s.LHS.(type) {
+	case *ast.Ident:
+		ref := lw.sem.IdentRef[lhs]
+		switch ref.Kind {
+		case sem.RefLocal:
+			reg, ok := lw.lookup(lhs.Name)
+			if !ok {
+				panic("lower: unresolved local " + lhs.Name)
+			}
+			if s.Op == token.ASSIGN {
+				v := lw.expr(s.RHS)
+				lw.emit(&ir.Instr{Op: ir.OpMove, Dst: reg, Src: []int{v}, Pos: s.Pos()})
+			} else {
+				v := lw.expr(s.RHS)
+				lw.emit(&ir.Instr{Op: ir.OpBin, Dst: reg, Src: []int{reg, v}, Bin: binOf(s.Op), Pos: s.Pos()})
+			}
+		case sem.RefField:
+			f := ref.Field
+			if f.Static {
+				lw.assignStatic(f, s, binOf)
+			} else {
+				lw.assignField(0, f, s, binOf) // implicit this
+			}
+		default:
+			panic("lower: assignment to class name")
+		}
+	case *ast.FieldAccess:
+		f := lw.sem.FieldOf[lhs]
+		if f == nil {
+			panic("lower: unresolved field access " + lhs.Field)
+		}
+		if f.Static {
+			lw.assignStatic(f, s, binOf)
+			return
+		}
+		obj := lw.expr(lhs.X)
+		lw.assignField(obj, f, s, binOf)
+	case *ast.IndexExpr:
+		arr := lw.expr(lhs.X)
+		idx := lw.expr(lhs.Index)
+		if s.Op == token.ASSIGN {
+			v := lw.expr(s.RHS)
+			lw.emit(&ir.Instr{Op: ir.OpArrayStore, Dst: ir.NoReg, Src: []int{arr, idx, v}, Pos: s.Pos()})
+			return
+		}
+		old := lw.f.NewReg()
+		lw.emit(&ir.Instr{Op: ir.OpArrayLoad, Dst: old, Src: []int{arr, idx}, Pos: s.Pos()})
+		v := lw.expr(s.RHS)
+		res := lw.f.NewReg()
+		lw.emit(&ir.Instr{Op: ir.OpBin, Dst: res, Src: []int{old, v}, Bin: binOf(s.Op), Pos: s.Pos()})
+		lw.emit(&ir.Instr{Op: ir.OpArrayStore, Dst: ir.NoReg, Src: []int{arr, idx, res}, Pos: s.Pos()})
+	default:
+		panic(fmt.Sprintf("lower: invalid assignment target %T", s.LHS))
+	}
+}
+
+func (lw *lowerer) assignField(obj int, f *sem.Field, s *ast.AssignStmt, binOf func(token.Kind) ir.BinKind) {
+	if s.Op == token.ASSIGN {
+		v := lw.expr(s.RHS)
+		lw.emit(&ir.Instr{Op: ir.OpPutField, Dst: ir.NoReg, Src: []int{obj, v}, Field: f, Pos: s.Pos()})
+		return
+	}
+	old := lw.f.NewReg()
+	lw.emit(&ir.Instr{Op: ir.OpGetField, Dst: old, Src: []int{obj}, Field: f, Pos: s.Pos()})
+	v := lw.expr(s.RHS)
+	res := lw.f.NewReg()
+	lw.emit(&ir.Instr{Op: ir.OpBin, Dst: res, Src: []int{old, v}, Bin: binOf(s.Op), Pos: s.Pos()})
+	lw.emit(&ir.Instr{Op: ir.OpPutField, Dst: ir.NoReg, Src: []int{obj, res}, Field: f, Pos: s.Pos()})
+}
+
+func (lw *lowerer) assignStatic(f *sem.Field, s *ast.AssignStmt, binOf func(token.Kind) ir.BinKind) {
+	if s.Op == token.ASSIGN {
+		v := lw.expr(s.RHS)
+		lw.emit(&ir.Instr{Op: ir.OpPutStatic, Dst: ir.NoReg, Src: []int{v}, Field: f, Pos: s.Pos()})
+		return
+	}
+	old := lw.f.NewReg()
+	lw.emit(&ir.Instr{Op: ir.OpGetStatic, Dst: old, Field: f, Pos: s.Pos()})
+	v := lw.expr(s.RHS)
+	res := lw.f.NewReg()
+	lw.emit(&ir.Instr{Op: ir.OpBin, Dst: res, Src: []int{old, v}, Bin: binOf(s.Op), Pos: s.Pos()})
+	lw.emit(&ir.Instr{Op: ir.OpPutStatic, Dst: ir.NoReg, Src: []int{res}, Field: f, Pos: s.Pos()})
+}
+
+func (lw *lowerer) ifStmt(s *ast.IfStmt) {
+	thenB := lw.f.NewBlock("if.then")
+	var elseB *ir.Block
+	done := lw.f.NewBlock("if.done")
+	if s.Else != nil {
+		elseB = lw.f.NewBlock("if.else")
+	} else {
+		elseB = done
+	}
+	lw.cond(s.Cond, thenB, elseB)
+
+	lw.cur = thenB
+	lw.block(s.Then)
+	lw.jump(done, s.Pos())
+
+	if s.Else != nil {
+		lw.cur = elseB
+		lw.stmt(s.Else)
+		lw.jump(done, s.Pos())
+	}
+	lw.cur = done
+}
+
+func (lw *lowerer) whileStmt(s *ast.WhileStmt) {
+	condB := lw.f.NewBlock("while.cond")
+	bodyB := lw.f.NewBlock("while.body")
+	doneB := lw.f.NewBlock("while.done")
+	lw.jump(condB, s.Pos())
+
+	lw.cur = condB
+	lw.cond(s.Cond, bodyB, doneB)
+
+	lw.loops = append(lw.loops, loopCtx{continueTo: condB, breakTo: doneB, monDepth: len(lw.monStack)})
+	lw.cur = bodyB
+	lw.block(s.Body)
+	lw.jump(condB, s.Pos())
+	lw.loops = lw.loops[:len(lw.loops)-1]
+
+	lw.cur = doneB
+}
+
+func (lw *lowerer) forStmt(s *ast.ForStmt) {
+	lw.pushScope()
+	if s.Init != nil {
+		lw.stmt(s.Init)
+	}
+	condB := lw.f.NewBlock("for.cond")
+	bodyB := lw.f.NewBlock("for.body")
+	postB := lw.f.NewBlock("for.post")
+	doneB := lw.f.NewBlock("for.done")
+	lw.jump(condB, s.Pos())
+
+	lw.cur = condB
+	if s.Cond != nil {
+		lw.cond(s.Cond, bodyB, doneB)
+	} else {
+		lw.jump(bodyB, s.Pos())
+	}
+
+	lw.loops = append(lw.loops, loopCtx{continueTo: postB, breakTo: doneB, monDepth: len(lw.monStack)})
+	lw.cur = bodyB
+	lw.block(s.Body)
+	lw.jump(postB, s.Pos())
+	lw.loops = lw.loops[:len(lw.loops)-1]
+
+	lw.cur = postB
+	if s.Post != nil {
+		lw.stmt(s.Post)
+	}
+	lw.jump(condB, s.Pos())
+
+	lw.cur = doneB
+	lw.popScope()
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// cond lowers a boolean expression as control flow into yes/no,
+// short-circuiting && and ||.
+func (lw *lowerer) cond(e ast.Expr, yes, no *ir.Block) {
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.AND:
+			mid := lw.f.NewBlock("and.rhs")
+			lw.cond(e.X, mid, no)
+			lw.cur = mid
+			lw.cond(e.Y, yes, no)
+			return
+		case token.OR:
+			mid := lw.f.NewBlock("or.rhs")
+			lw.cond(e.X, yes, mid)
+			lw.cur = mid
+			lw.cond(e.Y, yes, no)
+			return
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			lw.cond(e.X, no, yes)
+			return
+		}
+	}
+	v := lw.expr(e)
+	lw.branch(v, yes, no, e.Pos())
+}
+
+// expr lowers an expression, returning the register holding its value.
+func (lw *lowerer) expr(e ast.Expr) int {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		r := lw.f.NewReg()
+		lw.emit(&ir.Instr{Op: ir.OpConst, Dst: r, Value: e.Value, Pos: e.Pos()})
+		return r
+	case *ast.BoolLit:
+		r := lw.f.NewReg()
+		v := int64(0)
+		if e.Value {
+			v = 1
+		}
+		lw.emit(&ir.Instr{Op: ir.OpBoolConst, Dst: r, Value: v, Pos: e.Pos()})
+		return r
+	case *ast.StringLit:
+		r := lw.f.NewReg()
+		lw.emit(&ir.Instr{Op: ir.OpStrConst, Dst: r, Str: e.Value, Pos: e.Pos()})
+		return r
+	case *ast.NullLit:
+		r := lw.f.NewReg()
+		lw.emit(&ir.Instr{Op: ir.OpNull, Dst: r, Pos: e.Pos()})
+		return r
+	case *ast.ThisExpr:
+		return 0
+	case *ast.Ident:
+		ref := lw.sem.IdentRef[e]
+		switch ref.Kind {
+		case sem.RefLocal:
+			reg, ok := lw.lookup(e.Name)
+			if !ok {
+				panic("lower: unresolved local " + e.Name)
+			}
+			return reg
+		case sem.RefField:
+			f := ref.Field
+			r := lw.f.NewReg()
+			if f.Static {
+				lw.emit(&ir.Instr{Op: ir.OpGetStatic, Dst: r, Field: f, Pos: e.Pos()})
+			} else {
+				lw.emit(&ir.Instr{Op: ir.OpGetField, Dst: r, Src: []int{0}, Field: f, Pos: e.Pos()})
+			}
+			return r
+		case sem.RefClass:
+			r := lw.f.NewReg()
+			lw.emit(&ir.Instr{Op: ir.OpClassRef, Dst: r, Class: ref.Class, Pos: e.Pos()})
+			return r
+		}
+		panic("lower: unresolved identifier " + e.Name)
+	case *ast.FieldAccess:
+		f := lw.sem.FieldOf[e]
+		if f == nil {
+			panic("lower: unresolved field " + e.Field)
+		}
+		r := lw.f.NewReg()
+		if f.Static {
+			lw.emit(&ir.Instr{Op: ir.OpGetStatic, Dst: r, Field: f, Pos: e.Pos()})
+		} else {
+			obj := lw.expr(e.X)
+			lw.emit(&ir.Instr{Op: ir.OpGetField, Dst: r, Src: []int{obj}, Field: f, Pos: e.Pos()})
+		}
+		return r
+	case *ast.IndexExpr:
+		arr := lw.expr(e.X)
+		idx := lw.expr(e.Index)
+		r := lw.f.NewReg()
+		lw.emit(&ir.Instr{Op: ir.OpArrayLoad, Dst: r, Src: []int{arr, idx}, Pos: e.Pos()})
+		return r
+	case *ast.LenExpr:
+		arr := lw.expr(e.X)
+		r := lw.f.NewReg()
+		lw.emit(&ir.Instr{Op: ir.OpArrayLen, Dst: r, Src: []int{arr}, Pos: e.Pos()})
+		return r
+	case *ast.CallExpr:
+		return lw.call(e)
+	case *ast.NewExpr:
+		return lw.newExpr(e)
+	case *ast.NewArrayExpr:
+		n := lw.expr(e.Len)
+		r := lw.f.NewReg()
+		elem := lw.resolveElemType(e.Elem)
+		lw.emit(&ir.Instr{Op: ir.OpNewArray, Dst: r, Src: []int{n}, Elem: elem, Pos: e.Pos()})
+		return r
+	case *ast.UnaryExpr:
+		x := lw.expr(e.X)
+		r := lw.f.NewReg()
+		op := ir.OpNeg
+		if e.Op == token.NOT {
+			op = ir.OpNot
+		}
+		lw.emit(&ir.Instr{Op: op, Dst: r, Src: []int{x}, Pos: e.Pos()})
+		return r
+	case *ast.BinaryExpr:
+		if e.Op == token.AND || e.Op == token.OR {
+			// Materialize the short-circuit result into a register.
+			r := lw.f.NewReg()
+			yes := lw.f.NewBlock("bool.true")
+			no := lw.f.NewBlock("bool.false")
+			done := lw.f.NewBlock("bool.done")
+			lw.cond(e, yes, no)
+			lw.cur = yes
+			lw.emit(&ir.Instr{Op: ir.OpBoolConst, Dst: r, Value: 1, Pos: e.Pos()})
+			lw.jump(done, e.Pos())
+			lw.cur = no
+			lw.emit(&ir.Instr{Op: ir.OpBoolConst, Dst: r, Value: 0, Pos: e.Pos()})
+			lw.jump(done, e.Pos())
+			lw.cur = done
+			return r
+		}
+		x := lw.expr(e.X)
+		y := lw.expr(e.Y)
+		r := lw.f.NewReg()
+		lw.emit(&ir.Instr{Op: ir.OpBin, Dst: r, Src: []int{x, y}, Bin: binKind(e.Op), Pos: e.Pos()})
+		return r
+	}
+	panic(fmt.Sprintf("lower: unhandled expression %T", e))
+}
+
+func binKind(op token.Kind) ir.BinKind {
+	switch op {
+	case token.PLUS:
+		return ir.BinAdd
+	case token.MINUS:
+		return ir.BinSub
+	case token.STAR:
+		return ir.BinMul
+	case token.SLASH:
+		return ir.BinDiv
+	case token.PERCENT:
+		return ir.BinMod
+	case token.EQ:
+		return ir.BinEq
+	case token.NEQ:
+		return ir.BinNeq
+	case token.LT:
+		return ir.BinLt
+	case token.LEQ:
+		return ir.BinLeq
+	case token.GT:
+		return ir.BinGt
+	case token.GEQ:
+		return ir.BinGeq
+	}
+	panic("lower: bad binary op " + op.String())
+}
+
+func (lw *lowerer) resolveElemType(t ast.Type) sem.Type {
+	switch t := t.(type) {
+	case *ast.PrimType:
+		if t.Kind == token.BOOLEAN {
+			return sem.TypBool
+		}
+		return sem.TypInt
+	case *ast.NamedType:
+		if cl, ok := lw.sem.Classes[t.Name]; ok {
+			return &sem.ClassType{Class: cl}
+		}
+	case *ast.ArrayType:
+		return &sem.ArrayType{Elem: lw.resolveElemType(t.Elem)}
+	}
+	return sem.TypInt
+}
+
+func (lw *lowerer) call(e *ast.CallExpr) int {
+	m := lw.sem.Callee[e]
+	if m == nil {
+		panic("lower: unresolved call " + e.Method)
+	}
+
+	// Built-in thread and monitor operations.
+	switch m.Builtin {
+	case sem.BuiltinStart, sem.BuiltinJoin:
+		recv := lw.receiverReg(e, m)
+		op := ir.OpStart
+		if m.Builtin == sem.BuiltinJoin {
+			op = ir.OpJoin
+		}
+		lw.emit(&ir.Instr{Op: op, Dst: ir.NoReg, Src: []int{recv}, Pos: e.Pos()})
+		return ir.NoReg
+	case sem.BuiltinWait, sem.BuiltinNotify, sem.BuiltinNotifyAll:
+		recv := lw.receiverReg(e, m)
+		op := ir.OpWait
+		switch m.Builtin {
+		case sem.BuiltinNotify:
+			op = ir.OpNotify
+		case sem.BuiltinNotifyAll:
+			op = ir.OpNotifyAll
+		}
+		lw.emit(&ir.Instr{Op: op, Dst: ir.NoReg, Src: []int{recv}, Pos: e.Pos()})
+		return ir.NoReg
+	case sem.BuiltinRunStub:
+		// Calling run() explicitly on a class that never overrides it
+		// is a no-op.
+		lw.receiverReg(e, m)
+		return ir.NoReg
+	}
+
+	var src []int
+	if !m.Static {
+		src = append(src, lw.receiverReg(e, m))
+	}
+	for _, a := range e.Args {
+		src = append(src, lw.expr(a))
+	}
+	dst := ir.NoReg
+	if !sem.Same(m.Return, sem.TypVoid) {
+		dst = lw.f.NewReg()
+	}
+	lw.emit(&ir.Instr{
+		Op: ir.OpCall, Dst: dst, Src: src,
+		Callee: m, Virtual: !m.Static && !m.IsCtor,
+		Pos: e.Pos(),
+	})
+	return dst
+}
+
+// receiverReg evaluates the receiver of a call (explicit or implicit
+// this).
+func (lw *lowerer) receiverReg(e *ast.CallExpr, m *sem.Method) int {
+	if m.Static {
+		return ir.NoReg
+	}
+	if e.Recv == nil {
+		return 0 // implicit this
+	}
+	return lw.expr(e.Recv)
+}
+
+func (lw *lowerer) newExpr(e *ast.NewExpr) int {
+	cl := lw.sem.ClassOfNew[e]
+	if cl == nil {
+		panic("lower: unresolved new " + e.Class)
+	}
+	r := lw.f.NewReg()
+	lw.emit(&ir.Instr{Op: ir.OpNew, Dst: r, Class: cl, Pos: e.Pos()})
+	if ctor := lw.sem.CtorOf[e]; ctor != nil {
+		src := []int{r}
+		for _, a := range e.Args {
+			src = append(src, lw.expr(a))
+		}
+		lw.emit(&ir.Instr{
+			Op: ir.OpCall, Dst: ir.NoReg, Src: src,
+			Callee: ctor, Virtual: false,
+			Pos: e.Pos(),
+		})
+	}
+	return r
+}

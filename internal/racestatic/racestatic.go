@@ -1,0 +1,165 @@
+// Package racestatic implements the static datarace analysis of §5:
+// the conservative formulation
+//
+//	IsMayRace(x, y) ⟺ AccMayConflict(x, y)
+//	                  ∧ ¬MustSameThread(x, y)
+//	                  ∧ ¬MustCommonSync(x, y)
+//
+// over all pairs of heap-access instructions, refined by the escape
+// analysis of §5.4 (thread-local and thread-specific accesses are
+// discarded up front). Its product, the static datarace set, drives
+// the instrumentation phase: accesses outside the set are provably
+// race-free and are never traced.
+package racestatic
+
+import (
+	"fmt"
+	"sort"
+
+	"racedet/internal/escape"
+	"racedet/internal/icfg"
+	"racedet/internal/ir"
+	"racedet/internal/pointsto"
+)
+
+// AccessSite is one heap-access instruction with its context.
+type AccessSite struct {
+	Fn    *ir.Func
+	Block *ir.Block
+	Instr *ir.Instr
+}
+
+func (a AccessSite) String() string {
+	return fmt.Sprintf("%s@%s", a.Fn.InstrString(a.Instr), a.Instr.Pos)
+}
+
+// Result is the static datarace set plus the per-site classification.
+type Result struct {
+	// InRaceSet maps access instructions that may participate in a
+	// datarace; everything else needs no instrumentation.
+	InRaceSet map[*ir.Instr]bool
+
+	// Pairs lists the may-race statement pairs (for reporting and
+	// debugging; Definition 1's guarantee only needs the set).
+	Pairs [][2]AccessSite
+
+	// Sites lists every heap access site seen.
+	Sites []AccessSite
+
+	// PrunedThreadLocal counts accesses discarded by escape analysis;
+	// PrunedSameThread and PrunedCommonSync count pair-level proofs.
+	PrunedThreadLocal int
+	PrunedSameThread  int
+	PrunedCommonSync  int
+}
+
+// Filter adapts the race set to the instrumentation phase.
+func (r *Result) Filter() func(*ir.Instr) bool {
+	return func(in *ir.Instr) bool { return r.InRaceSet[in] }
+}
+
+// Analyze computes the static datarace set.
+func Analyze(prog *ir.Program, pts *pointsto.Result, g *icfg.Graph, esc *escape.Result) *Result {
+	r := &Result{InRaceSet: make(map[*ir.Instr]bool)}
+
+	// Collect candidate sites, pruning thread-local/thread-specific
+	// accesses immediately (§5.4).
+	var sites []AccessSite
+	for _, fn := range prog.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if !in.IsAccess() {
+					continue
+				}
+				site := AccessSite{Fn: fn, Block: b, Instr: in}
+				r.Sites = append(r.Sites, site)
+				if esc.ThreadLocalAccess(fn, in) {
+					r.PrunedThreadLocal++
+					continue
+				}
+				sites = append(sites, site)
+			}
+		}
+	}
+
+	// Group sites by conflict key to avoid the full quadratic sweep:
+	// field accesses can only conflict on the same field; array
+	// accesses only with array accesses.
+	groups := make(map[string][]AccessSite)
+	for _, s := range sites {
+		groups[conflictKey(s.Instr)] = append(groups[conflictKey(s.Instr)], s)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	inPairs := make(map[*ir.Instr]bool)
+	for _, k := range keys {
+		group := groups[k]
+		for i := 0; i < len(group); i++ {
+			for j := i; j < len(group); j++ {
+				x, y := group[i], group[j]
+				xKind, _, _, _ := x.Instr.AccessInfo()
+				yKind, _, _, _ := y.Instr.AccessInfo()
+				if xKind != ir.Write && yKind != ir.Write {
+					continue // two reads never race
+				}
+				if !accMayConflict(pts, x, y) {
+					continue
+				}
+				if mustSameThread(g, x, y) {
+					r.PrunedSameThread++
+					continue
+				}
+				if mustCommonSync(g, x, y) {
+					r.PrunedCommonSync++
+					continue
+				}
+				r.Pairs = append(r.Pairs, [2]AccessSite{x, y})
+				inPairs[x.Instr] = true
+				inPairs[y.Instr] = true
+			}
+		}
+	}
+	r.InRaceSet = inPairs
+	return r
+}
+
+// conflictKey buckets sites that could possibly access the same
+// location: per-field for field accesses, one bucket for all arrays.
+func conflictKey(in *ir.Instr) string {
+	_, isArray, _, field := in.AccessInfo()
+	if isArray {
+		return "[]"
+	}
+	return field.QualifiedName()
+}
+
+// accMayConflict implements Equation 2: the may points-to sets of the
+// accessed objects overlap and the fields match (the grouping already
+// guaranteed field equality; statics of the same field always
+// conflict).
+func accMayConflict(pts *pointsto.Result, x, y AccessSite) bool {
+	_, xArr, xReg, xField := x.Instr.AccessInfo()
+	_, _, yReg, yField := y.Instr.AccessInfo()
+	if xField != nil && xField.Static {
+		return true // same static field = same location
+	}
+	_ = xArr
+	xSet := pts.VarPts(x.Fn, xReg)
+	ySet := pts.VarPts(y.Fn, yReg)
+	_ = yField
+	return xSet.Intersects(ySet)
+}
+
+// mustSameThread implements Equation 3.
+func mustSameThread(g *icfg.Graph, x, y AccessSite) bool {
+	return g.MustThreadOf(x.Fn).Intersects(g.MustThreadOf(y.Fn))
+}
+
+// mustCommonSync implements Equation 4.
+func mustCommonSync(g *icfg.Graph, x, y AccessSite) bool {
+	return g.MustSyncOf(x.Fn, x.Instr).Intersects(g.MustSyncOf(y.Fn, y.Instr))
+}

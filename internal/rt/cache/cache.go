@@ -1,0 +1,214 @@
+// Package cache implements the runtime optimizer of §4: per-thread
+// direct-mapped caches that filter access events before they reach the
+// trie detector.
+//
+// Each thread owns two caches — one for reads, one for writes —
+// indexed by memory location. The design guarantees the §4.2 policy:
+// if a lookup hits, the cached access p is weaker than the incoming
+// access q:
+//
+//   - p.t = q.t because caches are per-thread;
+//   - p.a = q.a because reads and writes use separate caches;
+//   - p.L ⊆ q.L because every entry is evicted when any lock in its
+//     lockset is released. The eviction exploits MJ's (and Java's)
+//     nested locking discipline: an entry is linked onto the eviction
+//     list of the lock that was most recently acquired when the entry
+//     was created ("last in, first out"), so releasing a lock evicts
+//     exactly the entries whose locksets contain it.
+//
+// Entries therefore store no thread, kind, or lockset at all — just
+// the location — mirroring the paper's ten-instruction hit path.
+package cache
+
+import "racedet/internal/rt/event"
+
+// Size is the number of entries per direct-mapped cache, matching the
+// paper's 256-entry configuration.
+const Size = 256
+
+// entry is one cache slot. Entries form doubly-linked per-lock
+// eviction lists so both lock-release eviction and conflict eviction
+// are O(1) per entry.
+type entry struct {
+	loc   event.Loc
+	valid bool
+	lock  event.ObjID // owning eviction list; hasLock distinguishes "no locks held"
+	hasL  bool
+	prev  *entry
+	next  *entry
+}
+
+// unlink removes the entry from its eviction list.
+func (e *entry) unlink() {
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// threadCache is the pair of direct-mapped caches for one thread plus
+// its per-lock eviction lists.
+type threadCache struct {
+	read  [Size]entry
+	write [Size]entry
+	// lists maps a lock to the head of its eviction list. Heads are
+	// dummy-free: the map points straight at the first entry.
+	lists map[event.ObjID]*entry
+}
+
+func newThreadCache() *threadCache {
+	return &threadCache{lists: make(map[event.ObjID]*entry)}
+}
+
+// Stats counts cache work for the Table 2 harness.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64 // entries evicted by lock release or conflicts
+}
+
+// Cache is the runtime optimizer: all threads' caches plus the policy
+// hooks that keep them sound. Thread IDs are small dense ints, so the
+// per-thread caches live in a slice — the lookup path stays a handful
+// of instructions, mirroring the paper's ten-instruction hit path.
+type Cache struct {
+	threads []*threadCache
+	stats   Stats
+}
+
+// New returns an empty cache layer.
+func New() *Cache {
+	return &Cache{}
+}
+
+// Stats returns a copy of the work counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// index is the direct-mapped hash: multiply by a odd constant and take
+// the upper bits (the paper multiplies the 32-bit address by a
+// constant and keeps the upper 16 bits; we fold object ID and slot).
+func index(loc event.Loc) int {
+	h := uint64(loc.Obj)*0x9E3779B97F4A7C15 + uint64(uint32(loc.Slot))*0x85EBCA6B
+	return int(h>>48) & (Size - 1)
+}
+
+func (c *Cache) forThread(t event.ThreadID) *threadCache {
+	i := int(t)
+	for i >= len(c.threads) {
+		c.threads = append(c.threads, nil)
+	}
+	tc := c.threads[i]
+	if tc == nil {
+		tc = newThreadCache()
+		c.threads[i] = tc
+	}
+	return tc
+}
+
+// Lookup checks whether a weaker access for (t, loc, kind) is cached.
+// On a hit the caller may discard the access entirely. On a miss the
+// caller must forward the access to the detector and then call Insert.
+func (c *Cache) Lookup(t event.ThreadID, loc event.Loc, kind event.Kind) bool {
+	tc := c.forThread(t)
+	e := tc.slot(loc, kind)
+	if e.valid && e.loc == loc {
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+func (tc *threadCache) slot(loc event.Loc, kind event.Kind) *entry {
+	if kind == event.Write {
+		return &tc.write[index(loc)]
+	}
+	return &tc.read[index(loc)]
+}
+
+// Insert records the access in t's cache. top is the most recently
+// acquired lock currently held by t (ok=false when t holds no locks);
+// the entry joins that lock's eviction list, which under nested
+// locking guarantees the entry dies no later than the first release of
+// any lock in its lockset.
+func (c *Cache) Insert(t event.ThreadID, loc event.Loc, kind event.Kind, top event.ObjID, ok bool) {
+	tc := c.forThread(t)
+	e := tc.slot(loc, kind)
+	if e.valid {
+		// Conflict eviction: drop the previous occupant from its list.
+		if e.hasL && tc.lists[e.lock] == e {
+			tc.lists[e.lock] = e.next
+		}
+		e.unlink()
+		c.stats.Evictions++
+	}
+	e.loc = loc
+	e.valid = true
+	e.hasL = ok
+	e.prev, e.next = nil, nil
+	if ok {
+		e.lock = top
+		head := tc.lists[top]
+		if head != nil {
+			e.next = head
+			head.prev = e
+		}
+		tc.lists[top] = e
+	} else {
+		e.lock = 0
+	}
+}
+
+// LockReleased evicts every entry of thread t whose lockset contains
+// lock. Thanks to the LIFO discipline these are exactly the entries on
+// lock's eviction list.
+func (c *Cache) LockReleased(t event.ThreadID, lock event.ObjID) {
+	if int(t) >= len(c.threads) {
+		return
+	}
+	tc := c.threads[t]
+	if tc == nil {
+		return
+	}
+	e := tc.lists[lock]
+	for e != nil {
+		next := e.next
+		e.valid = false
+		e.prev, e.next = nil, nil
+		c.stats.Evictions++
+		e = next
+	}
+	delete(tc.lists, lock)
+}
+
+// EvictLocation removes loc from every thread's caches (both kinds).
+// The ownership model calls this when a location transitions from
+// owned to shared (§7.2): entries cached while the location was owned
+// no longer imply that a weaker access reached the detector.
+func (c *Cache) EvictLocation(loc event.Loc) {
+	for _, tc := range c.threads {
+		if tc == nil {
+			continue
+		}
+		for _, e := range []*entry{&tc.read[index(loc)], &tc.write[index(loc)]} {
+			if e.valid && e.loc == loc {
+				if e.hasL && tc.lists[e.lock] == e {
+					tc.lists[e.lock] = e.next
+				}
+				e.unlink()
+				e.valid = false
+				c.stats.Evictions++
+			}
+		}
+	}
+}
+
+// ThreadFinished discards the thread's caches.
+func (c *Cache) ThreadFinished(t event.ThreadID) {
+	if int(t) < len(c.threads) {
+		c.threads[t] = nil
+	}
+}

@@ -1,0 +1,309 @@
+// Package detector composes the paper's full runtime stack — join
+// pseudolocks (§2.3), the ownership filter (§7), the per-thread access
+// caches (§4), and the trie-based weaker-than detector (§3) — behind
+// the event.Sink interface the interpreter feeds.
+//
+// The composition order per access is:
+//
+//	cache lookup → [hit: done]
+//	ownership filter → [owned: cache insert, done; owned→shared:
+//	                    evict location from all caches]
+//	trie: weakness check → race check → update
+//	cache insert
+//
+// Reporting follows Definition 1: the detector reports at least one
+// racing access for every memory location involved in a datarace
+// (deduplicated per location by default).
+package detector
+
+import (
+	"fmt"
+	"sort"
+
+	"racedet/internal/rt/cache"
+	"racedet/internal/rt/event"
+	"racedet/internal/rt/ownership"
+	"racedet/internal/rt/trie"
+)
+
+// Options selects which layers run; the zero value is the paper's
+// "Full" runtime configuration.
+type Options struct {
+	// NoCache disables the §4 runtime optimizer (Table 2 "NoCache").
+	NoCache bool
+	// NoOwnership disables the §7 ownership filter (Table 3
+	// "NoOwnership"): every location starts shared.
+	NoOwnership bool
+	// FieldsMerged collapses all instance fields (and the array
+	// pseudo-field) of an object into one location (Table 3
+	// "FieldsMerged"). Static fields of the same class stay distinct,
+	// as in the paper.
+	FieldsMerged bool
+	// NoPseudoLocks disables the §2.3 join pseudolocks; used to
+	// demonstrate the mtrt I/O-statistics false positive that
+	// single-common-lock detectors report (§8.3).
+	NoPseudoLocks bool
+	// NoTBot stores exact thread sets in trie nodes instead of
+	// collapsing to t⊥ (space ablation; see DESIGN.md §4).
+	NoTBot bool
+	// PackedTrie uses the §8.2 multi-location trie (one trie per
+	// object, per-slot lattice entries) instead of one trie per
+	// location. Mutually exclusive with NoTBot.
+	PackedTrie bool
+	// ReportAll reports every racing access event rather than one per
+	// location (closer to FullRace; quadratic in the worst case).
+	ReportAll bool
+	// DescribeObj renders an object for reports (e.g. "TspSolver#3
+	// allocated at tsp.mj:12:9"); optional.
+	DescribeObj func(event.ObjID) string
+}
+
+// Report describes one reported datarace: the access that triggered
+// the report plus what is known about a prior conflicting access.
+type Report struct {
+	Access      event.Access
+	PriorThread event.ThreadID // may be t⊥ (§3.1)
+	PriorLocks  event.Lockset
+	PriorKind   event.Kind
+	ObjDesc     string
+}
+
+func (r Report) String() string {
+	prior := fmt.Sprintf("earlier %s by %s locks=%s", r.PriorKind, r.PriorThread, r.PriorLocks)
+	desc := ""
+	if r.ObjDesc != "" {
+		desc = " on " + r.ObjDesc
+	}
+	return fmt.Sprintf("DATARACE %s (%s by %s locks=%s at %s)%s; %s",
+		r.Access.FieldName, r.Access.Kind, r.Access.Thread, r.Access.Locks, r.Access.Pos, desc, prior)
+}
+
+// Stats aggregates work counters across the layers.
+type Stats struct {
+	Accesses   uint64 // trace events received
+	CacheHits  uint64
+	OwnerSkips uint64 // accesses absorbed by the ownership filter
+	// OwnerLocations is the number of locations the ownership table
+	// tracks — the detector-memory growth witness behind the paper's
+	// mtrt/NoStatic out-of-memory observation.
+	OwnerLocations int
+	Trie           trie.Stats
+	Cache          cache.Stats
+}
+
+// history is the per-location access store: the per-location trie,
+// its t⊥ ablation, or the §8.2 packed multi-location trie.
+type history interface {
+	Process(event.Access) (bool, trie.RaceInfo)
+	Stats() trie.Stats
+	NodeCount() int
+	LocationCount() int
+}
+
+// Detector is the composed runtime detector.
+type Detector struct {
+	opts Options
+
+	locks  *event.LockTracker
+	cache  *cache.Cache
+	owner  *ownership.Table
+	trie   history
+	stats  Stats
+	parent map[event.ThreadID]event.ThreadID
+
+	reports     []Report
+	reportedLoc map[event.Loc]struct{}
+	reportedObj map[event.ObjID]struct{}
+}
+
+var _ event.Sink = (*Detector)(nil)
+
+// New builds a detector with the given options.
+func New(opts Options) *Detector {
+	d := &Detector{
+		opts:        opts,
+		locks:       event.NewLockTracker(),
+		cache:       cache.New(),
+		owner:       ownership.New(),
+		parent:      make(map[event.ThreadID]event.ThreadID),
+		reportedLoc: make(map[event.Loc]struct{}),
+		reportedObj: make(map[event.ObjID]struct{}),
+	}
+	switch {
+	case opts.PackedTrie:
+		d.trie = trie.NewPacked()
+	case opts.NoTBot:
+		d.trie = trie.NewNoTBot()
+	default:
+		d.trie = trie.New()
+	}
+	return d
+}
+
+// Reports returns the datarace reports in detection order.
+func (d *Detector) Reports() []Report { return d.reports }
+
+// SetDescribeObj installs the object renderer used in reports. The
+// runner sets it after the interpreter (which owns the heap) exists.
+func (d *Detector) SetDescribeObj(fn func(event.ObjID) string) { d.opts.DescribeObj = fn }
+
+// RacyObjects returns the distinct objects named in reports, sorted —
+// the quantity Table 3 counts.
+func (d *Detector) RacyObjects() []event.ObjID {
+	objs := make([]event.ObjID, 0, len(d.reportedObj))
+	for o := range d.reportedObj {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	return objs
+}
+
+// Stats returns the aggregated work counters.
+func (d *Detector) Stats() Stats {
+	s := d.stats
+	s.OwnerLocations = d.owner.Locations()
+	s.Trie = d.trie.Stats()
+	s.Cache = d.cache.Stats()
+	return s
+}
+
+// TrieNodeCount exposes the history size (space metric).
+func (d *Detector) TrieNodeCount() int { return d.trie.NodeCount() }
+
+// TrieLocationCount exposes the number of locations with history.
+func (d *Detector) TrieLocationCount() int { return d.trie.LocationCount() }
+
+// ---------------------------------------------------------------------------
+// event.Sink implementation
+
+// ThreadStarted implements event.Sink.
+func (d *Detector) ThreadStarted(child, parent event.ThreadID) {
+	d.parent[child] = parent
+	if !d.opts.NoPseudoLocks {
+		d.locks.ThreadStarted(child, parent)
+	}
+}
+
+// ThreadFinished implements event.Sink.
+func (d *Detector) ThreadFinished(t event.ThreadID) {
+	if !d.opts.NoPseudoLocks {
+		d.locks.ThreadFinished(t)
+	}
+	d.cache.ThreadFinished(t)
+}
+
+// Joined implements event.Sink.
+func (d *Detector) Joined(joiner, joinee event.ThreadID) {
+	if !d.opts.NoPseudoLocks {
+		d.locks.Joined(joiner, joinee)
+	}
+}
+
+// MonitorEnter implements event.Sink.
+func (d *Detector) MonitorEnter(t event.ThreadID, lock event.ObjID, depth int) {
+	d.locks.MonitorEnter(t, lock, depth)
+}
+
+// MonitorExit implements event.Sink. Releasing a lock evicts the
+// cache entries whose locksets contain it; reentrant exits are
+// ignored, matching §4.2's note on nested locks.
+func (d *Detector) MonitorExit(t event.ThreadID, lock event.ObjID, depth int) {
+	d.locks.MonitorExit(t, lock, depth)
+	if depth == 0 && !d.opts.NoCache {
+		d.cache.LockReleased(t, lock)
+	}
+}
+
+// QuickCheck is the inlined fast path of the §4 runtime optimizer:
+// the paper compiles the cache lookup into the instrumented code so a
+// hit never calls into the detector. The interpreter calls it before
+// materializing a full access event; true means the access was
+// absorbed by the cache.
+func (d *Detector) QuickCheck(t event.ThreadID, loc event.Loc, kind event.Kind) bool {
+	if d.opts.NoCache {
+		return false
+	}
+	if d.opts.FieldsMerged && loc.Slot >= event.ArraySlot {
+		loc.Slot = 0
+	}
+	if d.cache.Lookup(t, loc, kind) {
+		d.stats.Accesses++
+		d.stats.CacheHits++
+		return true
+	}
+	return false
+}
+
+// Access implements event.Sink: the full per-access pipeline. The
+// interpreter only calls it after QuickCheck missed, so the cache
+// lookup here is a second (cheap) miss except for sinks that do not
+// use the fast path.
+func (d *Detector) Access(a event.Access) {
+	d.stats.Accesses++
+	loc := a.Loc
+	// FieldsMerged collapses instance fields and the array pseudo-slot
+	// (Slot >= ArraySlot) to one location per object; static slots
+	// (Slot <= StaticSlotBase) stay distinct, as in the paper.
+	if d.opts.FieldsMerged && loc.Slot >= event.ArraySlot {
+		loc.Slot = 0
+	}
+
+	// 1. Cache.
+	if !d.opts.NoCache {
+		if d.cache.Lookup(a.Thread, loc, a.Kind) {
+			d.stats.CacheHits++
+			return
+		}
+	}
+
+	// 2. Ownership.
+	if !d.opts.NoOwnership {
+		forward, becameShared := d.owner.Filter(a.Thread, loc)
+		if becameShared && !d.opts.NoCache {
+			d.cache.EvictLocation(loc)
+		}
+		if !forward {
+			d.stats.OwnerSkips++
+			if !d.opts.NoCache {
+				top, ok := d.locks.Top(a.Thread)
+				d.cache.Insert(a.Thread, loc, a.Kind, top, ok)
+			}
+			return
+		}
+	}
+
+	// 3. Trie detector. Materialize the lockset now.
+	a.Loc = loc
+	a.Locks = d.locks.Held(a.Thread)
+	race, info := d.trie.Process(a)
+	if race {
+		d.report(a, info)
+	}
+
+	// 4. Cache insert so equal-or-stronger accesses short-circuit.
+	if !d.opts.NoCache {
+		top, ok := d.locks.Top(a.Thread)
+		d.cache.Insert(a.Thread, loc, a.Kind, top, ok)
+	}
+}
+
+func (d *Detector) report(a event.Access, info trie.RaceInfo) {
+	if !d.opts.ReportAll {
+		if _, dup := d.reportedLoc[a.Loc]; dup {
+			return
+		}
+	}
+	d.reportedLoc[a.Loc] = struct{}{}
+	d.reportedObj[a.Loc.Obj] = struct{}{}
+	desc := ""
+	if d.opts.DescribeObj != nil {
+		desc = d.opts.DescribeObj(a.Loc.Obj)
+	}
+	d.reports = append(d.reports, Report{
+		Access:      a,
+		PriorThread: info.PriorThread,
+		PriorLocks:  info.PriorLocks,
+		PriorKind:   info.PriorKind,
+		ObjDesc:     desc,
+	})
+}

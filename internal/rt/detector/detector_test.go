@@ -1,0 +1,257 @@
+package detector
+
+import (
+	"testing"
+
+	"racedet/internal/rt/event"
+)
+
+// script drives a detector through a thread lifecycle and access
+// scenario without the interpreter.
+type script struct {
+	d *Detector
+}
+
+func newScript(opts Options) *script {
+	d := New(opts)
+	d.ThreadStarted(0, event.NoThread)
+	return &script{d: d}
+}
+
+func (s *script) spawn(t event.ThreadID, parent event.ThreadID) { s.d.ThreadStarted(t, parent) }
+func (s *script) finish(t event.ThreadID)                       { s.d.ThreadFinished(t) }
+func (s *script) join(joiner, joinee event.ThreadID)            { s.d.Joined(joiner, joinee) }
+func (s *script) lock(t event.ThreadID, l event.ObjID)          { s.d.MonitorEnter(t, l, 1) }
+func (s *script) unlock(t event.ThreadID, l event.ObjID)        { s.d.MonitorExit(t, l, 0) }
+func (s *script) access(t event.ThreadID, obj int64, slot int32, k event.Kind) {
+	s.d.Access(event.Access{
+		Loc:       event.Loc{Obj: event.ObjID(obj), Slot: slot},
+		Thread:    t,
+		Kind:      k,
+		FieldName: "F.f",
+	})
+}
+
+func TestFullPipelineDetectsRace(t *testing.T) {
+	s := newScript(Options{})
+	s.spawn(1, 0)
+	s.spawn(2, 0)
+	// Main initializes (owner), children write without locks.
+	s.access(0, 10, 0, event.Write)
+	s.access(1, 10, 0, event.Write) // shared transition
+	s.access(2, 10, 0, event.Write) // race
+	reports := s.d.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %v", reports)
+	}
+	if got := s.d.RacyObjects(); len(got) != 1 || got[0] != 10 {
+		t.Fatalf("racy objects = %v", got)
+	}
+}
+
+func TestOwnershipAbsorbsHandoff(t *testing.T) {
+	s := newScript(Options{})
+	s.spawn(1, 0)
+	// Main initializes, a single child uses it afterwards: no race.
+	s.access(0, 10, 0, event.Write)
+	s.access(0, 10, 0, event.Write)
+	s.access(1, 10, 0, event.Write)
+	s.access(1, 10, 0, event.Read)
+	if n := len(s.d.Reports()); n != 0 {
+		t.Fatalf("handoff must be quiet, got %d reports", n)
+	}
+	st := s.d.Stats()
+	if st.OwnerSkips == 0 {
+		t.Error("ownership filter never engaged")
+	}
+}
+
+func TestNoOwnershipReportsHandoff(t *testing.T) {
+	s := newScript(Options{NoOwnership: true})
+	s.spawn(1, 0)
+	s.access(0, 10, 0, event.Write)
+	s.access(1, 10, 0, event.Read)
+	if n := len(s.d.Reports()); n != 1 {
+		t.Fatalf("NoOwnership should report the init handoff, got %d", n)
+	}
+}
+
+func TestJoinPseudolocksSuppressPostJoinReads(t *testing.T) {
+	// The §8.3 mtrt idiom: children write under a common lock, parent
+	// reads after joining both, with no lock.
+	run := func(opts Options) int {
+		s := newScript(opts)
+		s.spawn(1, 0)
+		s.spawn(2, 0)
+		const lock = 100
+		// Both children touch the stats object under the common lock.
+		s.lock(1, lock)
+		s.access(1, 10, 0, event.Write)
+		s.unlock(1, lock)
+		s.lock(2, lock)
+		s.access(2, 10, 0, event.Write)
+		s.unlock(2, lock)
+		s.finish(1)
+		s.finish(2)
+		s.join(0, 1)
+		s.join(0, 2)
+		// Parent reads with no lock.
+		s.access(0, 10, 0, event.Read)
+		return len(s.d.Reports())
+	}
+	if n := run(Options{}); n != 0 {
+		t.Errorf("with pseudolocks: %d reports, want 0 (locksets are mutually intersecting)", n)
+	}
+	if n := run(Options{NoPseudoLocks: true}); n == 0 {
+		t.Error("without pseudolocks the parent read must race")
+	}
+}
+
+func TestFieldsMergedConflatesSlots(t *testing.T) {
+	// Slot 0 written by T1 only, slot 1 read by T2 only: quiet per
+	// field, racy when merged.
+	run := func(opts Options) int {
+		s := newScript(opts)
+		s.spawn(1, 0)
+		s.spawn(2, 0)
+		s.access(1, 10, 0, event.Write)
+		s.access(2, 10, 1, event.Read)
+		s.access(1, 10, 0, event.Write)
+		s.access(2, 10, 1, event.Read)
+		return len(s.d.Reports())
+	}
+	if n := run(Options{}); n != 0 {
+		t.Errorf("per-field: %d reports, want 0", n)
+	}
+	if n := run(Options{FieldsMerged: true}); n == 0 {
+		t.Error("merged fields must conflate the slots into a race")
+	}
+}
+
+func TestFieldsMergedKeepsStaticsDistinct(t *testing.T) {
+	// Two static slots of the same class object, each used by one
+	// thread: must stay quiet even under FieldsMerged.
+	s := newScript(Options{FieldsMerged: true})
+	s.spawn(1, 0)
+	s.spawn(2, 0)
+	s.access(1, 10, event.StaticSlot(0), event.Write)
+	s.access(2, 10, event.StaticSlot(1), event.Write)
+	s.access(1, 10, event.StaticSlot(0), event.Write)
+	s.access(2, 10, event.StaticSlot(1), event.Write)
+	if n := len(s.d.Reports()); n != 0 {
+		t.Fatalf("static fields must stay distinct under FieldsMerged, got %d reports", n)
+	}
+}
+
+func TestReportDedupPerLocation(t *testing.T) {
+	s := newScript(Options{})
+	s.spawn(1, 0)
+	s.spawn(2, 0)
+	for i := 0; i < 5; i++ {
+		s.access(1, 10, 0, event.Write)
+		s.access(2, 10, 0, event.Write)
+	}
+	if n := len(s.d.Reports()); n != 1 {
+		t.Fatalf("default reporting is once per location, got %d", n)
+	}
+
+	// ReportAll reports each distinct racing access (accesses subsumed
+	// by the weaker-than filter are still skipped — that is the
+	// algorithm, not the reporting policy).
+	scenario := func(opts Options) int {
+		s := newScript(opts)
+		s.spawn(1, 0)
+		s.spawn(2, 0)
+		s.access(0, 10, 0, event.Write) // main owns the location
+		s.lock(1, 100)
+		s.access(1, 10, 0, event.Write) // shared transition; stored under {100}
+		s.unlock(1, 100)
+		s.lock(2, 200)
+		s.access(2, 10, 0, event.Write) // races; stored under {200}
+		s.unlock(2, 200)
+		s.access(1, 10, 0, event.Write) // new lockset {}: races again
+		return len(s.d.Reports())
+	}
+	if n := scenario(Options{ReportAll: true}); n != 2 {
+		t.Fatalf("ReportAll: got %d reports, want 2", n)
+	}
+	if n := scenario(Options{}); n != 1 {
+		t.Fatalf("dedup: got %d reports, want 1", n)
+	}
+}
+
+func TestCacheConsistencyAcrossConfigs(t *testing.T) {
+	// §7.2's experimental claim: the same races are reported whether
+	// the cache is enabled or not. Exercise a scenario with lock
+	// acquire/release cycles and shared transitions.
+	run := func(opts Options) []event.ObjID {
+		s := newScript(opts)
+		s.spawn(1, 0)
+		s.spawn(2, 0)
+		const lock = 100
+		for i := 0; i < 4; i++ {
+			s.access(0, 20, 0, event.Write) // main-owned
+			s.lock(1, lock)
+			s.access(1, 10, 0, event.Write)
+			s.access(1, 20, 0, event.Read) // shares 20
+			s.unlock(1, lock)
+			s.access(2, 10, 0, event.Write) // no lock: races with T1's locked writes
+			s.access(2, 20, 0, event.Read)
+		}
+		return s.d.RacyObjects()
+	}
+	with := run(Options{})
+	without := run(Options{NoCache: true})
+	if len(with) != len(without) {
+		t.Fatalf("cache changes the reports: with=%v without=%v", with, without)
+	}
+	for i := range with {
+		if with[i] != without[i] {
+			t.Fatalf("cache changes the reports: with=%v without=%v", with, without)
+		}
+	}
+	if len(with) == 0 {
+		t.Fatal("scenario should produce at least one race")
+	}
+}
+
+func TestSharedTransitionEvictsCaches(t *testing.T) {
+	// The owner caches its accesses; when the location becomes shared
+	// the cached entries must not suppress the owner's next access.
+	s := newScript(Options{})
+	s.spawn(1, 0)
+	s.access(0, 10, 0, event.Write) // owner main, cached
+	s.access(0, 10, 0, event.Write) // cache hit
+	s.access(1, 10, 0, event.Write) // shared; must evict main's entry
+	s.access(0, 10, 0, event.Write) // must reach the trie → race with T1
+	if n := len(s.d.Reports()); n != 1 {
+		t.Fatalf("reports = %d, want 1 (owner's post-share access must not be cache-suppressed)", n)
+	}
+}
+
+func TestDescribeObjInReports(t *testing.T) {
+	d := New(Options{NoOwnership: true})
+	d.SetDescribeObj(func(o event.ObjID) string { return "OBJ" + o.String() })
+	d.ThreadStarted(0, event.NoThread)
+	d.ThreadStarted(1, 0)
+	d.Access(event.Access{Loc: event.Loc{Obj: 5, Slot: 0}, Thread: 0, Kind: event.Write})
+	d.Access(event.Access{Loc: event.Loc{Obj: 5, Slot: 0}, Thread: 1, Kind: event.Write})
+	reports := d.Reports()
+	if len(reports) != 1 || reports[0].ObjDesc != "OBJo5" {
+		t.Fatalf("reports = %v", reports)
+	}
+}
+
+func TestStatsPlumbing(t *testing.T) {
+	s := newScript(Options{})
+	s.spawn(1, 0)
+	s.access(0, 10, 0, event.Write)
+	s.access(0, 10, 0, event.Write)
+	st := s.d.Stats()
+	if st.Accesses != 2 {
+		t.Errorf("accesses = %d", st.Accesses)
+	}
+	if st.CacheHits != 1 {
+		t.Errorf("cache hits = %d (second identical access should hit)", st.CacheHits)
+	}
+}

@@ -1,0 +1,162 @@
+// Package eraser implements the Eraser lockset algorithm (Savage et
+// al., TOCS 1997) as a baseline detector for the accuracy comparison
+// in §8.3/§9 of the paper.
+//
+// Eraser enforces the discipline that every shared location is
+// protected by a single common lock throughout the execution. Each
+// location runs the state machine Virgin → Exclusive(t) → Shared →
+// Shared-Modified; in the shared states the candidate lockset C(m) is
+// refined by intersection with the accessing thread's lockset, and an
+// empty C(m) in Shared-Modified reports a race.
+//
+// Two deliberate differences from the paper's detector (both noted in
+// the paper): Eraser has no join pseudolocks, and its single-common-
+// lock requirement is stricter than the pairwise-disjointness race
+// condition — so it reports a superset of our races, e.g. the mtrt
+// I/O-statistics idiom where three locksets are mutually intersecting
+// without a single common lock.
+package eraser
+
+import (
+	"fmt"
+	"sort"
+
+	"racedet/internal/rt/event"
+)
+
+// State is the Eraser per-location state.
+type State int8
+
+// Eraser states.
+const (
+	Virgin State = iota
+	Exclusive
+	Shared
+	SharedModified
+)
+
+func (s State) String() string {
+	switch s {
+	case Virgin:
+		return "virgin"
+	case Exclusive:
+		return "exclusive"
+	case Shared:
+		return "shared"
+	case SharedModified:
+		return "shared-modified"
+	}
+	return "?"
+}
+
+type locState struct {
+	state     State
+	firstT    event.ThreadID
+	candidate event.Lockset // valid in Shared/SharedModified
+	reported  bool
+}
+
+// Report is one Eraser race report.
+type Report struct {
+	Access event.Access
+	State  State
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("ERASER RACE %s at %s by %s (state %s, empty lockset)",
+		r.Access.FieldName, r.Access.Pos, r.Access.Thread, r.State)
+}
+
+// Detector is the Eraser baseline.
+type Detector struct {
+	locks *event.LockTracker
+	locs  map[event.Loc]*locState
+
+	reports []Report
+	objs    map[event.ObjID]struct{}
+}
+
+var _ event.Sink = (*Detector)(nil)
+
+// New returns an empty Eraser detector.
+func New() *Detector {
+	return &Detector{
+		locks: event.NewLockTracker(),
+		locs:  make(map[event.Loc]*locState),
+		objs:  make(map[event.ObjID]struct{}),
+	}
+}
+
+// Reports returns the race reports in detection order.
+func (d *Detector) Reports() []Report { return d.reports }
+
+// RacyObjects returns distinct objects with reports, sorted.
+func (d *Detector) RacyObjects() []event.ObjID {
+	out := make([]event.ObjID, 0, len(d.objs))
+	for o := range d.objs {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ThreadStarted implements event.Sink. Eraser has no join pseudolocks,
+// so thread lifecycle only matters for lockset bookkeeping.
+func (d *Detector) ThreadStarted(child, parent event.ThreadID) {}
+
+// ThreadFinished implements event.Sink.
+func (d *Detector) ThreadFinished(t event.ThreadID) {}
+
+// Joined implements event.Sink (no-op: no join handling in Eraser).
+func (d *Detector) Joined(joiner, joinee event.ThreadID) {}
+
+// MonitorEnter implements event.Sink.
+func (d *Detector) MonitorEnter(t event.ThreadID, lock event.ObjID, depth int) {
+	d.locks.MonitorEnter(t, lock, depth)
+}
+
+// MonitorExit implements event.Sink.
+func (d *Detector) MonitorExit(t event.ThreadID, lock event.ObjID, depth int) {
+	d.locks.MonitorExit(t, lock, depth)
+}
+
+// Access implements event.Sink: the Eraser state machine.
+func (d *Detector) Access(a event.Access) {
+	ls := d.locs[a.Loc]
+	if ls == nil {
+		ls = &locState{state: Virgin}
+		d.locs[a.Loc] = ls
+	}
+	held := d.locks.Held(a.Thread)
+
+	switch ls.state {
+	case Virgin:
+		ls.state = Exclusive
+		ls.firstT = a.Thread
+	case Exclusive:
+		if a.Thread == ls.firstT {
+			return
+		}
+		// First second-thread access: initialize the candidate set.
+		ls.candidate = held.Clone()
+		if a.Kind == event.Write {
+			ls.state = SharedModified
+		} else {
+			ls.state = Shared
+		}
+	case Shared:
+		ls.candidate = ls.candidate.Intersect(held)
+		if a.Kind == event.Write {
+			ls.state = SharedModified
+		}
+	case SharedModified:
+		ls.candidate = ls.candidate.Intersect(held)
+	}
+
+	if ls.state == SharedModified && len(ls.candidate) == 0 && !ls.reported {
+		ls.reported = true
+		a.Locks = held.Clone()
+		d.reports = append(d.reports, Report{Access: a, State: ls.state})
+		d.objs[a.Loc.Obj] = struct{}{}
+	}
+}

@@ -1,0 +1,273 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestThreadLattice(t *testing.T) {
+	if !ThreadLeq(TBot, 3) || !ThreadLeq(3, 3) || ThreadLeq(3, 4) || ThreadLeq(TTop, 3) {
+		t.Error("ThreadLeq wrong")
+	}
+	cases := []struct {
+		a, b, want ThreadID
+	}{
+		{1, 1, 1},
+		{1, 2, TBot},
+		{1, TTop, 1},
+		{TTop, 2, 2},
+		{TTop, TTop, TTop},
+		{TBot, 1, TBot},
+		{1, TBot, TBot},
+		{TBot, TBot, TBot},
+	}
+	for _, c := range cases {
+		if got := ThreadMeet(c.a, c.b); got != c.want {
+			t.Errorf("ThreadMeet(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestKindLattice(t *testing.T) {
+	if !KindLeq(Write, Read) || !KindLeq(Read, Read) || KindLeq(Read, Write) == false && false {
+		t.Error("KindLeq wrong")
+	}
+	if KindLeq(Read, Write) {
+		t.Error("READ must not be ⊑ WRITE")
+	}
+	if KindMeet(Read, Write) != Write || KindMeet(Read, Read) != Read || KindMeet(Write, Write) != Write {
+		t.Error("KindMeet wrong")
+	}
+}
+
+func TestLocksetBasics(t *testing.T) {
+	ls := NewLockset(5, 3, 5, 1)
+	if len(ls) != 3 || ls[0] != 1 || ls[1] != 3 || ls[2] != 5 {
+		t.Fatalf("NewLockset dedupe/sort: %v", ls)
+	}
+	if !ls.Contains(3) || ls.Contains(4) {
+		t.Error("Contains wrong")
+	}
+	sub := NewLockset(1, 5)
+	if !sub.SubsetOf(ls) || ls.SubsetOf(sub) {
+		t.Error("SubsetOf wrong")
+	}
+	if !NewLockset().SubsetOf(ls) || !NewLockset().SubsetOf(NewLockset()) {
+		t.Error("empty set must be a subset of everything")
+	}
+	if !ls.Intersects(NewLockset(3, 9)) || ls.Intersects(NewLockset(2, 4)) {
+		t.Error("Intersects wrong")
+	}
+	inter := ls.Intersect(NewLockset(3, 5, 7))
+	if !inter.Equal(NewLockset(3, 5)) {
+		t.Errorf("Intersect = %v", inter)
+	}
+	if ls.Equal(sub) || !ls.Equal(ls.Clone()) {
+		t.Error("Equal wrong")
+	}
+}
+
+// randomLockset builds a small lockset from the fuzz source.
+func randomLockset(r *rand.Rand) Lockset {
+	n := r.Intn(4)
+	locks := make([]ObjID, n)
+	for i := range locks {
+		locks[i] = ObjID(r.Intn(6))
+	}
+	return NewLockset(locks...)
+}
+
+func randomAccess(r *rand.Rand, loc Loc) Access {
+	k := Read
+	if r.Intn(2) == 0 {
+		k = Write
+	}
+	t := ThreadID(r.Intn(3))
+	if r.Intn(8) == 0 {
+		t = TBot
+	}
+	return Access{Loc: loc, Thread: t, Locks: randomLockset(r), Kind: k}
+}
+
+// TestWeakerThanTheorem1 is the paper's Theorem 1 as a property test:
+// for all p, q, r: p ⊑ q ∧ IsRace(q, r) ⇒ IsRace(p, r).
+// (r is a "future" access, so r.Thread is a real thread, never t⊥.)
+func TestWeakerThanTheorem1(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	loc := Loc{Obj: 7, Slot: 0}
+	for i := 0; i < 200000; i++ {
+		p := randomAccess(r, loc)
+		q := randomAccess(r, loc)
+		fut := randomAccess(r, loc)
+		if fut.Thread == TBot {
+			fut.Thread = 2
+		}
+		if WeakerThan(p, q) && IsRace(q, fut) && !IsRace(p, fut) {
+			t.Fatalf("Theorem 1 violated:\np = %v\nq = %v\nr = %v", p, q, fut)
+		}
+	}
+}
+
+// TestWeakerThanPartialOrder checks reflexivity and transitivity.
+func TestWeakerThanPartialOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	loc := Loc{Obj: 7, Slot: 0}
+	for i := 0; i < 100000; i++ {
+		p := randomAccess(r, loc)
+		q := randomAccess(r, loc)
+		s := randomAccess(r, loc)
+		if !WeakerThan(p, p) {
+			t.Fatalf("not reflexive: %v", p)
+		}
+		if WeakerThan(p, q) && WeakerThan(q, s) && !WeakerThan(p, s) {
+			t.Fatalf("not transitive:\np = %v\nq = %v\ns = %v", p, q, s)
+		}
+	}
+}
+
+func TestIsRaceRequiresAllConditions(t *testing.T) {
+	base := Access{Loc: Loc{1, 0}, Thread: 1, Locks: NewLockset(), Kind: Write}
+	other := Access{Loc: Loc{1, 0}, Thread: 2, Locks: NewLockset(), Kind: Read}
+	if !IsRace(base, other) {
+		t.Fatal("base case should race")
+	}
+	diffLoc := other
+	diffLoc.Loc = Loc{2, 0}
+	if IsRace(base, diffLoc) {
+		t.Error("different locations cannot race")
+	}
+	sameThread := other
+	sameThread.Thread = 1
+	if IsRace(base, sameThread) {
+		t.Error("same thread cannot race")
+	}
+	common := other
+	common.Locks = NewLockset(9)
+	b2 := base
+	b2.Locks = NewLockset(9, 3)
+	if IsRace(b2, common) {
+		t.Error("common lock prevents the race")
+	}
+	twoReads := other
+	twoReads.Kind = Read
+	b3 := base
+	b3.Kind = Read
+	if IsRace(b3, twoReads) {
+		t.Error("two reads cannot race")
+	}
+}
+
+func TestSubsetIntersectConsistency(t *testing.T) {
+	// Property: a ⊆ b ⇒ a ∩ b == a; and Intersects(a,b) ⇔ |a∩b| > 0.
+	f := func(aRaw, bRaw []uint8) bool {
+		toLS := func(raw []uint8) Lockset {
+			ids := make([]ObjID, 0, len(raw))
+			for _, x := range raw {
+				ids = append(ids, ObjID(x%10))
+			}
+			return NewLockset(ids...)
+		}
+		a, b := toLS(aRaw), toLS(bRaw)
+		inter := a.Intersect(b)
+		if a.SubsetOf(b) && !inter.Equal(a) {
+			return false
+		}
+		if a.Intersects(b) != (len(inter) > 0) {
+			return false
+		}
+		if !inter.SubsetOf(a) || !inter.SubsetOf(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPseudoLocks(t *testing.T) {
+	if PseudoLock(0) != -1 || PseudoLock(3) != -4 {
+		t.Errorf("PseudoLock mapping: %v %v", PseudoLock(0), PseudoLock(3))
+	}
+	if !PseudoLock(0).IsPseudoLock() || ObjID(5).IsPseudoLock() {
+		t.Error("IsPseudoLock wrong")
+	}
+	if PseudoLock(2).String() != "S2" {
+		t.Errorf("String = %q", PseudoLock(2).String())
+	}
+}
+
+func TestStaticSlotEncoding(t *testing.T) {
+	if StaticSlot(0) != -2 || StaticSlot(3) != -5 {
+		t.Error("StaticSlot mapping wrong")
+	}
+	// Static slots never collide with instance slots or ArraySlot.
+	for i := 0; i < 10; i++ {
+		if StaticSlot(i) >= ArraySlot {
+			t.Fatalf("StaticSlot(%d) = %d not below ArraySlot", i, StaticSlot(i))
+		}
+	}
+}
+
+func TestLockTrackerScenario(t *testing.T) {
+	lt := NewLockTracker()
+	lt.ThreadStarted(0, NoThread)
+	if !lt.Held(0).Equal(NewLockset(PseudoLock(0))) {
+		t.Fatalf("main should hold S0: %v", lt.Held(0))
+	}
+	lt.ThreadStarted(1, 0)
+	lt.MonitorEnter(1, 100, 1)
+	lt.MonitorEnter(1, 200, 1)
+	lt.MonitorEnter(1, 200, 2) // reentrant: ignored
+	want := NewLockset(PseudoLock(1), 100, 200)
+	if !lt.Held(1).Equal(want) {
+		t.Fatalf("held = %v, want %v", lt.Held(1), want)
+	}
+	if top, ok := lt.Top(1); !ok || top != 200 {
+		t.Fatalf("top = %v,%v", top, ok)
+	}
+	lt.MonitorExit(1, 200, 1) // still held once
+	if !lt.Held(1).Equal(want) {
+		t.Fatalf("nested exit must not release: %v", lt.Held(1))
+	}
+	lt.MonitorExit(1, 200, 0)
+	if !lt.Held(1).Equal(NewLockset(PseudoLock(1), 100)) {
+		t.Fatalf("after release: %v", lt.Held(1))
+	}
+	// Join: thread 0 gains S1 permanently.
+	lt.ThreadFinished(1)
+	lt.Joined(0, 1)
+	if !lt.Held(0).Equal(NewLockset(PseudoLock(0), PseudoLock(1))) {
+		t.Fatalf("after join: %v", lt.Held(0))
+	}
+	// Held memoization must invalidate on changes.
+	lt.MonitorEnter(0, 300, 1)
+	if !lt.Held(0).Contains(300) {
+		t.Fatal("memoized lockset went stale")
+	}
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	var a, b counterSink
+	ms := MultiSink{&a, &b}
+	ms.ThreadStarted(1, 0)
+	ms.MonitorEnter(1, 5, 1)
+	ms.Access(Access{})
+	ms.MonitorExit(1, 5, 0)
+	ms.Joined(0, 1)
+	ms.ThreadFinished(1)
+	if a != b || a.total() != 6 {
+		t.Errorf("fan-out mismatch: %+v vs %+v", a, b)
+	}
+}
+
+type counterSink struct{ st, fin, join, ent, ext, acc int }
+
+func (c *counterSink) ThreadStarted(_, _ ThreadID)       { c.st++ }
+func (c *counterSink) ThreadFinished(ThreadID)           { c.fin++ }
+func (c *counterSink) Joined(_, _ ThreadID)              { c.join++ }
+func (c *counterSink) MonitorEnter(ThreadID, ObjID, int) { c.ent++ }
+func (c *counterSink) MonitorExit(ThreadID, ObjID, int)  { c.ext++ }
+func (c *counterSink) Access(Access)                     { c.acc++ }
+func (c *counterSink) total() int                        { return c.st + c.fin + c.join + c.ent + c.ext + c.acc }

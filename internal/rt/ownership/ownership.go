@@ -1,0 +1,83 @@
+// Package ownership implements the ownership model of §2.3/§7: the
+// first thread to touch a location owns it, and accesses by the owner
+// are invisible to the detector until a second thread touches the
+// location, at which point it becomes shared and all subsequent
+// accesses flow through.
+//
+// This approximates the happened-before ordering created by thread
+// start: the common idiom of a parent initializing data and handing it
+// to a child produces no false races, without tracking start edges.
+package ownership
+
+import "racedet/internal/rt/event"
+
+// State is the ownership state of a location.
+type State int8
+
+// Ownership states.
+const (
+	Unowned State = iota // never accessed
+	Owned                // accessed by exactly one thread so far
+	Shared               // accessed by at least two threads
+)
+
+// sharedOwner is the in-table marker for the shared state; it keeps
+// the table a single map so the per-access path does one lookup.
+const sharedOwner event.ThreadID = -9
+
+// Table tracks per-location owners.
+type Table struct {
+	owner       map[event.Loc]event.ThreadID
+	transitions uint64
+}
+
+// New returns an empty ownership table.
+func New() *Table {
+	return &Table{owner: make(map[event.Loc]event.ThreadID)}
+}
+
+// Filter processes an access by thread t to loc. It returns true if
+// the access must be forwarded to the detector (the location is
+// shared), false if the access is absorbed by the ownership model.
+// becameShared additionally signals the owned→shared transition so the
+// caller can evict the location from all caches (§7.2).
+func (tb *Table) Filter(t event.ThreadID, loc event.Loc) (forward, becameShared bool) {
+	owner, seen := tb.owner[loc]
+	switch {
+	case !seen:
+		tb.owner[loc] = t
+		return false, false
+	case owner == t:
+		return false, false
+	case owner == sharedOwner:
+		return true, false
+	default:
+		// Second thread: the location becomes shared; this access and
+		// all subsequent ones go to the detector.
+		tb.owner[loc] = sharedOwner
+		tb.transitions++
+		return true, true
+	}
+}
+
+// StateOf reports the current ownership state of loc (tests).
+func (tb *Table) StateOf(loc event.Loc) State {
+	owner, seen := tb.owner[loc]
+	switch {
+	case !seen:
+		return Unowned
+	case owner == sharedOwner:
+		return Shared
+	default:
+		return Owned
+	}
+}
+
+// SharedCount returns how many locations have become shared.
+func (tb *Table) SharedCount() int { return int(tb.transitions) }
+
+// Transitions returns the number of owned→shared transitions.
+func (tb *Table) Transitions() uint64 { return tb.transitions }
+
+// Locations returns the number of tracked locations (space metric).
+func (tb *Table) Locations() int { return len(tb.owner) }

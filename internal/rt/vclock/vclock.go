@@ -1,0 +1,221 @@
+// Package vclock implements a vector-clock happens-before race
+// detector (in the style of Djit/TRaDe) as the baseline that
+// illustrates §2.2's actual-vs-feasible distinction: a happens-before
+// detector misses feasible races that are ordered in the observed
+// execution only by accidental lock acquisition order, which the
+// paper's lockset-based detector reports.
+//
+// Synchronization transfers clocks through monitor release/acquire,
+// thread start, and join. Per location the detector keeps the vector
+// clock of every thread's latest read and the latest write epoch;
+// unordered conflicting accesses are races.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+
+	"racedet/internal/rt/event"
+)
+
+// VC is a vector clock: thread → logical time.
+type VC map[event.ThreadID]uint64
+
+// Clone copies the clock.
+func (v VC) Clone() VC {
+	out := make(VC, len(v))
+	for t, c := range v {
+		out[t] = c
+	}
+	return out
+}
+
+// Join merges other into v (pointwise max).
+func (v VC) Join(other VC) {
+	for t, c := range other {
+		if v[t] < c {
+			v[t] = c
+		}
+	}
+}
+
+// HappensBefore reports whether epoch (t, c) ⊑ v.
+func (v VC) HappensBefore(t event.ThreadID, c uint64) bool { return v[t] >= c }
+
+// String renders deterministically for tests.
+func (v VC) String() string {
+	ts := make([]event.ThreadID, 0, len(v))
+	for t := range v {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	s := "["
+	for i, t := range ts {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", t, v[t])
+	}
+	return s + "]"
+}
+
+type epoch struct {
+	t event.ThreadID
+	c uint64
+}
+
+type locState struct {
+	lastWrite epoch
+	hasWrite  bool
+	writePos  string
+	reads     map[event.ThreadID]uint64
+	reported  bool
+}
+
+// Report is one happens-before race.
+type Report struct {
+	Access event.Access
+	Prior  event.ThreadID
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("HB RACE %s at %s: %s by %s unordered with %s",
+		r.Access.FieldName, r.Access.Pos, r.Access.Kind, r.Access.Thread, r.Prior)
+}
+
+// Detector is the vector-clock baseline.
+type Detector struct {
+	threads map[event.ThreadID]VC
+	lockVC  map[event.ObjID]VC
+	locs    map[event.Loc]*locState
+
+	reports []Report
+	racy    map[event.ObjID]struct{}
+}
+
+var _ event.Sink = (*Detector)(nil)
+
+// New returns an empty happens-before detector.
+func New() *Detector {
+	return &Detector{
+		threads: make(map[event.ThreadID]VC),
+		lockVC:  make(map[event.ObjID]VC),
+		locs:    make(map[event.Loc]*locState),
+		racy:    make(map[event.ObjID]struct{}),
+	}
+}
+
+// Reports returns the race reports in detection order.
+func (d *Detector) Reports() []Report { return d.reports }
+
+// RacyObjects returns distinct racy objects, sorted.
+func (d *Detector) RacyObjects() []event.ObjID {
+	out := make([]event.ObjID, 0, len(d.racy))
+	for o := range d.racy {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (d *Detector) clock(t event.ThreadID) VC {
+	vc := d.threads[t]
+	if vc == nil {
+		vc = VC{t: 1}
+		d.threads[t] = vc
+	}
+	return vc
+}
+
+func (d *Detector) tick(t event.ThreadID) { d.clock(t)[t]++ }
+
+// ThreadStarted implements event.Sink: the child inherits the
+// parent's clock (start edge), and the parent ticks.
+func (d *Detector) ThreadStarted(child, parent event.ThreadID) {
+	cvc := d.clock(child)
+	if parent != event.NoThread {
+		cvc.Join(d.clock(parent))
+		d.tick(parent)
+	}
+}
+
+// ThreadFinished implements event.Sink.
+func (d *Detector) ThreadFinished(t event.ThreadID) {}
+
+// Joined implements event.Sink: the joiner inherits the joinee's
+// final clock (join edge).
+func (d *Detector) Joined(joiner, joinee event.ThreadID) {
+	d.clock(joiner).Join(d.clock(joinee))
+}
+
+// MonitorEnter implements event.Sink: acquire joins the lock's clock
+// into the thread (release→acquire edge).
+func (d *Detector) MonitorEnter(t event.ThreadID, lock event.ObjID, depth int) {
+	if depth != 1 {
+		return
+	}
+	if lvc := d.lockVC[lock]; lvc != nil {
+		d.clock(t).Join(lvc)
+	}
+}
+
+// MonitorExit implements event.Sink: release publishes the thread's
+// clock on the lock and ticks the thread.
+func (d *Detector) MonitorExit(t event.ThreadID, lock event.ObjID, depth int) {
+	if depth != 0 {
+		return
+	}
+	d.lockVC[lock] = d.clock(t).Clone()
+	d.tick(t)
+}
+
+// Access implements event.Sink: the Djit-style per-location check.
+func (d *Detector) Access(a event.Access) {
+	st := d.locs[a.Loc]
+	if st == nil {
+		st = &locState{reads: make(map[event.ThreadID]uint64)}
+		d.locs[a.Loc] = st
+	}
+	vc := d.clock(a.Thread)
+
+	race := false
+	var prior event.ThreadID
+	// A write must be ordered after every previous read and write; a
+	// read after the last write.
+	if st.hasWrite && st.lastWrite.t != a.Thread && !vc.HappensBefore(st.lastWrite.t, st.lastWrite.c) {
+		race = true
+		prior = st.lastWrite.t
+	}
+	if a.Kind == event.Write {
+		for rt, rc := range st.reads {
+			if rt != a.Thread && !vc.HappensBefore(rt, rc) {
+				race = true
+				prior = rt
+				break
+			}
+		}
+	}
+	if race && !st.reported {
+		st.reported = true
+		d.reports = append(d.reports, Report{Access: a, Prior: prior})
+		d.racy[a.Loc.Obj] = struct{}{}
+	}
+
+	// Record this access.
+	now := vc[a.Thread]
+	if a.Kind == event.Write {
+		st.lastWrite = epoch{a.Thread, now}
+		st.hasWrite = true
+		st.writePos = a.Pos.String()
+		// A write supersedes previous reads for ordering purposes
+		// only if they happened-before it; keep the map bounded by
+		// clearing reads ordered before this write.
+		for rt, rc := range st.reads {
+			if vc.HappensBefore(rt, rc) {
+				delete(st.reads, rt)
+			}
+		}
+	} else {
+		st.reads[a.Thread] = now
+	}
+}

@@ -1,0 +1,145 @@
+package vclock
+
+import (
+	"testing"
+
+	"racedet/internal/rt/event"
+)
+
+func access(t event.ThreadID, obj int64, k event.Kind) event.Access {
+	return event.Access{Loc: event.Loc{Obj: event.ObjID(obj), Slot: 0}, Thread: t, Kind: k}
+}
+
+func TestVCOperations(t *testing.T) {
+	a := VC{1: 3, 2: 1}
+	b := VC{2: 5, 3: 2}
+	c := a.Clone()
+	c.Join(b)
+	if c[1] != 3 || c[2] != 5 || c[3] != 2 {
+		t.Fatalf("join = %v", c)
+	}
+	if a[2] != 1 {
+		t.Fatal("Join must not mutate the source's clone origin")
+	}
+	if !c.HappensBefore(2, 5) || c.HappensBefore(2, 6) {
+		t.Fatal("HappensBefore wrong")
+	}
+}
+
+func TestStartEdgeOrders(t *testing.T) {
+	d := New()
+	d.ThreadStarted(0, event.NoThread)
+	d.Access(access(0, 1, event.Write)) // parent init
+	d.ThreadStarted(1, 0)               // start edge
+	d.Access(access(1, 1, event.Write)) // ordered after the init
+	if n := len(d.Reports()); n != 0 {
+		t.Fatalf("start edge must order init vs child, got %d reports", n)
+	}
+}
+
+func TestUnorderedWritesRace(t *testing.T) {
+	d := New()
+	d.ThreadStarted(0, event.NoThread)
+	d.ThreadStarted(1, 0)
+	d.ThreadStarted(2, 0)
+	d.Access(access(1, 1, event.Write))
+	d.Access(access(2, 1, event.Write))
+	if n := len(d.Reports()); n != 1 {
+		t.Fatalf("unordered sibling writes must race, got %d", n)
+	}
+}
+
+func TestLockTransfersClock(t *testing.T) {
+	// T1 writes inside a critical section; T2 reads inside a critical
+	// section on the same lock afterwards: release→acquire edge orders
+	// them, no race.
+	d := New()
+	d.ThreadStarted(0, event.NoThread)
+	d.ThreadStarted(1, 0)
+	d.ThreadStarted(2, 0)
+	d.MonitorEnter(1, 100, 1)
+	d.Access(access(1, 1, event.Write))
+	d.MonitorExit(1, 100, 0)
+	d.MonitorEnter(2, 100, 1)
+	d.Access(access(2, 1, event.Read))
+	d.MonitorExit(2, 100, 0)
+	if n := len(d.Reports()); n != 0 {
+		t.Fatalf("lock edge must order the accesses, got %d reports", n)
+	}
+}
+
+func TestAccidentalOrderingHidesFeasibleRace(t *testing.T) {
+	// §2.2: T1's unprotected write precedes its critical section on m;
+	// T2 writes inside its own critical section on m. In the observed
+	// order (T1's CS first) the HB detector derives an ordering and
+	// stays silent, even though swapping the lock acquisitions would
+	// race. This is exactly the feasible race the paper's lockset
+	// detector reports and HB misses.
+	d := New()
+	d.ThreadStarted(0, event.NoThread)
+	d.ThreadStarted(1, 0)
+	d.ThreadStarted(2, 0)
+	d.Access(access(1, 1, event.Write)) // T11: unprotected
+	d.MonitorEnter(1, 100, 1)           // T13
+	d.MonitorExit(1, 100, 0)
+	d.MonitorEnter(2, 100, 1)           // T20: acquires after T1's release
+	d.Access(access(2, 1, event.Write)) // T21
+	d.MonitorExit(2, 100, 0)
+	if n := len(d.Reports()); n != 0 {
+		t.Fatalf("HB must consider these ordered (feasible race missed by design), got %d reports", n)
+	}
+}
+
+func TestJoinEdgeOrders(t *testing.T) {
+	d := New()
+	d.ThreadStarted(0, event.NoThread)
+	d.ThreadStarted(1, 0)
+	d.Access(access(1, 1, event.Write))
+	d.ThreadFinished(1)
+	d.Joined(0, 1)
+	d.Access(access(0, 1, event.Read)) // ordered by the join
+	if n := len(d.Reports()); n != 0 {
+		t.Fatalf("join edge must order the read, got %d reports", n)
+	}
+}
+
+func TestWriteAfterUnorderedReadsRaces(t *testing.T) {
+	d := New()
+	d.ThreadStarted(0, event.NoThread)
+	d.ThreadStarted(1, 0)
+	d.ThreadStarted(2, 0)
+	d.Access(access(1, 1, event.Read))
+	d.Access(access(2, 1, event.Write)) // unordered with T1's read
+	if n := len(d.Reports()); n != 1 {
+		t.Fatalf("write unordered with a read must race, got %d", n)
+	}
+}
+
+func TestReadsDoNotRaceWithReads(t *testing.T) {
+	d := New()
+	d.ThreadStarted(0, event.NoThread)
+	d.ThreadStarted(1, 0)
+	d.ThreadStarted(2, 0)
+	d.Access(access(1, 1, event.Read))
+	d.Access(access(2, 1, event.Read))
+	if n := len(d.Reports()); n != 0 {
+		t.Fatalf("reads never race, got %d", n)
+	}
+}
+
+func TestReentrantLockIgnored(t *testing.T) {
+	d := New()
+	d.ThreadStarted(0, event.NoThread)
+	d.ThreadStarted(1, 0)
+	d.MonitorEnter(1, 100, 1)
+	d.MonitorEnter(1, 100, 2) // reentrant: no clock effects
+	d.MonitorExit(1, 100, 1)
+	d.Access(access(1, 1, event.Write))
+	d.MonitorExit(1, 100, 0)
+	d.MonitorEnter(2, 100, 1)
+	d.Access(access(2, 1, event.Write))
+	d.MonitorExit(2, 100, 0)
+	if n := len(d.Reports()); n != 0 {
+		t.Fatalf("reentrancy confused the clocks: %d reports", n)
+	}
+}

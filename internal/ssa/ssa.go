@@ -1,0 +1,212 @@
+package ssa
+
+import "racedet/internal/ir"
+
+// DefID identifies one SSA definition: a parameter, an instruction
+// definition, or a phi. The overlay never rewrites the IR; it only
+// names values so GVN can compare them.
+type DefID int
+
+// NoDef marks an operand whose reaching definition is unknown (e.g. a
+// use in an unreachable block).
+const NoDef DefID = -1
+
+// Overlay is the SSA view of a function: for every instruction operand
+// it records which SSA definition reaches that use.
+type Overlay struct {
+	Fn  *ir.Func
+	Dom *DomTree
+
+	// UseDef maps (instruction, operand index) to the reaching DefID.
+	UseDef map[*ir.Instr][]DefID
+
+	// DefOf maps an instruction that defines a register to its DefID.
+	DefOf map[*ir.Instr]DefID
+
+	// Phis lists the phi nodes per block (by block ID): each phi
+	// merges one register.
+	Phis map[*ir.Block][]*Phi
+
+	// ParamDef holds the DefIDs of the function parameters.
+	ParamDef []DefID
+
+	nextDef DefID
+	defKind []defKind // indexed by DefID
+	defInst []*ir.Instr
+	defPhi  []*Phi
+}
+
+// Phi is a virtual phi node merging definitions of Reg at the head of
+// Block. Args are per-predecessor reaching definitions.
+type Phi struct {
+	Block *ir.Block
+	Reg   int
+	Args  []DefID
+	ID    DefID
+}
+
+type defKind uint8
+
+const (
+	defParam defKind = iota
+	defInstr
+	defPhiKind
+)
+
+// Build computes the SSA overlay using the standard Cytron phi
+// placement on dominance frontiers followed by dominator-tree renaming.
+func Build(fn *ir.Func, dom *DomTree) *Overlay {
+	ov := &Overlay{
+		Fn:     fn,
+		Dom:    dom,
+		UseDef: make(map[*ir.Instr][]DefID),
+		DefOf:  make(map[*ir.Instr]DefID),
+		Phis:   make(map[*ir.Block][]*Phi),
+	}
+
+	// 1. Collect definition sites per register.
+	defBlocks := make([][]*ir.Block, fn.NumRegs)
+	for _, b := range dom.RPO() {
+		for _, in := range b.Instrs {
+			if in.HasDst() {
+				defBlocks[in.Dst] = append(defBlocks[in.Dst], b)
+			}
+		}
+	}
+
+	// 2. Phi placement at iterated dominance frontiers for registers
+	// with more than one definition site (parameters count as a def in
+	// the entry block).
+	df := dom.Frontiers()
+	entry := fn.Entry
+	hasPhi := make(map[*ir.Block]map[int]*Phi)
+	for reg := 0; reg < fn.NumRegs; reg++ {
+		sites := defBlocks[reg]
+		if reg < fn.NumParams {
+			sites = append(sites, entry)
+		}
+		if len(sites) < 2 {
+			continue
+		}
+		work := append([]*ir.Block(nil), sites...)
+		inWork := make(map[*ir.Block]bool)
+		for _, b := range work {
+			inWork[b] = true
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, f := range df[b] {
+				if hasPhi[f] == nil {
+					hasPhi[f] = make(map[int]*Phi)
+				}
+				if hasPhi[f][reg] != nil {
+					continue
+				}
+				phi := &Phi{Block: f, Reg: reg, Args: make([]DefID, len(f.Preds))}
+				hasPhi[f][reg] = phi
+				ov.Phis[f] = append(ov.Phis[f], phi)
+				if !inWork[f] {
+					inWork[f] = true
+					work = append(work, f)
+				}
+			}
+		}
+	}
+
+	// Assign DefIDs to phis now that placement is fixed (deterministic
+	// order: block RPO, then per-block placement order).
+	for _, b := range dom.RPO() {
+		for _, phi := range ov.Phis[b] {
+			phi.ID = ov.newDef(defPhiKind, nil, phi)
+		}
+	}
+
+	// Parameters.
+	ov.ParamDef = make([]DefID, fn.NumParams)
+	for i := range ov.ParamDef {
+		ov.ParamDef[i] = ov.newDef(defParam, nil, nil)
+	}
+
+	// 3. Renaming walk over the dominator tree.
+	stacks := make([][]DefID, fn.NumRegs)
+	for i := 0; i < fn.NumParams; i++ {
+		stacks[i] = append(stacks[i], ov.ParamDef[i])
+	}
+	ov.rename(entry, stacks)
+	return ov
+}
+
+func (ov *Overlay) newDef(k defKind, in *ir.Instr, phi *Phi) DefID {
+	id := ov.nextDef
+	ov.nextDef++
+	ov.defKind = append(ov.defKind, k)
+	ov.defInst = append(ov.defInst, in)
+	ov.defPhi = append(ov.defPhi, phi)
+	return id
+}
+
+func top(stack []DefID) DefID {
+	if len(stack) == 0 {
+		return NoDef
+	}
+	return stack[len(stack)-1]
+}
+
+func (ov *Overlay) rename(b *ir.Block, stacks [][]DefID) {
+	type pushed struct{ reg int }
+	var pushes []pushed
+	push := func(reg int, id DefID) {
+		stacks[reg] = append(stacks[reg], id)
+		pushes = append(pushes, pushed{reg})
+	}
+
+	// Phis at block head define their registers.
+	for _, phi := range ov.Phis[b] {
+		push(phi.Reg, phi.ID)
+	}
+
+	for _, in := range b.Instrs {
+		uses := make([]DefID, len(in.Src))
+		for i, r := range in.Src {
+			uses[i] = top(stacks[r])
+		}
+		ov.UseDef[in] = uses
+		if in.HasDst() {
+			id := ov.newDef(defInstr, in, nil)
+			ov.DefOf[in] = id
+			push(in.Dst, id)
+		}
+	}
+
+	// Fill phi arguments in successors.
+	for _, s := range b.Succs {
+		// Which predecessor index is b?
+		for pi, p := range s.Preds {
+			if p != b {
+				continue
+			}
+			for _, phi := range ov.Phis[s] {
+				phi.Args[pi] = top(stacks[phi.Reg])
+			}
+		}
+	}
+
+	for _, c := range ov.Dom.Children(b) {
+		ov.rename(c, stacks)
+	}
+
+	for i := len(pushes) - 1; i >= 0; i-- {
+		reg := pushes[i].reg
+		stacks[reg] = stacks[reg][:len(stacks[reg])-1]
+	}
+}
+
+// Use returns the reaching definition of operand idx of instruction in.
+func (ov *Overlay) Use(in *ir.Instr, idx int) DefID {
+	uses := ov.UseDef[in]
+	if idx >= len(uses) {
+		return NoDef
+	}
+	return uses[idx]
+}

@@ -1,0 +1,157 @@
+package racedet
+
+import (
+	"strings"
+	"testing"
+)
+
+const racyProgram = `
+class Data { int f; }
+class Worker extends Thread {
+    Data d;
+    Worker(Data d0) { d = d0; }
+    void run() { d.f = d.f + 1; }
+}
+class Main {
+    static void main() {
+        Data x = new Data();
+        x.f = 0;
+        Worker a = new Worker(x);
+        Worker b = new Worker(x);
+        a.start(); b.start();
+        a.join(); b.join();
+        print(x.f);
+    }
+}`
+
+const quietProgram = `
+class Data { int f; }
+class Worker extends Thread {
+    Data d;
+    Worker(Data d0) { d = d0; }
+    void run() { synchronized (d) { d.f = d.f + 1; } }
+}
+class Main {
+    static void main() {
+        Data x = new Data();
+        Worker a = new Worker(x);
+        Worker b = new Worker(x);
+        a.start(); b.start();
+        a.join(); b.join();
+        print(x.f);
+    }
+}`
+
+func TestDetectFindsRace(t *testing.T) {
+	res, err := Detect("racy.mj", racyProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RacyObjects != 1 || len(res.Races) == 0 {
+		t.Fatalf("races = %v", res.Races)
+	}
+	r := res.Races[0]
+	if r.Field != "Data.f" {
+		t.Errorf("race field = %q", r.Field)
+	}
+	if !strings.Contains(r.Object, "Data#") {
+		t.Errorf("race object = %q", r.Object)
+	}
+	if !strings.Contains(r.Pos, "racy.mj:") {
+		t.Errorf("race pos = %q", r.Pos)
+	}
+	if !strings.Contains(r.String(), "datarace on Data.f") {
+		t.Errorf("render = %q", r.String())
+	}
+}
+
+func TestDetectQuietOnSynchronized(t *testing.T) {
+	res, err := Detect("quiet.mj", quietProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RacyObjects != 0 {
+		t.Fatalf("unexpected races: %v", res.Races)
+	}
+	if strings.TrimSpace(res.Output) != "2" {
+		t.Errorf("output = %q", res.Output)
+	}
+	if res.Stats.Instructions == 0 || res.Stats.Threads != 3 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+}
+
+func TestCompileOnceRunMany(t *testing.T) {
+	c, err := Compile("racy.mj", racyProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		res, err := c.RunSeed(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.RacyObjects != 1 {
+			t.Errorf("seed %d: racy objects = %d", seed, res.RacyObjects)
+		}
+	}
+}
+
+func TestBaselineDetectors(t *testing.T) {
+	for _, det := range []Detector{Eraser, ObjectRace, HappensBefore} {
+		res, err := Detect("racy.mj", racyProgram, Options{Detector: det})
+		if err != nil {
+			t.Fatalf("detector %v: %v", det, err)
+		}
+		if res.RacyObjects == 0 {
+			t.Errorf("detector %v missed the race", det)
+		}
+		if det != HappensBefore && len(res.BaselineReports) == 0 {
+			t.Errorf("detector %v produced no textual reports", det)
+		}
+	}
+}
+
+func TestOptionKnobs(t *testing.T) {
+	// Every ablation still detects the same racy object on this
+	// program (§7.2's stability claim, through the public API).
+	opts := []Options{
+		{},
+		{DisableStaticAnalysis: true},
+		{DisableWeakerThan: true},
+		{DisablePeeling: true},
+		{DisableCache: true},
+	}
+	for i, o := range opts {
+		res, err := Detect("racy.mj", racyProgram, o)
+		if err != nil {
+			t.Fatalf("opts %d: %v", i, err)
+		}
+		if res.RacyObjects != 1 {
+			t.Errorf("opts %d: racy objects = %d, want 1", i, res.RacyObjects)
+		}
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	if _, err := Detect("bad.mj", "class {", Options{}); err == nil {
+		t.Error("syntax error must surface")
+	}
+	if _, err := Detect("bad.mj", `class M { static void main() { int[] a = new int[1]; a[5] = 0; } }`, Options{}); err == nil {
+		t.Error("runtime error must surface")
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	res, err := Detect("racy.mj", racyProgram, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.AccessSites == 0 || s.StaticRaceSet == 0 || s.TracesInserted == 0 {
+		t.Errorf("static stats empty: %+v", s)
+	}
+	if s.TraceEvents == 0 {
+		t.Errorf("runtime stats empty: %+v", s)
+	}
+}
