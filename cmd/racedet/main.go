@@ -10,14 +10,38 @@
 // ownership model, and the trie-based detector. Flags disable
 // individual phases (matching the paper's Table 2/3 ablations) or
 // switch to a baseline detector.
+//
+// Schedule fuzzing (-fuzz N) runs the program under N scheduler seeds
+// in parallel, unions the races, and classifies each as stable or
+// schedule-dependent; -trace-dir saves each finding's witness schedule,
+// and -replay-schedule re-executes one deterministically.
+//
+// Exit codes:
+//
+//	0  no dataraces detected
+//	1  dataraces reported
+//	2  the program's execution failed (deadlock, watchdog, livelock,
+//	   step budget, interpreter panic)
+//	3  internal failure: usage, compile, or I/O error
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"racedet"
+)
+
+// Exit codes.
+const (
+	exitClean    = 0
+	exitRaces    = 1
+	exitRuntime  = 2
+	exitInternal = 3
 )
 
 func main() {
@@ -41,33 +65,40 @@ func main() {
 		fullRace   = flag.Bool("fullrace", false, "with -replay: reconstruct every racing access pair (O(N^2))")
 		deadlocks  = flag.Bool("deadlock", false, "also run the lock-order potential-deadlock analysis")
 		immut      = flag.Bool("immutability", false, "also classify shared fields as observed-immutable or mutable")
+
+		fuzzN      = flag.Int("fuzz", 0, "explore N scheduler seeds and classify races as stable or schedule-dependent")
+		workers    = flag.Int("workers", 0, "parallel workers for -fuzz (0 = one per CPU)")
+		timeout    = flag.Duration("timeout", 0, "per-run wall-clock watchdog (0 = none; -fuzz defaults to 30s)")
+		livelock   = flag.Int("livelock", 0, "terminate after N scheduler slices without progress (0 = off; -fuzz defaults to 100000)")
+		schedOut   = flag.String("schedule-out", "", "write the run's schedule trace to this file (mjsched text)")
+		schedIn    = flag.String("replay-schedule", "", "replay a recorded schedule trace (deterministic reproduction)")
+		traceDir   = flag.String("trace-dir", "", "with -fuzz: write each finding's witness schedule trace into this directory")
+		maxTrie    = flag.Int("max-trie-nodes", 0, "bound trie memory: collapse per-location history over this many nodes (0 = unbounded; may over-report)")
+		maxCacheT  = flag.Int("max-cache-threads", 0, "bound cache memory: keep at most N per-thread caches, evicting LRU (0 = unbounded)")
+		maxOwner   = flag.Int("max-owner-locations", 0, "bound ownership memory: locations past N are born shared (0 = unbounded; may over-report)")
 	)
-	flag.Parse()
+	// A bad flag is a usage error (exit 3), not an execution failure
+	// (exit 2, the flag package's ExitOnError default).
+	flag.CommandLine.Init(os.Args[0], flag.ContinueOnError)
+	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(exitClean)
+		}
+		os.Exit(exitInternal)
+	}
 
 	if *replayPath != "" {
-		replay(*replayPath, *fullRace)
-		return
+		os.Exit(replay(*replayPath, *fullRace))
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: racedet [flags] program.mj")
 		flag.PrintDefaults()
-		os.Exit(2)
+		os.Exit(exitInternal)
 	}
 	file := flag.Arg(0)
 	src, err := os.ReadFile(file)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "racedet:", err)
-		os.Exit(1)
-	}
-
-	var recordFile *os.File
-	if *recordPath != "" {
-		recordFile, err = os.Create(*recordPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "racedet:", err)
-			os.Exit(1)
-		}
-		defer recordFile.Close()
+		fatal(err)
 	}
 
 	opts := racedet.Options{
@@ -84,12 +115,11 @@ func main() {
 		Seed:                   *seed,
 		Quantum:                *quantum,
 		MaxSteps:               *maxSteps,
-	}
-	if !*quiet {
-		opts.Stdout = os.Stdout
-	}
-	if recordFile != nil {
-		opts.RecordTo = recordFile
+		Timeout:                *timeout,
+		LivelockWindow:         *livelock,
+		MaxTrieNodes:           *maxTrie,
+		MaxCacheThreads:        *maxCacheT,
+		MaxOwnerLocations:      *maxOwner,
 	}
 	switch *detName {
 	case "trie":
@@ -102,13 +132,50 @@ func main() {
 		opts.Detector = racedet.HappensBefore
 	default:
 		fmt.Fprintf(os.Stderr, "racedet: unknown detector %q\n", *detName)
-		os.Exit(2)
+		os.Exit(exitInternal)
+	}
+
+	if *fuzzN > 0 {
+		os.Exit(fuzz(file, string(src), opts, *fuzzN, *workers, *traceDir))
+	}
+
+	if !*quiet {
+		opts.Stdout = os.Stdout
+	}
+	var recordFile *os.File
+	if *recordPath != "" {
+		recordFile, err = os.Create(*recordPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer recordFile.Close()
+		opts.RecordTo = recordFile
+	}
+	if *schedIn != "" {
+		trace, err := os.ReadFile(*schedIn)
+		if err != nil {
+			fatal(err)
+		}
+		opts.ReplaySchedule = trace
+	}
+	if *schedOut != "" {
+		opts.RecordSchedule = true
 	}
 
 	res, err := racedet.Detect(file, string(src), opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "racedet:", err)
-		os.Exit(1)
+		var re *racedet.RuntimeError
+		if errors.As(err, &re) {
+			fmt.Fprintln(os.Stderr, "racedet: execution failed:", re)
+			os.Exit(exitRuntime)
+		}
+		fatal(err)
+	}
+
+	if *schedOut != "" {
+		if err := os.WriteFile(*schedOut, res.Schedule, 0o644); err != nil {
+			fatal(err)
+		}
 	}
 
 	for _, r := range res.Races {
@@ -132,23 +199,100 @@ func main() {
 			s.Threads, s.Instructions, s.TraceEvents, s.CacheHits, s.OwnerSkips, s.TrieEvents, s.TrieNodes)
 		fmt.Printf("static: accessSites=%d raceSet=%d threadLocalPruned=%d traces=%d eliminated=%d peeled=%d\n",
 			s.AccessSites, s.StaticRaceSet, s.ThreadLocalPruned, s.TracesInserted, s.TracesEliminated, s.LoopsPeeled)
+		if s.TrieCollapses > 0 || s.CacheThreadEvictions > 0 || s.OwnerOverflows > 0 {
+			fmt.Printf("degraded: trieCollapses=%d cacheThreadEvictions=%d ownerOverflows=%d (bounded memory; may over-report)\n",
+				s.TrieCollapses, s.CacheThreadEvictions, s.OwnerOverflows)
+		}
 	}
 	n := res.RacyObjects
 	switch {
 	case n == 0 && len(res.BaselineReports) == 0:
 		fmt.Fprintln(os.Stderr, "racedet: no dataraces detected")
-	case n > 0:
+	case n > 0 || len(res.BaselineReports) > 0:
 		fmt.Fprintf(os.Stderr, "racedet: dataraces reported on %d object(s)\n", n)
-		os.Exit(3)
+		os.Exit(exitRaces)
+	}
+	os.Exit(exitClean)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "racedet:", err)
+	os.Exit(exitInternal)
+}
+
+// fuzz runs the schedule-exploration harness and reports per-seed
+// outcomes plus the classified findings.
+func fuzz(file, src string, opts racedet.Options, count, workers int, traceDir string) int {
+	res, err := racedet.Fuzz(file, src, racedet.FuzzOptions{
+		Options: opts,
+		Count:   count,
+		Workers: workers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racedet:", err)
+		return exitInternal
+	}
+
+	for _, oc := range res.Outcomes {
+		status := "ok"
+		if oc.Err != nil {
+			status = oc.Err.Error()
+		}
+		fmt.Printf("seed %4d: races=%d %s\n", oc.Seed, oc.Races, status)
+	}
+	for _, f := range res.Findings {
+		class := "STABLE (all schedules)"
+		if !f.Stable {
+			class = fmt.Sprintf("SCHEDULE-DEPENDENT (%d/%d schedules, first seed %d)",
+				len(f.Seeds), res.Completed, f.MinSeed)
+		}
+		fmt.Printf("%s\n    %s\n", f.Race, class)
+		if traceDir != "" {
+			path := filepath.Join(traceDir, traceName(f.Race.Field))
+			if err := os.MkdirAll(traceDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "racedet:", err)
+				return exitInternal
+			}
+			if err := os.WriteFile(path, f.Schedule, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "racedet:", err)
+				return exitInternal
+			}
+			fmt.Printf("    witness schedule: %s (reproduce with -replay-schedule %s)\n", path, path)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "racedet: %d seed(s): %d completed, %d failed; %d distinct race(s) (%d stable, %d schedule-dependent)\n",
+		len(res.Outcomes), res.Completed, res.Failed,
+		len(res.Findings), len(res.Stable()), len(res.ScheduleDependent()))
+
+	switch {
+	case len(res.Findings) > 0:
+		return exitRaces
+	case res.Completed == 0 && res.Failed > 0:
+		return exitRuntime
+	default:
+		return exitClean
 	}
 }
 
+// traceName maps a field name to a witness trace filename.
+func traceName(field string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, field)
+	return clean + ".mjsched"
+}
+
 // replay performs post-mortem detection on a recorded event log.
-func replay(path string, fullRace bool) {
+func replay(path string, fullRace bool) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "racedet:", err)
-		os.Exit(1)
+		return exitInternal
 	}
 	defer f.Close()
 
@@ -156,29 +300,30 @@ func replay(path string, fullRace bool) {
 		pairs, err := racedet.FullRace(f, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "racedet:", err)
-			os.Exit(1)
+			return exitInternal
 		}
 		for _, p := range pairs {
 			fmt.Printf("%s\n  <races with>\n%s\n\n", p.First, p.Second)
 		}
 		fmt.Fprintf(os.Stderr, "racedet: %d racing pair(s) reconstructed\n", len(pairs))
 		if len(pairs) > 0 {
-			os.Exit(3)
+			return exitRaces
 		}
-		return
+		return exitClean
 	}
 
 	res, err := racedet.Replay(f, racedet.Options{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "racedet:", err)
-		os.Exit(1)
+		return exitInternal
 	}
 	for _, r := range res.Races {
 		fmt.Println(r)
 	}
 	if res.RacyObjects > 0 {
 		fmt.Fprintf(os.Stderr, "racedet: dataraces reported on %d object(s)\n", res.RacyObjects)
-		os.Exit(3)
+		return exitRaces
 	}
 	fmt.Fprintln(os.Stderr, "racedet: no dataraces detected")
+	return exitClean
 }

@@ -54,13 +54,13 @@ func TestCLIEndToEnd(t *testing.T) {
 	bin := buildCLI(t)
 	prog := writeProg(t, racyProg)
 
-	// Racy program: exit code 3, report on stdout.
+	// Racy program: exit code 1, report on stdout.
 	out, err := exec.Command(bin, "-q", "-stats", prog).CombinedOutput()
 	if err == nil {
 		t.Fatalf("racy program should exit non-zero\n%s", out)
 	}
-	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 3 {
-		t.Fatalf("exit = %v, want 3\n%s", err, out)
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("exit = %v, want 1\n%s", err, out)
 	}
 	text := string(out)
 	if !strings.Contains(text, "datarace on Data.f") {
@@ -77,15 +77,15 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("no event log written: %v\n%s", err, out)
 	}
 	out, err = exec.Command(bin, "-replay", log).CombinedOutput()
-	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 3 {
-		t.Fatalf("replay exit = %v, want 3\n%s", err, out)
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("replay exit = %v, want 1\n%s", err, out)
 	}
 	if !strings.Contains(string(out), "datarace on Data.f") {
 		t.Errorf("replay missing report:\n%s", out)
 	}
 	out, err = exec.Command(bin, "-replay", log, "-fullrace").CombinedOutput()
-	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 3 {
-		t.Fatalf("fullrace exit = %v, want 3\n%s", err, out)
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("fullrace exit = %v, want 1\n%s", err, out)
 	}
 	if !strings.Contains(string(out), "racing pair") {
 		t.Errorf("fullrace missing pairs:\n%s", out)

@@ -1,0 +1,316 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// schedDepProg hides its race behind a publication window: the racing
+// write only executes when Racer samples the flag before Setter
+// publishes it, which the fixed round-robin schedule never does. See
+// internal/corpus/testdata/racy_publish_window.mj.
+const schedDepProg = `
+class Shared { int flag; int data; }
+class Mutex { int x; }
+class Setter extends Thread {
+    Shared s; Mutex m;
+    Setter(Shared s0, Mutex m0) { s = s0; m = m0; }
+    void run() {
+        synchronized (m) { s.flag = 1; }
+        s.data = 2;
+    }
+}
+class Racer extends Thread {
+    Shared s; Mutex m;
+    Racer(Shared s0, Mutex m0) { s = s0; m = m0; }
+    void run() {
+        int f;
+        synchronized (m) { f = s.flag; }
+        if (f == 0) { s.data = 1; }
+    }
+}
+class Main {
+    static void main() {
+        Shared s = new Shared();
+        Mutex m = new Mutex();
+        s.data = 0;
+        Setter a = new Setter(s, m);
+        Racer b = new Racer(s, m);
+        a.start(); b.start(); a.join(); b.join();
+        print(s.data);
+    }
+}`
+
+const deadlockProg = `
+class A { int f; }
+class W extends Thread {
+    A p; A q;
+    W(A p0, A q0) { p = p0; q = q0; }
+    void run() {
+        for (int i = 0; i < 200; i++) {
+            synchronized (p) { synchronized (q) { p.f = p.f + 1; } }
+        }
+    }
+}
+class Main {
+    static void main() {
+        A x = new A(); A y = new A();
+        W a = new W(x, y); W b = new W(y, x);
+        a.start(); b.start(); a.join(); b.join();
+    }
+}`
+
+const spinProg = `
+class Flag { int go; }
+class Spinner extends Thread {
+    Flag f;
+    Spinner(Flag f0) { f = f0; }
+    void run() { while (f.go == 0) { int x = 1; } }
+}
+class Main {
+    static void main() {
+        Flag f = new Flag();
+        Spinner s = new Spinner(f);
+        s.start(); s.join();
+    }
+}`
+
+func exitCode(t *testing.T, err error, out []byte) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("command did not run: %v\n%s", err, out)
+	}
+	return ee.ExitCode()
+}
+
+// TestCLIExitCodes pins the exit-code contract: 0 = clean, 1 = races,
+// 2 = execution failure, 3 = internal failure.
+func TestCLIExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+
+	// 0: clean program.
+	clean := writeProg(t, strings.Replace(racyProg,
+		"void run() { d.f = d.f + 1; }",
+		"void run() { synchronized (d) { d.f = d.f + 1; } }", 1))
+	out, err := exec.Command(bin, "-q", clean).CombinedOutput()
+	if code := exitCode(t, err, out); code != 0 {
+		t.Errorf("clean program: exit %d, want 0\n%s", code, out)
+	}
+
+	// 1: racy program.
+	racy := writeProg(t, racyProg)
+	out, err = exec.Command(bin, "-q", racy).CombinedOutput()
+	if code := exitCode(t, err, out); code != 1 {
+		t.Errorf("racy program: exit %d, want 1\n%s", code, out)
+	}
+
+	// 2: deadlocking program (execution failure, with a thread dump).
+	// Seed 1 with a short quantum interleaves the two lock acquisitions.
+	dead := writeProg(t, deadlockProg)
+	out, err = exec.Command(bin, "-q", "-seed", "1", "-quantum", "3", dead).CombinedOutput()
+	if code := exitCode(t, err, out); code != 2 {
+		t.Errorf("deadlocking program: exit %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "deadlock") || !strings.Contains(string(out), "blocked") {
+		t.Errorf("deadlock diagnostic lacks structure:\n%s", out)
+	}
+
+	// 2: livelocking program cut short by the livelock heuristic.
+	spin := writeProg(t, spinProg)
+	out, err = exec.Command(bin, "-q", "-livelock", "500", spin).CombinedOutput()
+	if code := exitCode(t, err, out); code != 2 {
+		t.Errorf("livelocking program: exit %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "livelock") {
+		t.Errorf("missing livelock diagnostic:\n%s", out)
+	}
+
+	// 3: internal failures — no args, missing file, compile error.
+	out, err = exec.Command(bin).CombinedOutput()
+	if code := exitCode(t, err, out); code != 3 {
+		t.Errorf("usage error: exit %d, want 3\n%s", code, out)
+	}
+	out, err = exec.Command(bin, filepath.Join(t.TempDir(), "missing.mj")).CombinedOutput()
+	if code := exitCode(t, err, out); code != 3 {
+		t.Errorf("missing file: exit %d, want 3\n%s", code, out)
+	}
+	broken := writeProg(t, "class Main { static void main() { this is not mj } }")
+	out, err = exec.Command(bin, "-q", broken).CombinedOutput()
+	if code := exitCode(t, err, out); code != 3 {
+		t.Errorf("compile error: exit %d, want 3\n%s", code, out)
+	}
+	out, err = exec.Command(bin, "-no-such-flag", racy).CombinedOutput()
+	if code := exitCode(t, err, out); code != 3 {
+		t.Errorf("unknown flag: exit %d, want 3\n%s", code, out)
+	}
+}
+
+// TestCLIBoundedMemoryStats drives the degradation caps from the
+// command line and checks the degraded: counters surface in -stats.
+func TestCLIBoundedMemoryStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	prog := writeProg(t, racyProg)
+	out, err := exec.Command(bin, "-q", "-stats",
+		"-max-trie-nodes", "1", "-max-cache-threads", "1", "-max-owner-locations", "1",
+		prog).CombinedOutput()
+	if code := exitCode(t, err, out); code != 1 {
+		t.Fatalf("bounded run: exit %d, want 1 (must still report)\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "degraded:") {
+		t.Errorf("tiny bounds produced no degraded: stats line:\n%s", out)
+	}
+}
+
+// TestCLIFuzzReplayDeterminism is the end-to-end acceptance flow: the
+// fixed schedule misses the race, -fuzz 16 finds it and emits a
+// witness trace, and five consecutive -replay-schedule runs reproduce
+// the identical race at the identical source position.
+func TestCLIFuzzReplayDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	prog := writeProg(t, schedDepProg)
+
+	// Baseline: the default schedule reports nothing.
+	out, err := exec.Command(bin, "-q", prog).CombinedOutput()
+	if code := exitCode(t, err, out); code != 0 {
+		t.Fatalf("fixed schedule already reports the race (exit %d):\n%s", code, out)
+	}
+
+	// Fuzz finds it and classifies it schedule-dependent.
+	traceDir := t.TempDir()
+	out, err = exec.Command(bin, "-fuzz", "16", "-trace-dir", traceDir, prog).CombinedOutput()
+	if code := exitCode(t, err, out); code != 1 {
+		t.Fatalf("fuzz: exit %d, want 1\n%s", code, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "datarace on Shared.data") {
+		t.Fatalf("fuzz missed the race:\n%s", text)
+	}
+	if !strings.Contains(text, "SCHEDULE-DEPENDENT") {
+		t.Fatalf("race not classified schedule-dependent:\n%s", text)
+	}
+	trace := filepath.Join(traceDir, "Shared.data.mjsched")
+	if _, err := os.Stat(trace); err != nil {
+		t.Fatalf("witness trace not written: %v\n%s", err, text)
+	}
+
+	// Five consecutive replays: identical report, identical position.
+	raceLine := func(out []byte) string {
+		for _, line := range strings.Split(string(out), "\n") {
+			if strings.Contains(line, "datarace on Shared.data") {
+				return line
+			}
+		}
+		return ""
+	}
+	var want string
+	for i := 0; i < 5; i++ {
+		out, err = exec.Command(bin, "-q", "-replay-schedule", trace, prog).CombinedOutput()
+		if code := exitCode(t, err, out); code != 1 {
+			t.Fatalf("replay %d: exit %d, want 1\n%s", i, code, out)
+		}
+		line := raceLine(out)
+		if line == "" {
+			t.Fatalf("replay %d did not reproduce the race:\n%s", i, out)
+		}
+		if i == 0 {
+			want = line
+		} else if line != want {
+			t.Fatalf("replay %d diverged:\n  %s\nvs\n  %s", i, line, want)
+		}
+	}
+	if !strings.Contains(want, schedDepProgPos(t, bin, prog, trace)) {
+		t.Fatalf("replayed race line lacks a stable source position: %q", want)
+	}
+}
+
+// schedDepProgPos extracts the reported source position from one more
+// replay, cross-checking that the line carries a file:line:col.
+func schedDepProgPos(t *testing.T, bin, prog, trace string) string {
+	t.Helper()
+	out, _ := exec.Command(bin, "-q", "-replay-schedule", trace, prog).CombinedOutput()
+	idx := bytes.Index(out, []byte("prog.mj:"))
+	if idx < 0 {
+		t.Fatalf("no source position in replay output:\n%s", out)
+	}
+	end := idx
+	for end < len(out) && out[end] != ' ' && out[end] != '\n' && out[end] != ';' {
+		end++
+	}
+	return string(out[idx:end])
+}
+
+// TestCLIScheduleRoundTrip records a schedule with -schedule-out and
+// replays it with -replay-schedule, expecting identical output.
+func TestCLIScheduleRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	prog := writeProg(t, racyProg)
+	trace := filepath.Join(t.TempDir(), "run.mjsched")
+
+	out1, err := exec.Command(bin, "-seed", "9", "-schedule-out", trace, prog).CombinedOutput()
+	if code := exitCode(t, err, out1); code != 1 {
+		t.Fatalf("record run: exit %d\n%s", code, out1)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil || !bytes.HasPrefix(data, []byte("mjsched 1 ")) {
+		t.Fatalf("bad schedule trace (%v): %q", err, data)
+	}
+	out2, err := exec.Command(bin, "-replay-schedule", trace, prog).CombinedOutput()
+	if code := exitCode(t, err, out2); code != 1 {
+		t.Fatalf("replay run: exit %d\n%s", code, out2)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Errorf("replay output differs:\n%s\nvs\n%s", out1, out2)
+	}
+
+	// A corrupt trace is an internal failure, not a crash.
+	bad := filepath.Join(t.TempDir(), "bad.mjsched")
+	os.WriteFile(bad, []byte("not a trace\n"), 0o644)
+	out3, err := exec.Command(bin, "-q", "-replay-schedule", bad, prog).CombinedOutput()
+	if code := exitCode(t, err, out3); code != 3 {
+		t.Errorf("corrupt trace: exit %d, want 3\n%s", code, out3)
+	}
+}
+
+// TestCLITimeoutFlag checks the wall-clock watchdog on a productive
+// infinite loop the livelock heuristic cannot catch.
+func TestCLITimeoutFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	prog := writeProg(t, `
+class Cell { int v; }
+class Main {
+    static void main() {
+        Cell c = new Cell();
+        while (true) { c.v = c.v + 1; }
+    }
+}`)
+	out, err := exec.Command(bin, "-q", "-timeout", "100ms", prog).CombinedOutput()
+	if code := exitCode(t, err, out); code != 2 {
+		t.Fatalf("timeout: exit %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "watchdog") {
+		t.Errorf("missing watchdog diagnostic:\n%s", out)
+	}
+}

@@ -96,6 +96,33 @@ type Config struct {
 	Quantum  int
 	MaxSteps uint64
 
+	// RecordSchedule captures the scheduler's decision sequence in
+	// RunResult.Schedule, turning any run — in particular one exposing
+	// a schedule-dependent race — into a replayable artifact.
+	RecordSchedule bool
+	// ReplaySchedule re-executes a recorded decision sequence instead
+	// of scheduling live; Seed is ignored and Quantum is taken from the
+	// trace. Replay of a trace on the program that produced it is
+	// deterministic down to every detector event.
+	ReplaySchedule *interp.ScheduleTrace
+
+	// Timeout bounds the execution's wall-clock time (0 = none); on
+	// expiry the run fails with a watchdog RuntimeError carrying a
+	// thread dump.
+	Timeout time.Duration
+	// LivelockWindow terminates runs making no heap progress for this
+	// many consecutive scheduler slices (0 = disabled). It catches
+	// spinning programs in O(window·quantum) steps instead of burning
+	// the whole step budget.
+	LivelockWindow int
+
+	// MaxTrieNodes/MaxCacheThreads/MaxOwnerLocations bound detector
+	// memory (0 = unbounded). Degradation is graceful and strictly
+	// over-reporting; see detector.Options.
+	MaxTrieNodes      int
+	MaxCacheThreads   int
+	MaxOwnerLocations int
+
 	// Out receives the program's print output; nil discards.
 	Out io.Writer
 
@@ -285,6 +312,10 @@ type RunResult struct {
 	TrieNodes     int
 	TrieLocations int
 
+	// Schedule is the recorded scheduling decision sequence (nil unless
+	// Config.RecordSchedule was set).
+	Schedule *interp.ScheduleTrace
+
 	InstrStats  instrument.Stats
 	StaticStats StaticStats
 
@@ -295,7 +326,21 @@ type RunResult struct {
 
 // Run executes the compiled program under the configured detector.
 func (p *Pipeline) Run() (*RunResult, error) {
-	cfg := p.Config
+	return p.RunConfig(p.Config)
+}
+
+// RunConfig executes the compiled program under cfg, which may differ
+// from the compile-time Config in runtime-only fields (seed, schedule,
+// timeout, detector bounds...). It never mutates the Pipeline, so a
+// compiled program can run many schedules concurrently — the fuzzing
+// harness compiles once and calls RunConfig from its workers.
+func (p *Pipeline) RunConfig(cfg Config) (*RunResult, error) {
+	if tr := cfg.ReplaySchedule; tr != nil {
+		// Replay fully determines the schedule; neutralize the live
+		// scheduler's parameters so nothing else can perturb it.
+		cfg.Seed = 0
+		cfg.Quantum = tr.Quantum
+	}
 
 	var sink event.Sink
 	var det *detector.Detector
@@ -305,12 +350,15 @@ func (p *Pipeline) Run() (*RunResult, error) {
 	switch cfg.Detector {
 	case DetTrie:
 		det = detector.New(detector.Options{
-			NoCache:       !cfg.Cache,
-			NoOwnership:   !cfg.Ownership,
-			FieldsMerged:  cfg.FieldsMerged,
-			NoPseudoLocks: !cfg.PseudoLocks,
-			ReportAll:     cfg.ReportAll,
-			PackedTrie:    cfg.PackedTrie,
+			NoCache:           !cfg.Cache,
+			NoOwnership:       !cfg.Ownership,
+			FieldsMerged:      cfg.FieldsMerged,
+			NoPseudoLocks:     !cfg.PseudoLocks,
+			ReportAll:         cfg.ReportAll,
+			PackedTrie:        cfg.PackedTrie,
+			MaxTrieNodes:      cfg.MaxTrieNodes,
+			MaxCacheThreads:   cfg.MaxCacheThreads,
+			MaxOwnerLocations: cfg.MaxOwnerLocations,
 		})
 		sink = det
 	case DetEraser:
@@ -351,13 +399,20 @@ func (p *Pipeline) Run() (*RunResult, error) {
 	if cfg.Out != nil {
 		w = io.MultiWriter(&out, cfg.Out)
 	}
-	machine := interp.New(p.Prog, interp.Options{
-		Sink:     sink,
-		Out:      w,
-		Quantum:  cfg.Quantum,
-		Seed:     cfg.Seed,
-		MaxSteps: cfg.MaxSteps,
-	})
+	iopts := interp.Options{
+		Sink:           sink,
+		Out:            w,
+		Quantum:        cfg.Quantum,
+		Seed:           cfg.Seed,
+		MaxSteps:       cfg.MaxSteps,
+		RecordSchedule: cfg.RecordSchedule,
+		Replay:         cfg.ReplaySchedule,
+		LivelockWindow: cfg.LivelockWindow,
+	}
+	if cfg.Timeout > 0 {
+		iopts.Deadline = time.Now().Add(cfg.Timeout)
+	}
+	machine := interp.New(p.Prog, iopts)
 	if det != nil {
 		det.SetDescribeObj(machine.DescribeObj)
 	}
@@ -379,6 +434,7 @@ func (p *Pipeline) Run() (*RunResult, error) {
 		Output:      out.String(),
 		Duration:    dur,
 		Err:         err,
+		Schedule:    machine.Schedule(),
 	}
 	if dl != nil {
 		for _, r := range dl.Reports() {

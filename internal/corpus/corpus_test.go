@@ -23,6 +23,7 @@ var (
 	expectCleanRE     = regexp.MustCompile(`(?m)^// EXPECT-CLEAN`)
 	expectRacyRE      = regexp.MustCompile(`(?m)^// EXPECT-RACY: (.+)$`)
 	expectNoDomOnlyRE = regexp.MustCompile(`(?m)^// EXPECT-RACY-NODOM-ONLY: (.+)$`)
+	expectSchedDepRE  = regexp.MustCompile(`(?m)^// EXPECT-SCHED-DEP: (.+)$`)
 )
 
 type entry struct {
@@ -34,6 +35,10 @@ type entry struct {
 	// misses the race (compile-time weaker-than × ownership), the
 	// NoDominators configuration reports it.
 	nodomOnly bool
+	// schedDep marks races that only some schedules expose: the fixed
+	// round-robin schedule (seed 0) must miss them, a seed sweep must
+	// find them. These are the fuzzing harness's reason to exist.
+	schedDep bool
 }
 
 func loadCorpus(t *testing.T) []entry {
@@ -57,6 +62,12 @@ func loadCorpus(t *testing.T) []entry {
 		case expectNoDomOnlyRE.MatchString(src):
 			e.nodomOnly = true
 			m := expectNoDomOnlyRE.FindStringSubmatch(src)
+			for _, f := range strings.Split(m[1], ",") {
+				e.fields = append(e.fields, strings.TrimSpace(f))
+			}
+		case expectSchedDepRE.MatchString(src):
+			e.schedDep = true
+			m := expectSchedDepRE.FindStringSubmatch(src)
 			for _, f := range strings.Split(m[1], ",") {
 				e.fields = append(e.fields, strings.TrimSpace(f))
 			}
@@ -88,6 +99,38 @@ func TestCorpusVerdicts(t *testing.T) {
 		e := e
 		t.Run(e.name, func(t *testing.T) {
 			t.Parallel()
+			if e.schedDep {
+				// Schedule-dependent races: the fixed round-robin
+				// schedule must miss them (else they belong in
+				// EXPECT-RACY), and a 16-seed sweep must find them.
+				union := map[string]bool{}
+				for seed := int64(0); seed < 16; seed++ {
+					res, err := core.RunSource(e.name+".mj", e.src, core.Full().WithSeed(seed))
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					if res.Err != nil {
+						t.Fatalf("seed %d: runtime: %v", seed, res.Err)
+					}
+					got := racyFields(res)
+					for f := range got {
+						union[f] = true
+					}
+					if seed == 0 {
+						for _, want := range e.fields {
+							if got[want] {
+								t.Errorf("seed 0 already reports %s — race is not schedule-dependent (update the annotation!)", want)
+							}
+						}
+					}
+				}
+				for _, want := range e.fields {
+					if !union[want] {
+						t.Errorf("16-seed sweep never exposed %s, union = %v", want, keys(union))
+					}
+				}
+				return
+			}
 			for _, seed := range []int64{0, 1, 2, 3, 4} {
 				res, err := core.RunSource(e.name+".mj", e.src, core.Full().WithSeed(seed))
 				if err != nil {

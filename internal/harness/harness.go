@@ -1,0 +1,310 @@
+// Package harness implements schedule exploration: running one
+// compiled program under many scheduler seeds in parallel, unioning
+// the reported dataraces, and classifying each as stable (reported on
+// every schedule) or schedule-dependent (reported only on some).
+//
+// The lockset detector underneath is largely schedule-insensitive by
+// design — §2.5 of the paper argues a race is reported as long as the
+// racing accesses execute at all — but control flow that depends on
+// timing (a reader that only touches shared state when it observes a
+// half-published flag, a work queue drained before the racing consumer
+// starts) can keep an access from executing on a given interleaving.
+// Sweeping seeds exposes those races, and the schedule trace recorded
+// with each run (see interp.ScheduleTrace) turns every finding into a
+// deterministically replayable artifact.
+//
+// The harness is also where the robustness machinery composes: every
+// run is bounded by a wall-clock watchdog, a step budget, and the
+// livelock heuristic, so one pathological schedule cannot hang the
+// sweep; failed runs are reported per seed, not silently dropped.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"racedet/internal/core"
+	"racedet/internal/interp"
+	"racedet/internal/rt/detector"
+)
+
+// Options configures an exploration sweep. The zero value explores 8
+// seeds (0..7) on one worker per CPU with a 30s per-run watchdog.
+type Options struct {
+	// Config is the base pipeline configuration; the harness overrides
+	// its Seed per run and always records schedules. Runtime bounds set
+	// here (Timeout, LivelockWindow, MaxSteps, detector budgets) apply
+	// to every run unless overridden below.
+	Config core.Config
+
+	// Seeds lists the scheduler seeds to explore. When nil, seeds
+	// 0..Count-1 are used (Count defaulting to 8). Seed 0 is the fixed
+	// round-robin schedule, so the default sweep always includes the
+	// deterministic baseline.
+	Seeds []int64
+	Count int
+
+	// Workers bounds parallelism (default: GOMAXPROCS, capped at the
+	// seed count). Each worker runs complete executions, so results are
+	// independent of worker count and completion order.
+	Workers int
+
+	// Timeout is the per-run wall-clock watchdog (default 30s; negative
+	// disables). Zero in both this field and Config.Timeout means the
+	// default applies.
+	Timeout time.Duration
+
+	// LivelockWindow is the per-run no-progress bound in scheduler
+	// slices (default 100000; negative disables).
+	LivelockWindow int
+}
+
+func (o *Options) seeds() []int64 {
+	if len(o.Seeds) > 0 {
+		return o.Seeds
+	}
+	n := o.Count
+	if n <= 0 {
+		n = 8
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i)
+	}
+	return seeds
+}
+
+// DefaultTimeout bounds one run's wall-clock time unless overridden.
+const DefaultTimeout = 30 * time.Second
+
+// DefaultLivelockWindow is the default no-progress bound in slices.
+const DefaultLivelockWindow = 100_000
+
+// RunOutcome is one seed's execution outcome.
+type RunOutcome struct {
+	Seed     int64
+	Races    int
+	Output   string
+	Steps    uint64
+	Duration time.Duration
+	// Err is the run's terminal error (deadlock, watchdog, livelock,
+	// panic...), nil for a clean exit. Races found before the error are
+	// still counted and aggregated.
+	Err error
+	// Schedule is the recorded decision sequence of this run.
+	Schedule *interp.ScheduleTrace
+}
+
+// Finding is one distinct race aggregated across the sweep. Races are
+// keyed by field name: the same unsynchronized field access reported
+// at different positions on different schedules is one finding.
+type Finding struct {
+	// Field is the raced location's name ("Class.field" or "[]").
+	Field string
+	// Report is the detector report from the smallest exposing seed —
+	// the canonical witness. Its position is deterministic under replay
+	// of Trace.
+	Report detector.Report
+	// Seeds lists every seed whose run reported the race, sorted.
+	Seeds []int64
+	// MinSeed is the smallest exposing seed.
+	MinSeed int64
+	// Stable reports whether every completed run exposed the race;
+	// false marks a schedule-dependent race.
+	Stable bool
+	// Trace is the witness schedule from the MinSeed run; replaying it
+	// reproduces the race deterministically.
+	Trace *interp.ScheduleTrace
+}
+
+// Summary aggregates one exploration sweep.
+type Summary struct {
+	// Findings is the union of races over all runs, stable findings
+	// first, then by ascending MinSeed, then by field name.
+	Findings []Finding
+	// Outcomes holds one entry per seed, in Options.Seeds order.
+	Outcomes []RunOutcome
+	// Completed counts runs that terminated without a runtime error;
+	// Failed counts the rest (each Outcome carries its error).
+	Completed int
+	Failed    int
+}
+
+// Stable returns the findings reported on every completed schedule.
+func (s *Summary) Stable() []Finding { return s.filter(true) }
+
+// ScheduleDependent returns the findings missed by at least one
+// completed schedule.
+func (s *Summary) ScheduleDependent() []Finding { return s.filter(false) }
+
+func (s *Summary) filter(stable bool) []Finding {
+	var out []Finding
+	for _, f := range s.Findings {
+		if f.Stable == stable {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Explore runs the compiled program once per seed and aggregates the
+// findings. Individual run failures (deadlock, watchdog, livelock,
+// interpreter panic) are recorded in the per-seed outcome and do not
+// abort the sweep; Explore itself only fails on harness-level misuse.
+func Explore(pipe *core.Pipeline, opts Options) (*Summary, error) {
+	seeds := opts.seeds()
+	for i, s := range seeds {
+		for _, t := range seeds[:i] {
+			if s == t {
+				return nil, fmt.Errorf("harness: duplicate seed %d", s)
+			}
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+
+	base := opts.Config
+	base.RecordSchedule = true
+	base.ReplaySchedule = nil
+	if opts.Timeout != 0 {
+		base.Timeout = opts.Timeout
+	} else if base.Timeout == 0 {
+		base.Timeout = DefaultTimeout
+	}
+	if base.Timeout < 0 {
+		base.Timeout = 0
+	}
+	if opts.LivelockWindow != 0 {
+		base.LivelockWindow = opts.LivelockWindow
+	} else if base.LivelockWindow == 0 {
+		base.LivelockWindow = DefaultLivelockWindow
+	}
+	if base.LivelockWindow < 0 {
+		base.LivelockWindow = 0
+	}
+
+	// Workers pull seed indices from a shared counter; each run uses a
+	// private Config copy, so the only shared state is the compiled
+	// (read-only) Pipeline.
+	outcomes := make([]RunOutcome, len(seeds))
+	results := make([]*core.RunResult, len(seeds))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(seeds) {
+					return
+				}
+				cfg := base
+				cfg.Seed = seeds[i]
+				rr, err := pipe.RunConfig(cfg)
+				oc := RunOutcome{Seed: seeds[i], Err: err}
+				if rr != nil {
+					oc.Races = len(rr.Reports)
+					oc.Output = rr.Output
+					oc.Steps = rr.Interp.Steps
+					oc.Duration = rr.Duration
+					oc.Schedule = rr.Schedule
+					if err == nil {
+						oc.Err = rr.Err
+					}
+				}
+				outcomes[i], results[i] = oc, rr
+			}
+		}()
+	}
+	wg.Wait()
+
+	sum := &Summary{Outcomes: outcomes}
+	for _, oc := range outcomes {
+		if oc.Err == nil {
+			sum.Completed++
+		} else {
+			sum.Failed++
+		}
+	}
+
+	// Union the reports across runs, keyed by field name. The witness
+	// (report + schedule trace) comes from the smallest exposing seed
+	// so reproduction instructions are deterministic across sweeps.
+	byField := make(map[string]*Finding)
+	for i, rr := range results {
+		if rr == nil {
+			continue
+		}
+		for _, rep := range rr.Reports {
+			f := byField[rep.Access.FieldName]
+			if f == nil {
+				f = &Finding{Field: rep.Access.FieldName, MinSeed: seeds[i],
+					Report: rep, Trace: rr.Schedule}
+				byField[rep.Access.FieldName] = f
+			}
+			f.Seeds = append(f.Seeds, seeds[i])
+			if seeds[i] < f.MinSeed {
+				f.MinSeed = seeds[i]
+				f.Report = rep
+				f.Trace = rr.Schedule
+			}
+		}
+	}
+	for _, f := range byField {
+		sort.Slice(f.Seeds, func(i, j int) bool { return f.Seeds[i] < f.Seeds[j] })
+		// Stable = exposed by every run that ran to completion. Failed
+		// runs don't count against stability: their reports are a
+		// prefix of what the full run would have found.
+		exposedCompleted := 0
+		for _, oc := range outcomes {
+			if oc.Err == nil && containsSeed(f.Seeds, oc.Seed) {
+				exposedCompleted++
+			}
+		}
+		f.Stable = sum.Completed > 0 && exposedCompleted == sum.Completed
+		sum.Findings = append(sum.Findings, *f)
+	}
+	sort.Slice(sum.Findings, func(i, j int) bool {
+		a, b := sum.Findings[i], sum.Findings[j]
+		if a.Stable != b.Stable {
+			return a.Stable
+		}
+		if a.MinSeed != b.MinSeed {
+			return a.MinSeed < b.MinSeed
+		}
+		return a.Field < b.Field
+	})
+	return sum, nil
+}
+
+func containsSeed(seeds []int64, s int64) bool {
+	for _, t := range seeds {
+		if t == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ExploreSource compiles src and explores it in one step.
+func ExploreSource(file, src string, opts Options) (*Summary, error) {
+	pipe, err := core.Compile(file, src, opts.Config)
+	if err != nil {
+		return nil, err
+	}
+	return Explore(pipe, opts)
+}

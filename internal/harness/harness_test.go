@@ -1,0 +1,260 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"racedet/internal/core"
+)
+
+// stableRacy always races: two threads write the same unguarded field
+// on every schedule.
+const stableRacy = `
+class Counter { int n; }
+class Inc extends Thread {
+    Counter c;
+    Inc(Counter c0) { c = c0; }
+    void run() { for (int i = 0; i < 50; i++) { c.n = c.n + 1; } }
+}
+class Main {
+    static void main() {
+        Counter c = new Counter();
+        c.n = 0;
+        Inc a = new Inc(c); Inc b = new Inc(c);
+        a.start(); b.start(); a.join(); b.join();
+        print(c.n);
+    }
+}`
+
+// schedDepRacy is the publication-window program (see the corpus entry
+// racy_publish_window.mj): the racing write only executes on schedules
+// where Racer samples the flag before Setter publishes it, so seed 0's
+// fixed round-robin misses the race and jittered seeds expose it.
+const schedDepRacy = `
+class Shared { int flag; int data; }
+class Mutex { int x; }
+class Setter extends Thread {
+    Shared s; Mutex m;
+    Setter(Shared s0, Mutex m0) { s = s0; m = m0; }
+    void run() {
+        synchronized (m) { s.flag = 1; }
+        s.data = 2;
+    }
+}
+class Racer extends Thread {
+    Shared s; Mutex m;
+    Racer(Shared s0, Mutex m0) { s = s0; m = m0; }
+    void run() {
+        int f;
+        synchronized (m) { f = s.flag; }
+        if (f == 0) { s.data = 1; }
+    }
+}
+class Main {
+    static void main() {
+        Shared s = new Shared();
+        Mutex m = new Mutex();
+        s.data = 0;
+        Setter a = new Setter(s, m);
+        Racer b = new Racer(s, m);
+        a.start(); b.start(); a.join(); b.join();
+        print(s.data);
+    }
+}`
+
+func explore(t *testing.T, src string, opts Options) *Summary {
+	t.Helper()
+	sum, err := ExploreSource("t.mj", src, opts)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	return sum
+}
+
+func findField(sum *Summary, field string) *Finding {
+	for i := range sum.Findings {
+		if sum.Findings[i].Field == field {
+			return &sum.Findings[i]
+		}
+	}
+	return nil
+}
+
+func TestExploreClassifiesStableRace(t *testing.T) {
+	sum := explore(t, stableRacy, Options{Config: core.Full(), Count: 8})
+	if sum.Failed != 0 {
+		t.Fatalf("failed runs: %+v", sum.Outcomes)
+	}
+	f := findField(sum, "Counter.n")
+	if f == nil {
+		t.Fatalf("race on Counter.n not found; findings = %+v", sum.Findings)
+	}
+	if !f.Stable {
+		t.Errorf("Counter.n races on every schedule but classified schedule-dependent (seeds %v)", f.Seeds)
+	}
+	if len(f.Seeds) != 8 || f.MinSeed != 0 {
+		t.Errorf("seeds = %v, MinSeed = %d; want all 8 seeds from 0", f.Seeds, f.MinSeed)
+	}
+	if f.Trace == nil || len(f.Trace.Slices) == 0 {
+		t.Error("finding carries no witness schedule")
+	}
+}
+
+func TestExploreClassifiesScheduleDependentRace(t *testing.T) {
+	sum := explore(t, schedDepRacy, Options{Config: core.Full(), Count: 16})
+	if sum.Failed != 0 {
+		t.Fatalf("failed runs: %+v", sum.Outcomes)
+	}
+	f := findField(sum, "Shared.data")
+	if f == nil {
+		t.Fatalf("16-seed sweep never exposed Shared.data; findings = %+v", sum.Findings)
+	}
+	if f.Stable {
+		t.Errorf("Shared.data classified stable although seed 0 misses it (seeds %v)", f.Seeds)
+	}
+	if containsSeed(f.Seeds, 0) {
+		t.Errorf("seed 0 (fixed round-robin) reported the race: %v — program no longer schedule-dependent", f.Seeds)
+	}
+	if f.MinSeed != f.Seeds[0] {
+		t.Errorf("MinSeed = %d, seeds = %v", f.MinSeed, f.Seeds)
+	}
+	if len(sum.ScheduleDependent()) == 0 || len(sum.Stable()) != 0 {
+		t.Errorf("classification accessors wrong: stable=%d dep=%d", len(sum.Stable()), len(sum.ScheduleDependent()))
+	}
+}
+
+func TestExploreWitnessReplaysDeterministically(t *testing.T) {
+	// The acceptance bar for the whole harness: the witness trace of a
+	// schedule-dependent finding, replayed repeatedly, reproduces the
+	// same race at the same source position every time.
+	pipe, err := core.Compile("t.mj", schedDepRacy, core.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Explore(pipe, Options{Config: core.Full(), Count: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := findField(sum, "Shared.data")
+	if f == nil || f.Trace == nil {
+		t.Fatalf("no witness for Shared.data: %+v", sum.Findings)
+	}
+	wantPos := f.Report.Access.Pos.String()
+	for i := 0; i < 5; i++ {
+		cfg := core.Full()
+		cfg.ReplaySchedule = f.Trace
+		rr, err := pipe.RunConfig(cfg)
+		if err != nil || rr.Err != nil {
+			t.Fatalf("replay %d: %v / %v", i, err, rr.Err)
+		}
+		var got string
+		for _, rep := range rr.Reports {
+			if rep.Access.FieldName == "Shared.data" {
+				got = rep.Access.Pos.String()
+			}
+		}
+		if got == "" {
+			t.Fatalf("replay %d did not reproduce the race", i)
+		}
+		if got != wantPos {
+			t.Fatalf("replay %d reported at %s, witness at %s", i, got, wantPos)
+		}
+	}
+}
+
+func TestExploreWorkerCountInvariance(t *testing.T) {
+	one := explore(t, schedDepRacy, Options{Config: core.Full(), Count: 12, Workers: 1})
+	many := explore(t, schedDepRacy, Options{Config: core.Full(), Count: 12, Workers: 4})
+	if len(one.Findings) != len(many.Findings) {
+		t.Fatalf("findings differ by worker count: %d vs %d", len(one.Findings), len(many.Findings))
+	}
+	for i := range one.Findings {
+		a, b := one.Findings[i], many.Findings[i]
+		if a.Field != b.Field || a.Stable != b.Stable || a.MinSeed != b.MinSeed ||
+			len(a.Seeds) != len(b.Seeds) {
+			t.Errorf("finding %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	for i := range one.Outcomes {
+		if one.Outcomes[i].Races != many.Outcomes[i].Races {
+			t.Errorf("seed %d outcome differs by worker count", one.Outcomes[i].Seed)
+		}
+	}
+}
+
+func TestExploreSurvivesFailingRuns(t *testing.T) {
+	// Every schedule of this program deadlocks; the sweep must record
+	// the failures per seed and return normally.
+	deadlock := `
+class A { int f; }
+class W extends Thread {
+    A p; A q;
+    W(A p0, A q0) { p = p0; q = q0; }
+    void run() {
+        for (int i = 0; i < 200; i++) {
+            synchronized (p) { synchronized (q) { p.f = p.f + 1; } }
+        }
+    }
+}
+class Main {
+    static void main() {
+        A x = new A(); A y = new A();
+        W a = new W(x, y); W b = new W(y, x);
+        a.start(); b.start(); a.join(); b.join();
+    }
+}`
+	cfg := core.Full()
+	cfg.Quantum = 3
+	sum := explore(t, deadlock, Options{Config: cfg, Count: 8})
+	if sum.Failed == 0 {
+		t.Fatal("no failures recorded for a deadlocking program")
+	}
+	for _, oc := range sum.Outcomes {
+		if oc.Err == nil {
+			continue
+		}
+		if !strings.Contains(oc.Err.Error(), "deadlock") {
+			t.Errorf("seed %d: error is not a structured deadlock: %v", oc.Seed, oc.Err)
+		}
+	}
+}
+
+func TestExploreLivelockWatchdogBoundsRuns(t *testing.T) {
+	spin := `
+class Flag { int go; }
+class Spinner extends Thread {
+    Flag f;
+    Spinner(Flag f0) { f = f0; }
+    void run() { while (f.go == 0) { int x = 1; } }
+}
+class Main {
+    static void main() {
+        Flag f = new Flag();
+        Spinner s = new Spinner(f);
+        s.start(); s.join();
+    }
+}`
+	start := time.Now()
+	sum := explore(t, spin, Options{Config: core.Full(), Count: 4, LivelockWindow: 500})
+	if sum.Failed != 4 {
+		t.Fatalf("all 4 spinning runs should fail, got %d failures", sum.Failed)
+	}
+	for _, oc := range sum.Outcomes {
+		if oc.Err == nil || !strings.Contains(oc.Err.Error(), "livelock") {
+			t.Errorf("seed %d: want livelock error, got %v", oc.Seed, oc.Err)
+		}
+		if oc.Steps > 1_000_000 {
+			t.Errorf("seed %d burned %d steps; livelock window should bound it", oc.Seed, oc.Steps)
+		}
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Error("sweep of livelocking program took too long")
+	}
+}
+
+func TestExploreRejectsDuplicateSeeds(t *testing.T) {
+	if _, err := ExploreSource("t.mj", stableRacy, Options{Config: core.Full(), Seeds: []int64{1, 2, 1}}); err == nil {
+		t.Fatal("duplicate seeds accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"racedet/internal/core"
+)
+
+// The wait/notify edge cases below are classic interpreter bug nests:
+// notifications with an empty wait set, wakeups that must restore a
+// reentrant lock depth, and joins on already-dead threads. Each
+// program is correct (clean and deterministic in its printed result),
+// so the harness assertion is uniform: every one of the ≥8 schedules
+// terminates, agrees on the output, and reports no races.
+
+func exploreClean(t *testing.T, name, src, want string) {
+	t.Helper()
+	sum := explore(t, src, Options{Config: core.Full(), Count: 10})
+	if sum.Failed != 0 {
+		for _, oc := range sum.Outcomes {
+			if oc.Err != nil {
+				t.Errorf("%s: seed %d failed: %v", name, oc.Seed, oc.Err)
+			}
+		}
+		t.FailNow()
+	}
+	for _, oc := range sum.Outcomes {
+		if got := strings.TrimSpace(oc.Output); got != want {
+			t.Errorf("%s: seed %d printed %q, want %q", name, oc.Seed, got, want)
+		}
+	}
+	if len(sum.Findings) != 0 {
+		t.Errorf("%s: clean program reported races: %+v", name, sum.Findings)
+	}
+}
+
+func TestNotifyWithNoWaiter(t *testing.T) {
+	// The producer may notify before the consumer ever waits — the
+	// notification then targets an empty wait set and is dropped. The
+	// guarded loop makes the program correct regardless: the consumer
+	// re-checks the flag and only waits while it is unset.
+	src := `
+class Box {
+    boolean ready;
+    int value;
+    synchronized void publish(int v) {
+        value = v;
+        ready = true;
+        this.notify();
+    }
+    synchronized int consume() {
+        while (!ready) { this.wait(); }
+        return value;
+    }
+}
+class Producer extends Thread {
+    Box b;
+    Producer(Box b0) { b = b0; }
+    void run() { b.publish(42); }
+}
+class Consumer extends Thread {
+    Box b; int got;
+    Consumer(Box b0) { b = b0; }
+    void run() { got = b.consume(); }
+}
+class Main {
+    static void main() {
+        Box b = new Box();
+        Producer p = new Producer(b);
+        Consumer c = new Consumer(b);
+        p.start();
+        c.start();
+        p.join(); c.join();
+        print(c.got);
+    }
+}`
+	exploreClean(t, "notify-no-waiter", src, "42")
+}
+
+func TestNotifyAllWakesReentrantWaiter(t *testing.T) {
+	// The waiter calls wait() through two nested synchronized methods,
+	// so it sleeps holding the monitor at depth 2. Wakeup must restore
+	// that depth — the waiter then still owns the lock while it reads
+	// the value, and both inner exits must happen before the monitor is
+	// actually free.
+	src := `
+class Gate {
+    boolean open;
+    int value;
+    synchronized int awaitOuter() {
+        return this.awaitInner();
+    }
+    synchronized int awaitInner() {
+        while (!open) { this.wait(); }
+        return value;
+    }
+    synchronized void release(int v) {
+        value = v;
+        open = true;
+        this.notifyAll();
+    }
+}
+class Waiter extends Thread {
+    Gate g; int got;
+    Waiter(Gate g0) { g = g0; }
+    void run() { got = g.awaitOuter(); }
+}
+class Main {
+    static void main() {
+        Gate g = new Gate();
+        Waiter a = new Waiter(g);
+        Waiter b = new Waiter(g);
+        a.start(); b.start();
+        g.release(7);
+        a.join(); b.join();
+        print(a.got + b.got);
+    }
+}`
+	exploreClean(t, "notifyAll-reentrant", src, "14")
+}
+
+func TestJoinAfterFinish(t *testing.T) {
+	// Joining a thread that already terminated must return immediately
+	// on every schedule — including ones where the joiner runs long
+	// after the joinee's slot was recycled, and repeated joins on the
+	// same dead thread.
+	src := `
+class Work extends Thread {
+    int out;
+    void run() { out = 21; }
+}
+class Main {
+    static void main() {
+        Work w = new Work();
+        w.start();
+        for (int i = 0; i < 2000; i++) { int x = i; }
+        w.join();
+        w.join();
+        Work v = new Work();
+        v.start();
+        v.join();
+        print(w.out + v.out);
+    }
+}`
+	exploreClean(t, "join-after-finish", src, "42")
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"racedet/internal/ir"
 	"racedet/internal/lang/sem"
@@ -117,16 +118,69 @@ type frame struct {
 	retReg int // register in the caller frame receiving the return value
 }
 
+// ErrKind classifies a RuntimeError so callers (the fuzzing harness,
+// the CLI exit-code logic) can react without parsing messages.
+type ErrKind uint8
+
+// RuntimeError kinds.
+const (
+	// ErrFault is a language-level fault: null dereference, index out
+	// of bounds, division by zero, monitor misuse, stack overflow.
+	ErrFault ErrKind = iota
+	// ErrDeadlock: every unfinished thread is blocked.
+	ErrDeadlock
+	// ErrLivelock: no thread made observable progress for
+	// Options.LivelockWindow consecutive slices.
+	ErrLivelock
+	// ErrWatchdog: the wall-clock deadline passed.
+	ErrWatchdog
+	// ErrStepBudget: Options.MaxSteps instructions executed.
+	ErrStepBudget
+	// ErrPanic: an interpreter (or detector) panic was recovered.
+	ErrPanic
+	// ErrScheduleDivergence: a replayed schedule named a thread that
+	// does not exist or cannot run — the program or configuration does
+	// not match the recording.
+	ErrScheduleDivergence
+)
+
+func (k ErrKind) String() string {
+	switch k {
+	case ErrDeadlock:
+		return "deadlock"
+	case ErrLivelock:
+		return "livelock"
+	case ErrWatchdog:
+		return "watchdog"
+	case ErrStepBudget:
+		return "step-budget"
+	case ErrPanic:
+		return "panic"
+	case ErrScheduleDivergence:
+		return "schedule-divergence"
+	}
+	return "fault"
+}
+
 // RuntimeError is a fatal execution error (null dereference, index out
-// of bounds, division by zero, deadlock, step-budget exhaustion).
+// of bounds, division by zero, deadlock, livelock, watchdog timeout,
+// step-budget exhaustion, or a recovered interpreter panic). Dump
+// carries the scheduler's thread dump for every scheduler-level kind,
+// so a postmortem is self-contained.
 type RuntimeError struct {
+	Kind   ErrKind
 	Pos    token.Pos
 	Thread event.ThreadID
 	Msg    string
+	Dump   string // thread dump at failure time ("" for plain faults)
 }
 
 func (e *RuntimeError) Error() string {
-	return fmt.Sprintf("%s: runtime error in %s: %s", e.Pos, e.Thread, e.Msg)
+	s := fmt.Sprintf("%s: runtime error in %s: %s", e.Pos, e.Thread, e.Msg)
+	if e.Dump != "" {
+		s += "; threads: " + e.Dump
+	}
+	return s
 }
 
 // Options configures a Machine.
@@ -142,6 +196,33 @@ type Options struct {
 	Seed int64
 	// MaxSteps bounds total executed instructions (default 200M).
 	MaxSteps uint64
+
+	// RecordSchedule captures every scheduling decision; the trace is
+	// available from Machine.Schedule after the run and replays the
+	// exact interleaving via Replay.
+	RecordSchedule bool
+	// Replay re-executes a recorded schedule instead of consulting the
+	// scheduler: each slice runs the recorded thread for the recorded
+	// quantum. Seed is ignored while the trace lasts; if the trace is
+	// exhausted with threads still runnable (e.g. it was recorded from
+	// a run that aborted), execution falls back to fixed round-robin.
+	Replay *ScheduleTrace
+	// Deadline, when non-zero, is a wall-clock watchdog: the run aborts
+	// with an ErrWatchdog RuntimeError (and a thread dump) once the
+	// deadline passes. Checked between slices, so a slice's worth of
+	// instructions may still execute after the deadline.
+	Deadline time.Time
+	// LivelockWindow, when positive, terminates the run with an
+	// ErrLivelock RuntimeError after that many consecutive slices in
+	// which no thread made observable progress (heap write, allocation,
+	// I/O, or a thread lifecycle/wait-set transition). Spinning
+	// programs die in O(window) slices instead of burning the full
+	// step budget. 0 disables the heuristic.
+	LivelockWindow int
+	// SliceHook, when non-nil, runs before each scheduling slice with
+	// the slice ordinal. It exists for diagnostics and fault-injection
+	// tests; a panic inside it is recovered like any interpreter panic.
+	SliceHook func(slice uint64)
 }
 
 // Result summarizes an execution.
@@ -185,6 +266,18 @@ type Machine struct {
 	// section at the same point every slice, so woken waiters always
 	// find the lock held again (deterministic lockstep starvation).
 	yield bool
+
+	// progress ticks on every observable state change (heap write,
+	// allocation, print, thread lifecycle or wait-set transition); the
+	// livelock heuristic fires when it stalls across many slices.
+	progress uint64
+	// cur is the thread currently holding the scheduler slice; panic
+	// recovery attributes the failure to it.
+	cur *Thread
+	// sched accumulates the schedule trace when RecordSchedule is set.
+	sched *ScheduleTrace
+	// replayIdx is the cursor into opts.Replay.Slices.
+	replayIdx int
 }
 
 // New prepares a machine for the lowered program.
@@ -213,8 +306,15 @@ func New(prog *ir.Program, opts Options) *Machine {
 	if f, ok := opts.Sink.(AccessFastPath); ok {
 		m.fast = f
 	}
+	if opts.RecordSchedule {
+		m.sched = &ScheduleTrace{Seed: opts.Seed, Quantum: m.opts.Quantum}
+	}
 	return m
 }
+
+// Schedule returns the recorded schedule trace (nil unless
+// Options.RecordSchedule was set).
+func (m *Machine) Schedule() *ScheduleTrace { return m.sched }
 
 // DescribeObj renders an object ID for reports (detector callback).
 func (m *Machine) DescribeObj(id event.ObjID) string {
@@ -252,8 +352,24 @@ func (m *Machine) rand() uint64 {
 	return x * 2685821657736338717
 }
 
-// Run executes the program from its static main() to completion.
-func (m *Machine) Run() (Result, error) {
+// Run executes the program from its static main() to completion. Any
+// panic in the interpreter or the attached detector stack is recovered
+// and surfaced as an ErrPanic RuntimeError with a thread dump, so a
+// harness running many programs survives an interpreter bug on one.
+func (m *Machine) Run() (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			re := &RuntimeError{
+				Kind: ErrPanic,
+				Msg:  fmt.Sprintf("interpreter panic: %v", r),
+				Dump: m.threadDump(),
+			}
+			if m.cur != nil {
+				re.Thread = m.cur.ID
+			}
+			res, err = m.res, re
+		}
+	}()
 	mainFn := m.prog.FuncOf[m.prog.Sem.Main]
 	if mainFn == nil {
 		return m.res, fmt.Errorf("interp: program has no lowered main")
@@ -270,15 +386,25 @@ func (m *Machine) Run() (Result, error) {
 	m.sink.ThreadStarted(0, event.NoThread)
 
 	cur := 0
+	var slice uint64
+	idleSlices := 0
 	for {
-		t := m.pickRunnable(&cur)
+		t, quantum := m.nextSlice(&cur)
+		if m.err != nil {
+			// nextSlice detected a replay divergence.
+			return m.res, m.err
+		}
 		if t == nil {
 			break
 		}
-		quantum := m.opts.Quantum
-		if m.opts.Seed != 0 {
-			quantum = 1 + int(m.rand()%uint64(m.opts.Quantum*2))
+		if m.sched != nil {
+			m.sched.Slices = append(m.sched.Slices, ScheduleSlice{Thread: t.ID, Quantum: int32(quantum)})
 		}
+		if m.opts.SliceHook != nil {
+			m.opts.SliceHook(slice)
+		}
+		m.cur = t
+		progressBefore := m.progress
 		m.yield = false
 		for i := 0; i < quantum && t.state == stateRunnable && !m.yield; {
 			if m.step(t) {
@@ -293,19 +419,96 @@ func (m *Machine) Run() (Result, error) {
 				return m.res, m.err
 			}
 			if m.res.Steps >= m.opts.MaxSteps {
-				return m.res, &RuntimeError{Thread: t.ID, Msg: "step budget exhausted (possible livelock); threads: " + m.threadDump()}
+				return m.res, &RuntimeError{
+					Kind:   ErrStepBudget,
+					Thread: t.ID,
+					Msg:    fmt.Sprintf("step budget exhausted after %d instructions (possible livelock)", m.res.Steps),
+					Dump:   m.threadDump(),
+				}
 			}
 		}
 		m.res.ContextSwaps++
+		slice++
+
+		// Wall-clock watchdog. time.Now is off the per-step path: one
+		// check per 64 slices keeps the overhead unmeasurable while
+		// bounding overrun to ~64 quanta of instructions.
+		if !m.opts.Deadline.IsZero() && slice&63 == 0 && time.Now().After(m.opts.Deadline) {
+			return m.res, &RuntimeError{
+				Kind:   ErrWatchdog,
+				Thread: t.ID,
+				Msg:    fmt.Sprintf("watchdog: wall-clock deadline exceeded after %d instructions", m.res.Steps),
+				Dump:   m.threadDump(),
+			}
+		}
+		// Livelock heuristic: if no thread made observable progress for
+		// a full window of slices, the program is spinning (threads
+		// reading flags nobody will ever write). Terminate gracefully
+		// instead of burning the remaining step budget.
+		if m.opts.LivelockWindow > 0 {
+			if m.progress != progressBefore {
+				idleSlices = 0
+			} else if idleSlices++; idleSlices >= m.opts.LivelockWindow {
+				return m.res, &RuntimeError{
+					Kind:   ErrLivelock,
+					Thread: t.ID,
+					Msg:    fmt.Sprintf("livelock suspected: no thread made progress for %d consecutive slices", idleSlices),
+					Dump:   m.threadDump(),
+				}
+			}
+		}
 	}
 
 	// All threads finished, or some are stuck.
 	for _, t := range m.threads {
 		if t.state != stateFinished {
-			return m.res, &RuntimeError{Thread: t.ID, Msg: "deadlock: thread is blocked and no thread can run"}
+			return m.res, &RuntimeError{
+				Kind:   ErrDeadlock,
+				Thread: t.ID,
+				Msg:    "deadlock: thread is blocked and no thread can run",
+				Dump:   m.threadDump(),
+			}
 		}
 	}
 	return m.res, nil
+}
+
+// nextSlice chooses the next thread and quantum: from the replay trace
+// while it lasts, otherwise from the live scheduler. A nil thread with
+// m.err set signals replay divergence; plain nil means no runnable
+// thread remains.
+func (m *Machine) nextSlice(cur *int) (*Thread, int) {
+	if r := m.opts.Replay; r != nil && m.replayIdx < len(r.Slices) {
+		sl := r.Slices[m.replayIdx]
+		m.replayIdx++
+		var t *Thread
+		if int(sl.Thread) >= 0 && int(sl.Thread) < len(m.threads) {
+			t = m.threads[sl.Thread]
+		}
+		if t == nil || t.state != stateRunnable {
+			m.err = &RuntimeError{
+				Kind:   ErrScheduleDivergence,
+				Thread: sl.Thread,
+				Msg: fmt.Sprintf("schedule replay diverged at slice %d: thread %s is not runnable (program or configuration does not match the recording)",
+					m.replayIdx-1, sl.Thread),
+				Dump: m.threadDump(),
+			}
+			return nil, 0
+		}
+		return t, int(sl.Quantum)
+	}
+	t := m.pickRunnable(cur)
+	if t == nil {
+		return nil, 0
+	}
+	quantum := m.opts.Quantum
+	// An exhausted replay trace falls back to fixed round-robin (no
+	// seeded jitter): the RNG state no longer corresponds to the
+	// recording, so determinism comes from the fixed policy instead.
+	if m.opts.Seed != 0 && m.opts.Replay == nil {
+		quantum = 1 + int(m.rand()%uint64(m.opts.Quantum*2))
+	}
+	return t, quantum
 }
 
 // threadDump renders scheduler state for livelock diagnostics.
@@ -318,6 +521,8 @@ func (m *Machine) threadDump() string {
 			st = "blocked"
 		case stateJoining:
 			st = "joining"
+		case stateWaiting:
+			st = "waiting"
 		case stateFinished:
 			st = "finished"
 		}
@@ -341,8 +546,10 @@ func (m *Machine) pickRunnable(cur *int) *Thread {
 	if n == 0 {
 		return nil
 	}
-	if m.opts.Seed != 0 {
-		// Seeded policy: random start point, then scan.
+	if m.opts.Seed != 0 && m.opts.Replay == nil {
+		// Seeded policy: random start point, then scan. Disabled when
+		// replaying: past the trace the fixed policy keeps the run
+		// deterministic.
 		*cur = int(m.rand() % uint64(n))
 	}
 	for i := 1; i <= n; i++ {
@@ -374,6 +581,7 @@ func (m *Machine) allocObject(cl *sem.Class, pos token.Pos) *Object {
 	}
 	m.register(o)
 	m.res.ObjectsMade++
+	m.progress++
 	return o
 }
 
@@ -386,6 +594,7 @@ func (m *Machine) allocArray(elem sem.Type, n int64, pos token.Pos) *Object {
 	}
 	m.register(o)
 	m.res.ObjectsMade++
+	m.progress++
 	return o
 }
 
@@ -473,10 +682,12 @@ func (m *Machine) step(t *Thread) bool {
 			return counts
 		}
 		obj.Fields[in.Field.Index] = f.regs[in.Src[1]]
+		m.progress++
 	case ir.OpGetStatic:
 		f.regs[in.Dst] = m.classObject(in.Field.Class).Fields[in.Field.Index]
 	case ir.OpPutStatic:
 		m.classObject(in.Field.Class).Fields[in.Field.Index] = f.regs[in.Src[0]]
+		m.progress++
 	case ir.OpArrayLoad:
 		arr := f.regs[in.Src[0]].Ref
 		idx := f.regs[in.Src[1]].I
@@ -501,6 +712,7 @@ func (m *Machine) step(t *Thread) bool {
 			return counts
 		}
 		arr.Elems[idx] = f.regs[in.Src[2]]
+		m.progress++
 
 	case ir.OpCall:
 		m.call(t, f, in)
@@ -646,6 +858,7 @@ func (m *Machine) ret(t *Thread, f *frame, in *ir.Instr) {
 	t.frames = t.frames[:len(t.frames)-1]
 	if len(t.frames) == 0 {
 		t.state = stateFinished
+		m.progress++
 		m.sink.ThreadFinished(t.ID)
 		m.wakeJoiners(t)
 		return
@@ -731,6 +944,7 @@ func (m *Machine) monWait(t *Thread, f *frame, in *ir.Instr) bool {
 		t.state = stateWaiting
 		t.waitMon = lock
 		lock.waitSet = append(lock.waitSet, t)
+		m.progress++
 		// Releasing may unblock a monitor-acquire waiter.
 		for _, w := range m.threads {
 			if w.state == stateBlocked && w.waitMon == lock {
@@ -781,6 +995,7 @@ func (m *Machine) monNotify(t *Thread, f *frame, in *ir.Instr, all bool) {
 		// next scheduled it re-contends for the monitor (waitMon still
 		// set marks the re-acquire phase).
 		w.state = stateRunnable
+		m.progress++
 	}
 }
 
@@ -819,6 +1034,7 @@ func (m *Machine) startThread(t *Thread, f *frame, in *ir.Instr) {
 	}
 	m.threads = append(m.threads, child)
 	m.res.ThreadsUsed++
+	m.progress++
 	m.sink.ThreadStarted(child.ID, t.ID)
 	if child.state == stateFinished {
 		m.sink.ThreadFinished(child.ID)
@@ -853,11 +1069,13 @@ func (m *Machine) wakeJoiners(finished *Thread) {
 		if w.state == stateJoining && w.waitThr == finished {
 			w.state = stateRunnable
 			w.waitThr = nil
+			m.progress++
 		}
 	}
 }
 
 func (m *Machine) print(f *frame, in *ir.Instr) {
+	m.progress++
 	if len(in.Src) == 0 {
 		fmt.Fprintln(m.out, in.Str)
 		return

@@ -1,0 +1,170 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// spinSrc spins forever reading a flag no thread will ever set: the
+// canonical livelock. The main thread joins, so nothing makes progress
+// once the spinner enters its loop.
+const spinSrc = `
+class Flag { int go; }
+class Spinner extends Thread {
+    Flag f;
+    Spinner(Flag f0) { f = f0; }
+    void run() {
+        while (f.go == 0) { int x = 1; }
+    }
+}
+class Main {
+    static void main() {
+        Flag f = new Flag();
+        Spinner s = new Spinner(f);
+        s.start();
+        s.join();
+    }
+}`
+
+func TestLivelockHeuristic(t *testing.T) {
+	_, _, err := tryRun(t, spinSrc, Options{LivelockWindow: 200})
+	var re *RuntimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RuntimeError, got %v", err)
+	}
+	if re.Kind != ErrLivelock {
+		t.Fatalf("kind = %s, want livelock (err: %v)", re.Kind, re)
+	}
+	if re.Dump == "" || !strings.Contains(re.Dump, "joining") {
+		t.Errorf("livelock diagnostic lacks a useful thread dump: %q", re.Dump)
+	}
+	// The heuristic must fire in O(window) slices, far below the step
+	// budget it replaces.
+	_, res, _ := tryRun(t, spinSrc, Options{LivelockWindow: 200})
+	if res.Steps > 1_000_000 {
+		t.Errorf("livelock burned %d steps; the window should cap it around quantum*window", res.Steps)
+	}
+}
+
+func TestLivelockWindowDoesNotFireOnProgress(t *testing.T) {
+	// A long-running but productive program (heap writes every
+	// iteration) must not trip the heuristic even with a small window.
+	src := `
+class Cell { int v; }
+class Main {
+    static void main() {
+        Cell c = new Cell();
+        for (int i = 0; i < 5000; i++) { c.v = c.v + 1; }
+        print(c.v);
+    }
+}`
+	out, _, err := tryRun(t, src, Options{LivelockWindow: 10})
+	if err != nil {
+		t.Fatalf("false livelock: %v", err)
+	}
+	if strings.TrimSpace(out) != "5000" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestWatchdogDeadline(t *testing.T) {
+	// Productive infinite loop (writes every iteration), so only the
+	// wall-clock watchdog can stop it before the step budget.
+	src := `
+class Cell { int v; }
+class Main {
+    static void main() {
+        Cell c = new Cell();
+        while (true) { c.v = c.v + 1; }
+    }
+}`
+	start := time.Now()
+	_, _, err := tryRun(t, src, Options{
+		Deadline: time.Now().Add(50 * time.Millisecond),
+		MaxSteps: 1 << 62,
+	})
+	var re *RuntimeError
+	if !errors.As(err, &re) || re.Kind != ErrWatchdog {
+		t.Fatalf("want watchdog RuntimeError, got %v", err)
+	}
+	if re.Dump == "" {
+		t.Error("watchdog diagnostic lacks a thread dump")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("watchdog took %v to fire", elapsed)
+	}
+}
+
+func TestPanicRecoveredAsRuntimeError(t *testing.T) {
+	src := `
+class Main {
+    static void main() {
+        int x = 0;
+        for (int i = 0; i < 100000; i++) { x = x + 1; }
+        print(x);
+    }
+}`
+	_, _, err := tryRun(t, src, Options{
+		SliceHook: func(slice uint64) {
+			if slice == 5 {
+				panic("injected interpreter fault")
+			}
+		},
+	})
+	var re *RuntimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RuntimeError, got %v", err)
+	}
+	if re.Kind != ErrPanic {
+		t.Fatalf("kind = %s, want panic", re.Kind)
+	}
+	if !strings.Contains(re.Msg, "injected interpreter fault") {
+		t.Errorf("panic message lost: %q", re.Msg)
+	}
+	if re.Dump == "" || !strings.Contains(re.Dump, "T0") {
+		t.Errorf("panic diagnostic lacks a thread dump: %q", re.Dump)
+	}
+}
+
+func TestDeadlockAndBudgetErrorsCarryThreadDump(t *testing.T) {
+	deadlock := `
+class A { int f; }
+class W extends Thread {
+    A p; A q;
+    W(A p0, A q0) { p = p0; q = q0; }
+    void run() {
+        for (int i = 0; i < 50; i++) {
+            synchronized (p) { synchronized (q) { p.f = p.f + 1; } }
+        }
+    }
+}
+class M {
+    static void main() {
+        A x = new A(); A y = new A();
+        W w1 = new W(x, y);
+        W w2 = new W(y, x);
+        w1.start(); w2.start(); w1.join(); w2.join();
+    }
+}`
+	_, _, err := tryRun(t, deadlock, Options{Quantum: 3})
+	var re *RuntimeError
+	if !errors.As(err, &re) || re.Kind != ErrDeadlock {
+		t.Fatalf("want deadlock RuntimeError, got %v", err)
+	}
+	if re.Dump == "" || !strings.Contains(re.Dump, "blocked") {
+		t.Errorf("deadlock postmortem not self-contained, dump = %q", re.Dump)
+	}
+	if !strings.Contains(re.Error(), "threads:") {
+		t.Errorf("rendered error must include the dump: %q", re.Error())
+	}
+
+	_, _, err = tryRun(t, spinSrc, Options{MaxSteps: 10_000})
+	if !errors.As(err, &re) || re.Kind != ErrStepBudget {
+		t.Fatalf("want step-budget RuntimeError, got %v", err)
+	}
+	if re.Dump == "" {
+		t.Error("step-budget postmortem lacks a thread dump")
+	}
+}

@@ -1,0 +1,122 @@
+// Schedule traces: a compact record of every scheduling decision the
+// interpreter made, sufficient to re-execute the exact interleaving.
+//
+// The interpreter is deterministic given its scheduling decisions: a
+// slice is fully described by (thread, quantum bound) — the slice ends
+// early, deterministically, if the thread blocks, finishes, or yields.
+// Recording that pair per slice therefore captures the whole
+// interleaving, and replaying the sequence reproduces the run
+// instruction for instruction, including every access event the
+// detector sees. This is what turns a schedule-dependent race found by
+// the fuzzing harness into a reproducible artifact: the witness trace
+// replays the racy interleaving on demand.
+//
+// The on-disk format is line-oriented text, run-length encoded:
+//
+//	mjsched 1 seed=<seed> quantum=<quantum>
+//	<thread> <quantum> [<repeat>]
+//	...
+//
+// Consecutive identical (thread, quantum) decisions collapse into one
+// line with a repeat count, so fixed-quantum round-robin phases cost a
+// few bytes regardless of length.
+package interp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"racedet/internal/rt/event"
+)
+
+// scheduleMagic identifies schedule trace files (version 1).
+const scheduleMagic = "mjsched 1"
+
+// ScheduleSlice is one scheduling decision: run Thread for at most
+// Quantum counted instructions.
+type ScheduleSlice struct {
+	Thread  event.ThreadID
+	Quantum int32
+}
+
+// ScheduleTrace is the full decision sequence of one execution plus
+// the scheduler parameters that produced it (informational; replay
+// only consumes Slices and Quantum).
+type ScheduleTrace struct {
+	Seed    int64
+	Quantum int
+	Slices  []ScheduleSlice
+}
+
+// Encode writes the trace in the mjsched text format.
+func (tr *ScheduleTrace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s seed=%d quantum=%d\n", scheduleMagic, tr.Seed, tr.Quantum)
+	for i := 0; i < len(tr.Slices); {
+		s := tr.Slices[i]
+		j := i + 1
+		for j < len(tr.Slices) && tr.Slices[j] == s {
+			j++
+		}
+		if n := j - i; n > 1 {
+			fmt.Fprintf(bw, "%d %d %d\n", int32(s.Thread), s.Quantum, n)
+		} else {
+			fmt.Fprintf(bw, "%d %d\n", int32(s.Thread), s.Quantum)
+		}
+		i = j
+	}
+	return bw.Flush()
+}
+
+// String renders the trace in the mjsched format.
+func (tr *ScheduleTrace) String() string {
+	var b strings.Builder
+	tr.Encode(&b)
+	return b.String()
+}
+
+// DecodeSchedule parses a trace in the mjsched text format.
+func DecodeSchedule(r io.Reader) (*ScheduleTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("schedule trace: empty input")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, scheduleMagic) {
+		return nil, fmt.Errorf("schedule trace: bad header %q (want %q ...)", header, scheduleMagic)
+	}
+	tr := &ScheduleTrace{}
+	if _, err := fmt.Sscanf(strings.TrimPrefix(header, scheduleMagic),
+		" seed=%d quantum=%d", &tr.Seed, &tr.Quantum); err != nil {
+		return nil, fmt.Errorf("schedule trace: bad header %q: %v", header, err)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var thread, quantum int32
+		repeat := 1
+		switch n, err := fmt.Sscanf(text, "%d %d %d", &thread, &quantum, &repeat); {
+		case n >= 2:
+			// ok (repeat optional)
+		default:
+			return nil, fmt.Errorf("schedule trace line %d: %q: %v", line, text, err)
+		}
+		if quantum <= 0 || repeat <= 0 {
+			return nil, fmt.Errorf("schedule trace line %d: non-positive quantum/repeat in %q", line, text)
+		}
+		for i := 0; i < repeat; i++ {
+			tr.Slices = append(tr.Slices, ScheduleSlice{Thread: event.ThreadID(thread), Quantum: quantum})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("schedule trace: %w", err)
+	}
+	return tr, nil
+}

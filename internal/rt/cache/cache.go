@@ -57,6 +57,10 @@ type threadCache struct {
 	// lists maps a lock to the head of its eviction list. Heads are
 	// dummy-free: the map points straight at the first entry.
 	lists map[event.ObjID]*entry
+	// lastUse is the logical time of the thread's most recent cache
+	// operation; the bounded mode evicts the least recently used
+	// thread cache when over budget.
+	lastUse uint64
 }
 
 func newThreadCache() *threadCache {
@@ -68,6 +72,11 @@ type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64 // entries evicted by lock release or conflicts
+	// ThreadEvictions counts whole per-thread caches discarded by the
+	// bounded mode. Dropping a cache only loses filtering — the next
+	// accesses miss and flow to the detector — so degradation costs
+	// time, never a race.
+	ThreadEvictions uint64
 }
 
 // Cache is the runtime optimizer: all threads' caches plus the policy
@@ -77,11 +86,27 @@ type Stats struct {
 type Cache struct {
 	threads []*threadCache
 	stats   Stats
+
+	// maxThreads caps live per-thread caches (0 = unbounded); tick is
+	// the logical clock driving LRU eviction, live the current count.
+	maxThreads int
+	tick       uint64
+	live       int
 }
 
 // New returns an empty cache layer.
 func New() *Cache {
 	return &Cache{}
+}
+
+// NewBounded returns a cache layer holding at most maxThreads live
+// per-thread caches. When a new thread would exceed the budget, the
+// least recently used thread's caches are discarded wholesale: that
+// thread's next accesses simply miss and reach the detector, so the
+// degradation is pure filtering loss — strictly more detector work,
+// never a missed race.
+func NewBounded(maxThreads int) *Cache {
+	return &Cache{maxThreads: maxThreads}
 }
 
 // Stats returns a copy of the work counters.
@@ -104,19 +129,51 @@ func (c *Cache) forThread(t event.ThreadID) *threadCache {
 	if tc == nil {
 		tc = newThreadCache()
 		c.threads[i] = tc
+		c.live++
+		if c.maxThreads > 0 && c.live > c.maxThreads {
+			c.evictLRU(i)
+		}
 	}
+	c.tick++
+	tc.lastUse = c.tick
 	return tc
+}
+
+// evictLRU discards the least recently used thread cache other than
+// keep. Index order breaks lastUse ties, so eviction is deterministic.
+func (c *Cache) evictLRU(keep int) {
+	victim := -1
+	for i, tc := range c.threads {
+		if tc == nil || i == keep {
+			continue
+		}
+		if victim == -1 || tc.lastUse < c.threads[victim].lastUse {
+			victim = i
+		}
+	}
+	if victim >= 0 {
+		c.threads[victim] = nil
+		c.live--
+		c.stats.ThreadEvictions++
+	}
 }
 
 // Lookup checks whether a weaker access for (t, loc, kind) is cached.
 // On a hit the caller may discard the access entirely. On a miss the
 // caller must forward the access to the detector and then call Insert.
 func (c *Cache) Lookup(t event.ThreadID, loc event.Loc, kind event.Kind) bool {
-	tc := c.forThread(t)
-	e := tc.slot(loc, kind)
-	if e.valid && e.loc == loc {
-		c.stats.Hits++
-		return true
+	// A thread with no cache yet trivially misses; don't allocate one
+	// here (in bounded mode that could even evict another thread), the
+	// Insert after the detector call will.
+	if i := int(t); i < len(c.threads) && c.threads[i] != nil {
+		tc := c.threads[i]
+		c.tick++
+		tc.lastUse = c.tick
+		e := tc.slot(loc, kind)
+		if e.valid && e.loc == loc {
+			c.stats.Hits++
+			return true
+		}
 	}
 	c.stats.Misses++
 	return false
@@ -209,6 +266,9 @@ func (c *Cache) EvictLocation(loc event.Loc) {
 // ThreadFinished discards the thread's caches.
 func (c *Cache) ThreadFinished(t event.ThreadID) {
 	if int(t) < len(c.threads) {
+		if c.threads[t] != nil {
+			c.live--
+		}
 		c.threads[t] = nil
 	}
 }

@@ -53,6 +53,19 @@ type Options struct {
 	// ReportAll reports every racing access event rather than one per
 	// location (closer to FullRace; quadratic in the worst case).
 	ReportAll bool
+	// MaxTrieNodes bounds trie history memory (0 = unbounded). Over
+	// budget, whole per-location histories collapse to a conservative
+	// summary that reports strictly more races, never fewer. Only the
+	// default per-location trie honors the bound; PackedTrie and NoTBot
+	// ignore it (they are ablation configurations).
+	MaxTrieNodes int
+	// MaxCacheThreads bounds the number of live per-thread access
+	// caches (0 = unbounded); over budget the least recently used
+	// thread's caches are discarded (pure filtering loss).
+	MaxCacheThreads int
+	// MaxOwnerLocations bounds the ownership table (0 = unbounded);
+	// overflow locations are treated as born-shared.
+	MaxOwnerLocations int
 	// DescribeObj renders an object for reports (e.g. "TspSolver#3
 	// allocated at tsp.mj:12:9"); optional.
 	DescribeObj func(event.ObjID) string
@@ -87,6 +100,9 @@ type Stats struct {
 	// tracks — the detector-memory growth witness behind the paper's
 	// mtrt/NoStatic out-of-memory observation.
 	OwnerLocations int
+	// OwnerOverflows counts accesses the bounded ownership table
+	// forwarded as born-shared (0 in unbounded mode).
+	OwnerOverflows uint64
 	Trie           trie.Stats
 	Cache          cache.Stats
 }
@@ -129,11 +145,19 @@ func New(opts Options) *Detector {
 		reportedLoc: make(map[event.Loc]struct{}),
 		reportedObj: make(map[event.ObjID]struct{}),
 	}
+	if opts.MaxCacheThreads > 0 {
+		d.cache = cache.NewBounded(opts.MaxCacheThreads)
+	}
+	if opts.MaxOwnerLocations > 0 {
+		d.owner = ownership.NewBounded(opts.MaxOwnerLocations)
+	}
 	switch {
 	case opts.PackedTrie:
 		d.trie = trie.NewPacked()
 	case opts.NoTBot:
 		d.trie = trie.NewNoTBot()
+	case opts.MaxTrieNodes > 0:
+		d.trie = trie.NewBounded(opts.MaxTrieNodes)
 	default:
 		d.trie = trie.New()
 	}
@@ -162,6 +186,7 @@ func (d *Detector) RacyObjects() []event.ObjID {
 func (d *Detector) Stats() Stats {
 	s := d.stats
 	s.OwnerLocations = d.owner.Locations()
+	s.OwnerOverflows = d.owner.Overflows()
 	s.Trie = d.trie.Stats()
 	s.Cache = d.cache.Stats()
 	return s

@@ -1,0 +1,58 @@
+package ownership
+
+import (
+	"testing"
+
+	"racedet/internal/rt/event"
+)
+
+func TestBoundedOverflowForwardsAsShared(t *testing.T) {
+	tb := NewBounded(2)
+	l1 := event.Loc{Obj: 1}
+	l2 := event.Loc{Obj: 2}
+	l3 := event.Loc{Obj: 3}
+
+	// Tracked locations behave exactly as in the unbounded table.
+	if fwd, _ := tb.Filter(1, l1); fwd {
+		t.Fatal("first access to a tracked location must be absorbed")
+	}
+	if fwd, _ := tb.Filter(1, l2); fwd {
+		t.Fatal("first access to a tracked location must be absorbed")
+	}
+
+	// The third location overflows: every access forwards, starting
+	// with the very first — the filter may never absorb an access it
+	// cannot track, or it could silently hide a race.
+	fwd, became := tb.Filter(1, l3)
+	if !fwd || became {
+		t.Fatalf("overflow access: forward=%v becameShared=%v, want true,false", fwd, became)
+	}
+	if fwd, _ := tb.Filter(2, l3); !fwd {
+		t.Fatal("later overflow accesses must keep forwarding")
+	}
+	if tb.Overflows() != 2 {
+		t.Errorf("Overflows = %d, want 2", tb.Overflows())
+	}
+	if tb.StateOf(l3) != Unowned {
+		t.Errorf("overflow location must stay untracked, state = %v", tb.StateOf(l3))
+	}
+
+	// Tracked locations still transition normally after overflow.
+	fwd, became = tb.Filter(2, l1)
+	if !fwd || !became {
+		t.Errorf("tracked owned→shared transition broken: %v %v", fwd, became)
+	}
+}
+
+func TestUnboundedNeverOverflows(t *testing.T) {
+	tb := New()
+	for i := 0; i < 1000; i++ {
+		tb.Filter(1, event.Loc{Obj: event.ObjID(i)})
+	}
+	if tb.Overflows() != 0 {
+		t.Fatalf("unbounded table overflowed: %d", tb.Overflows())
+	}
+	if tb.Locations() != 1000 {
+		t.Fatalf("Locations = %d, want 1000", tb.Locations())
+	}
+}

@@ -29,11 +29,27 @@ const sharedOwner event.ThreadID = -9
 type Table struct {
 	owner       map[event.Loc]event.ThreadID
 	transitions uint64
+
+	// maxLocations caps the table (0 = unbounded). Locations that
+	// arrive once the table is full are never tracked: they behave as
+	// immediately shared, so every access flows to the detector. The
+	// filter loses its benefit for those locations but can never absorb
+	// a racing access — degradation is strictly more reporting.
+	maxLocations int
+	overflows    uint64
 }
 
 // New returns an empty ownership table.
 func New() *Table {
 	return &Table{owner: make(map[event.Loc]event.ThreadID)}
+}
+
+// NewBounded returns an ownership table tracking at most maxLocations
+// locations; overflow locations are treated as born-shared.
+func NewBounded(maxLocations int) *Table {
+	t := New()
+	t.maxLocations = maxLocations
+	return t
 }
 
 // Filter processes an access by thread t to loc. It returns true if
@@ -45,6 +61,12 @@ func (tb *Table) Filter(t event.ThreadID, loc event.Loc) (forward, becameShared 
 	owner, seen := tb.owner[loc]
 	switch {
 	case !seen:
+		if tb.maxLocations > 0 && len(tb.owner) >= tb.maxLocations {
+			// Table full: the location is never tracked and acts as
+			// shared from its first access on.
+			tb.overflows++
+			return true, false
+		}
 		tb.owner[loc] = t
 		return false, false
 	case owner == t:
@@ -81,3 +103,7 @@ func (tb *Table) Transitions() uint64 { return tb.transitions }
 
 // Locations returns the number of tracked locations (space metric).
 func (tb *Table) Locations() int { return len(tb.owner) }
+
+// Overflows returns the number of accesses forwarded because the
+// bounded table was full (0 in unbounded mode).
+func (tb *Table) Overflows() uint64 { return tb.overflows }

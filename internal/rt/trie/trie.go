@@ -23,6 +23,8 @@
 package trie
 
 import (
+	"sort"
+
 	"racedet/internal/rt/event"
 )
 
@@ -33,6 +35,12 @@ type node struct {
 	kind   event.Kind
 	labels []event.ObjID
 	kids   []*node
+	// collapsed marks a root whose history was discarded under memory
+	// pressure (bounded mode). The location degrades to the weakest
+	// possible summary — (t⊥, WRITE, ∅) — so every later access to it
+	// conservatively reports a race: the detector may over-report after
+	// a collapse but can never silently drop a race.
+	collapsed bool
 }
 
 func newNode() *node { return &node{thread: event.TTop, kind: event.Read} }
@@ -99,6 +107,16 @@ type Stats struct {
 	NodesAllocated  uint64
 	NodesPruned     uint64 // stronger accesses removed after updates
 	LocationsStored uint64 // distinct locations with a trie
+
+	// Bounded-mode degradation counters (zero in unbounded mode).
+	// Collapses counts locations whose history was discarded under the
+	// node budget; NodesCollapsed counts the trie nodes freed by those
+	// collapses; CollapseHits counts accesses answered by a collapsed
+	// root (each conservatively reported as racing). Together they
+	// quantify by how much the detector may be over-reporting.
+	Collapses      uint64
+	NodesCollapsed uint64
+	CollapseHits   uint64
 }
 
 // Detector is the per-program trie detector: one trie per location.
@@ -112,6 +130,13 @@ type Detector struct {
 	// earlier thread at the cost of space.
 	UseTBot bool
 	threads map[*node]map[event.ThreadID]struct{} // only when !UseTBot
+
+	// maxNodes caps live trie nodes (0 = unbounded). When the budget
+	// is exceeded, whole per-location tries are collapsed — largest
+	// first — to a single root summarizing "some prior conflicting
+	// access" (t⊥, WRITE, ∅). See node.collapsed.
+	maxNodes  int
+	liveNodes int
 }
 
 // New returns an empty detector with the paper's configuration.
@@ -128,6 +153,17 @@ func NewNoTBot() *Detector {
 	d := New()
 	d.UseTBot = false
 	d.threads = make(map[*node]map[event.ThreadID]struct{})
+	return d
+}
+
+// NewBounded returns a detector whose history is capped at maxNodes
+// live trie nodes. Under the cap the behavior is identical to New;
+// over it, per-location histories are collapsed to a conservative
+// summary and the affected locations report strictly more races, never
+// fewer (degradation is graceful and quantified in Stats).
+func NewBounded(maxNodes int) *Detector {
+	d := New()
+	d.maxNodes = maxNodes
 	return d
 }
 
@@ -168,6 +204,17 @@ func (d *Detector) Process(e event.Access) (bool, RaceInfo) {
 		d.tries[e.Loc] = root
 		d.stats.NodesAllocated++
 		d.stats.LocationsStored++
+		d.liveNodes++
+	}
+
+	// Collapsed location (bounded mode): the discarded history is
+	// summarized as "a conflicting access by some other thread with no
+	// common lock", so every access conservatively races. Never a
+	// silent miss — at worst an over-report, counted in CollapseHits.
+	if root.collapsed {
+		d.stats.CollapseHits++
+		d.stats.Races++
+		return true, RaceInfo{PriorThread: event.TBot, PriorLocks: event.Lockset{}, PriorKind: event.Write}
 	}
 
 	// 1. Weakness check.
@@ -184,10 +231,84 @@ func (d *Detector) Process(e event.Access) (bool, RaceInfo) {
 	// 3. Update and prune.
 	d.update(root, e)
 
+	// 4. Bounded mode: stay under the node budget by collapsing the
+	// fattest histories.
+	if d.maxNodes > 0 && d.liveNodes > d.maxNodes {
+		d.enforceBudget()
+	}
+
 	if race {
 		d.stats.Races++
 	}
 	return race, info
+}
+
+// subtreeSize counts the nodes of a (sub)trie.
+func subtreeSize(x *node) int {
+	n := 1
+	for _, k := range x.kids {
+		n += subtreeSize(k)
+	}
+	return n
+}
+
+// enforceBudget collapses per-location histories, largest first, until
+// the live node count is back under the budget. Collapsing replaces a
+// trie with a single root holding the weakest summary (t⊥, WRITE, ∅):
+// sound for Definition 1 reporting because the summary is weaker than
+// everything it replaced — any future access that would have raced
+// with the discarded history also "races" with the summary.
+func (d *Detector) enforceBudget() {
+	type fat struct {
+		loc  event.Loc
+		size int
+	}
+	var tries []fat
+	for loc, root := range d.tries {
+		if !root.collapsed {
+			tries = append(tries, fat{loc, subtreeSize(root)})
+		}
+	}
+	// Largest first; ties broken by location so the map iteration
+	// order above cannot leak into behavior (replay determinism).
+	sort.Slice(tries, func(i, j int) bool {
+		if tries[i].size != tries[j].size {
+			return tries[i].size > tries[j].size
+		}
+		if tries[i].loc.Obj != tries[j].loc.Obj {
+			return tries[i].loc.Obj < tries[j].loc.Obj
+		}
+		return tries[i].loc.Slot < tries[j].loc.Slot
+	})
+	for _, f := range tries {
+		if d.liveNodes <= d.maxNodes {
+			return
+		}
+		d.collapse(d.tries[f.loc], f.size)
+	}
+}
+
+// collapse discards root's history, freeing size-1 nodes.
+func (d *Detector) collapse(root *node, size int) {
+	if !d.UseTBot {
+		d.dropThreadSets(root)
+	}
+	root.labels, root.kids = nil, nil
+	root.thread = event.TBot
+	root.kind = event.Write
+	root.collapsed = true
+	d.liveNodes -= size - 1
+	d.stats.Collapses++
+	d.stats.NodesCollapsed += uint64(size - 1)
+}
+
+// dropThreadSets removes the subtree's entries from the NoTBot thread
+// table so collapsed nodes do not leak.
+func (d *Detector) dropThreadSets(x *node) {
+	delete(d.threads, x)
+	for _, k := range x.kids {
+		d.dropThreadSets(k)
+	}
 }
 
 // weaker reports whether some stored access weaker than e exists. It
@@ -265,6 +386,7 @@ func (d *Detector) update(root *node, e event.Access) {
 		c, created := n.ensureChild(l)
 		if created {
 			d.stats.NodesAllocated++
+			d.liveNodes++
 		}
 		n = c
 	}
@@ -321,6 +443,8 @@ func (d *Detector) sweep(x *node) bool {
 		if d.sweep(k) {
 			outL = append(outL, x.labels[i])
 			outK = append(outK, k)
+		} else {
+			d.liveNodes--
 		}
 	}
 	x.labels, x.kids = outL, outK

@@ -32,11 +32,16 @@
 package racedet
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"racedet/internal/core"
+	"racedet/internal/harness"
+	"racedet/internal/interp"
+	"racedet/internal/rt/detector"
 	"racedet/internal/rt/postmortem"
 )
 
@@ -110,6 +115,34 @@ type Options struct {
 	// reconstruct all racing pairs with FullRace). See §1/§2.6 of the
 	// paper.
 	RecordTo io.Writer
+
+	// RecordSchedule captures the scheduler's decision sequence in
+	// Result.Schedule (mjsched text). Feeding it back through
+	// ReplaySchedule reproduces the run — and any race it reported —
+	// deterministically.
+	RecordSchedule bool
+	// ReplaySchedule, when non-empty, replays a recorded schedule
+	// trace (mjsched text) instead of scheduling live. Seed and
+	// Quantum are taken from the trace.
+	ReplaySchedule []byte
+
+	// Timeout bounds the execution's wall-clock time (0 = none); on
+	// expiry Detect fails with a *RuntimeError of kind "watchdog".
+	Timeout time.Duration
+	// LivelockWindow terminates executions that make no heap progress
+	// for this many consecutive scheduler slices (0 = disabled),
+	// failing with a *RuntimeError of kind "livelock". It catches
+	// spinning programs long before the instruction budget would.
+	LivelockWindow int
+
+	// MaxTrieNodes, MaxCacheThreads, and MaxOwnerLocations bound the
+	// memory of the trie history, the per-thread caches, and the
+	// ownership table (0 = unbounded). Over budget the layers degrade
+	// gracefully — strictly more reporting, never a silently dropped
+	// race — and the degradation is quantified in Stats.
+	MaxTrieNodes      int
+	MaxCacheThreads   int
+	MaxOwnerLocations int
 }
 
 func (o Options) config() core.Config {
@@ -134,6 +167,12 @@ func (o Options) config() core.Config {
 	cfg.MaxSteps = o.MaxSteps
 	cfg.Out = o.Stdout
 	cfg.RecordTo = o.RecordTo
+	cfg.RecordSchedule = o.RecordSchedule
+	cfg.Timeout = o.Timeout
+	cfg.LivelockWindow = o.LivelockWindow
+	cfg.MaxTrieNodes = o.MaxTrieNodes
+	cfg.MaxCacheThreads = o.MaxCacheThreads
+	cfg.MaxOwnerLocations = o.MaxOwnerLocations
 	switch o.Detector {
 	case Eraser:
 		cfg.Detector = core.DetEraser
@@ -199,6 +238,13 @@ type Stats struct {
 	TrieEvents   uint64 // events reaching the trie detector
 	TrieNodes    int    // history size at exit
 	Threads      int
+
+	// Degradation counters of the bounded-memory modes (all zero when
+	// no Max* bound was set or none was hit). Non-zero values mean the
+	// run may over-report races, never under-report.
+	TrieCollapses        uint64 // per-location histories discarded
+	CacheThreadEvictions uint64 // whole per-thread caches discarded
+	OwnerOverflows       uint64 // accesses forwarded as born-shared
 }
 
 // Result is the outcome of Detect.
@@ -220,23 +266,75 @@ type Result struct {
 	Immutability []string
 	// Output is the program's print output.
 	Output string
+	// Schedule is the recorded scheduling decision sequence in mjsched
+	// text (empty unless Options.RecordSchedule); feed it back via
+	// Options.ReplaySchedule to reproduce the run.
+	Schedule []byte
 	// Stats exposes per-stage work counters.
 	Stats Stats
 	// Duration is the wall-clock execution time.
 	Duration time.Duration
 }
 
+// RuntimeError describes a failed execution: a deadlock, a wall-clock
+// watchdog expiry, a livelock, an exhausted step budget, an
+// interpreter panic, a schedule-replay divergence, or a program fault.
+// Retrieve it with errors.As; ThreadDump is a postmortem of every
+// thread's state at failure.
+type RuntimeError struct {
+	// Kind is one of "deadlock", "watchdog", "livelock", "step-budget",
+	// "panic", "schedule-divergence", "fault".
+	Kind string
+	// Thread is the thread the failure is attributed to (may be empty).
+	Thread string
+	// Msg is the failure description.
+	Msg string
+	// ThreadDump lists every thread's state ("T1 blocked on obj#3...").
+	ThreadDump string
+
+	err error
+}
+
+func (e *RuntimeError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the underlying error for errors.Is/As chains.
+func (e *RuntimeError) Unwrap() error { return e.err }
+
+// wrapRuntime converts interpreter errors to the public RuntimeError.
+func wrapRuntime(err error) error {
+	var re *interp.RuntimeError
+	if errors.As(err, &re) {
+		return &RuntimeError{
+			Kind:       re.Kind.String(),
+			Thread:     re.Thread.String(),
+			Msg:        re.Msg,
+			ThreadDump: re.Dump,
+			err:        err,
+		}
+	}
+	return err
+}
+
 // Detect compiles and runs the MJ program in src (file is used in
 // diagnostics) and reports the dataraces observed in its execution.
 // A non-nil error means the program failed to compile or crashed at
-// runtime (races found do not make Detect fail).
+// runtime (races found do not make Detect fail); execution failures
+// carry a *RuntimeError retrievable with errors.As.
 func Detect(file, src string, opts Options) (*Result, error) {
-	res, err := core.RunSource(file, src, opts.config())
+	cfg := opts.config()
+	if len(opts.ReplaySchedule) > 0 {
+		tr, err := interp.DecodeSchedule(bytes.NewReader(opts.ReplaySchedule))
+		if err != nil {
+			return nil, err
+		}
+		cfg.ReplaySchedule = tr
+	}
+	res, err := core.RunSource(file, src, cfg)
 	if err != nil {
 		return nil, err
 	}
 	if res.Err != nil {
-		return nil, res.Err
+		return nil, wrapRuntime(res.Err)
 	}
 	return convert(res), nil
 }
@@ -264,7 +362,7 @@ func (c *Compiled) Run() (*Result, error) {
 		return nil, err
 	}
 	if res.Err != nil {
-		return nil, res.Err
+		return nil, wrapRuntime(res.Err)
 	}
 	return convert(res), nil
 }
@@ -332,27 +430,176 @@ func convert(res *core.RunResult) *Result {
 			TraceEvents:       res.Interp.TraceEvents,
 			CacheHits:         res.DetectorStats.CacheHits,
 			OwnerSkips:        res.DetectorStats.OwnerSkips,
-			TrieEvents:        res.DetectorStats.Trie.Events,
-			TrieNodes:         res.TrieNodes,
-			Threads:           res.Interp.ThreadsUsed,
+			TrieEvents:           res.DetectorStats.Trie.Events,
+			TrieNodes:            res.TrieNodes,
+			Threads:              res.Interp.ThreadsUsed,
+			TrieCollapses:        res.DetectorStats.Trie.Collapses,
+			CacheThreadEvictions: res.DetectorStats.Cache.ThreadEvictions,
+			OwnerOverflows:       res.DetectorStats.OwnerOverflows,
 		},
 	}
+	if res.Schedule != nil {
+		out.Schedule = []byte(res.Schedule.String())
+	}
 	for i, r := range res.Reports {
-		race := Race{
-			Field:       r.Access.FieldName,
-			Object:      r.ObjDesc,
-			Pos:         r.Access.Pos.String(),
-			Thread:      r.Access.Thread.String(),
-			PriorThread: r.PriorThread.String(),
-			Kind:        r.Access.Kind.String(),
-			PriorKind:   r.PriorKind.String(),
-			Locks:       r.Access.Locks.String(),
-			PriorLocks:  r.PriorLocks.String(),
-		}
+		race := raceFromReport(r)
 		if i < len(res.StaticHints) {
 			race.StaticPartners = res.StaticHints[i]
 		}
 		out.Races = append(out.Races, race)
 	}
 	return out
+}
+
+func raceFromReport(r detector.Report) Race {
+	return Race{
+		Field:       r.Access.FieldName,
+		Object:      r.ObjDesc,
+		Pos:         r.Access.Pos.String(),
+		Thread:      r.Access.Thread.String(),
+		PriorThread: r.PriorThread.String(),
+		Kind:        r.Access.Kind.String(),
+		PriorKind:   r.PriorKind.String(),
+		Locks:       r.Access.Locks.String(),
+		PriorLocks:  r.PriorLocks.String(),
+	}
+}
+
+// FuzzOptions configures schedule-fuzzing via Fuzz.
+type FuzzOptions struct {
+	// Options configures each individual run (detector, pipeline
+	// ablations, quantum, timeout, livelock window, memory bounds).
+	// Seed, Stdout, RecordTo, and the schedule fields are ignored: the
+	// harness owns the seed sweep and records every schedule itself.
+	Options Options
+
+	// Seeds lists the scheduler seeds to explore; when nil, seeds
+	// 0..Count-1 are used (Count defaulting to 8). Seed 0 is the fixed
+	// round-robin schedule, so default sweeps always include the
+	// deterministic baseline.
+	Seeds []int64
+	Count int
+
+	// Workers bounds parallelism (default: one per CPU). Results are
+	// independent of worker count.
+	Workers int
+}
+
+// SeedOutcome is one seed's execution outcome within a fuzz sweep.
+type SeedOutcome struct {
+	Seed     int64
+	Races    int
+	Output   string
+	Duration time.Duration
+	// Err is the run's terminal error (carrying a *RuntimeError for
+	// execution failures), nil for a clean exit.
+	Err error
+}
+
+// FuzzFinding is one distinct race aggregated across a fuzz sweep,
+// keyed by the raced field.
+type FuzzFinding struct {
+	// Race is the canonical witness report, taken from the smallest
+	// exposing seed.
+	Race Race
+	// Seeds lists every seed whose run exposed the race, ascending.
+	Seeds []int64
+	// MinSeed is the smallest exposing seed.
+	MinSeed int64
+	// Stable reports whether every completed schedule exposed the
+	// race; false marks a schedule-dependent race that a single fixed
+	// schedule could miss.
+	Stable bool
+	// Schedule is the witness schedule trace in mjsched text; running
+	// Detect with Options.ReplaySchedule set to it reproduces the race
+	// deterministically.
+	Schedule []byte
+}
+
+// FuzzResult aggregates a fuzz sweep.
+type FuzzResult struct {
+	// Findings is the union of races over all runs: stable findings
+	// first, then by ascending MinSeed.
+	Findings []FuzzFinding
+	// Outcomes has one entry per seed, in sweep order.
+	Outcomes []SeedOutcome
+	// Completed counts runs that terminated without a runtime error;
+	// Failed counts the rest.
+	Completed int
+	Failed    int
+}
+
+// Stable returns the findings every completed schedule exposed.
+func (r *FuzzResult) Stable() []FuzzFinding { return r.filter(true) }
+
+// ScheduleDependent returns the findings at least one completed
+// schedule missed.
+func (r *FuzzResult) ScheduleDependent() []FuzzFinding { return r.filter(false) }
+
+func (r *FuzzResult) filter(stable bool) []FuzzFinding {
+	var out []FuzzFinding
+	for _, f := range r.Findings {
+		if f.Stable == stable {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Fuzz compiles the program once and executes it under many scheduler
+// seeds in parallel, unioning the reported dataraces and classifying
+// each as stable (reported on every schedule) or schedule-dependent
+// (reported only on some — the races a single fixed schedule misses).
+// Every finding carries a witness schedule trace that reproduces it
+// deterministically via Options.ReplaySchedule.
+//
+// Individual run failures (deadlock, watchdog, livelock, interpreter
+// panic) are recorded per seed in Outcomes and do not abort the sweep;
+// Fuzz itself only fails on compile errors or harness misuse.
+func Fuzz(file, src string, opts FuzzOptions) (*FuzzResult, error) {
+	base := opts.Options
+	base.Stdout = nil
+	base.RecordTo = nil
+	base.ReplaySchedule = nil
+	sum, err := harness.ExploreSource(file, src, harness.Options{
+		Config:         base.config(),
+		Seeds:          opts.Seeds,
+		Count:          opts.Count,
+		Workers:        opts.Workers,
+		Timeout:        base.Timeout,
+		LivelockWindow: base.LivelockWindow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &FuzzResult{Completed: sum.Completed, Failed: sum.Failed}
+	for _, f := range sum.Findings {
+		ff := FuzzFinding{
+			Race:    raceFromReport(f.Report),
+			Seeds:   f.Seeds,
+			MinSeed: f.MinSeed,
+			Stable:  f.Stable,
+		}
+		if f.Trace != nil {
+			ff.Schedule = []byte(f.Trace.String())
+		}
+		out.Findings = append(out.Findings, ff)
+	}
+	for _, oc := range sum.Outcomes {
+		out.Outcomes = append(out.Outcomes, SeedOutcome{
+			Seed:     oc.Seed,
+			Races:    oc.Races,
+			Output:   oc.Output,
+			Duration: oc.Duration,
+			Err:      wrapErrNonNil(oc.Err),
+		})
+	}
+	return out, nil
+}
+
+func wrapErrNonNil(err error) error {
+	if err == nil {
+		return nil
+	}
+	return wrapRuntime(err)
 }
