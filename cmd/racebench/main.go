@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	racebench -table all          # everything
-//	racebench -table 2 -runs 5    # Table 2, best of five runs
-//	racebench -compare            # trie vs Eraser/ObjectRace/HB
+//	racebench -table all            # everything
+//	racebench -table 2 -runs 5      # Table 2, best of five runs
+//	racebench -compare              # trie vs Eraser/ObjectRace/HB
+//	racebench -json BENCH_PR2.json  # machine-readable ns/op + allocs/op
 package main
 
 import (
@@ -16,19 +17,47 @@ import (
 	"os"
 
 	"racedet/internal/bench"
+	"racedet/internal/profiling"
 )
 
 func main() {
 	var (
-		table   = flag.String("table", "all", "which table to regenerate: 1, 2, 3, or all")
-		runs    = flag.Int("runs", 5, "Table 2: runs per configuration (best is reported, as in the paper)")
-		compare = flag.Bool("compare", false, "also print the detector comparison (§8.3/§9)")
+		table      = flag.String("table", "all", "which table to regenerate: 1, 2, 3, or all")
+		runs       = flag.Int("runs", 5, "Table 2: runs per configuration (best is reported, as in the paper)")
+		compare    = flag.Bool("compare", false, "also print the detector comparison (§8.3/§9)")
+		jsonPath   = flag.String("json", "", "write machine-readable results (ns/op, allocs/op per benchmark and config) to this file and skip the tables")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
-	fail := func(err error) {
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "racebench:", err)
 		os.Exit(1)
+	}
+	defer stopProfiles()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "racebench:", err)
+		stopProfiles()
+		os.Exit(1)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := bench.WriteJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "racebench: wrote %s\n", *jsonPath)
+		return
 	}
 
 	w := os.Stdout

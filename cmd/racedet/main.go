@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"racedet"
+	"racedet/internal/profiling"
 )
 
 // Exit codes.
@@ -76,6 +77,10 @@ func main() {
 		maxTrie    = flag.Int("max-trie-nodes", 0, "bound trie memory: collapse per-location history over this many nodes (0 = unbounded; may over-report)")
 		maxCacheT  = flag.Int("max-cache-threads", 0, "bound cache memory: keep at most N per-thread caches, evicting LRU (0 = unbounded)")
 		maxOwner   = flag.Int("max-owner-locations", 0, "bound ownership memory: locations past N are born shared (0 = unbounded; may over-report)")
+		shards     = flag.Int("shards", 0, "run detection on N location-sharded workers (0/1 = serial; reports are identical)")
+		batchSize  = flag.Int("batch", 0, "buffer up to N access events per thread before calling the detector (0 = unbatched)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	// A bad flag is a usage error (exit 3), not an execution failure
 	// (exit 2, the flag package's ExitOnError default).
@@ -87,8 +92,17 @@ func main() {
 		os.Exit(exitInternal)
 	}
 
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
+
 	if *replayPath != "" {
-		os.Exit(replay(*replayPath, *fullRace))
+		exit(replay(*replayPath, *fullRace))
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: racedet [flags] program.mj")
@@ -120,6 +134,8 @@ func main() {
 		MaxTrieNodes:           *maxTrie,
 		MaxCacheThreads:        *maxCacheT,
 		MaxOwnerLocations:      *maxOwner,
+		Shards:                 *shards,
+		BatchSize:              *batchSize,
 	}
 	switch *detName {
 	case "trie":
@@ -136,7 +152,7 @@ func main() {
 	}
 
 	if *fuzzN > 0 {
-		os.Exit(fuzz(file, string(src), opts, *fuzzN, *workers, *traceDir))
+		exit(fuzz(file, string(src), opts, *fuzzN, *workers, *traceDir))
 	}
 
 	if !*quiet {
@@ -167,7 +183,7 @@ func main() {
 		var re *racedet.RuntimeError
 		if errors.As(err, &re) {
 			fmt.Fprintln(os.Stderr, "racedet: execution failed:", re)
-			os.Exit(exitRuntime)
+			exit(exitRuntime)
 		}
 		fatal(err)
 	}
@@ -210,9 +226,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "racedet: no dataraces detected")
 	case n > 0 || len(res.BaselineReports) > 0:
 		fmt.Fprintf(os.Stderr, "racedet: dataraces reported on %d object(s)\n", n)
-		os.Exit(exitRaces)
+		exit(exitRaces)
 	}
-	os.Exit(exitClean)
+	exit(exitClean)
 }
 
 func fatal(err error) {

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"racedet/internal/core"
+)
+
+// JSONResult is one (benchmark, configuration) measurement in the
+// machine-readable report: the Go benchmark metrics plus the detection
+// outcome, so a performance regression and a precision regression are
+// both visible from the same artifact.
+type JSONResult struct {
+	Benchmark   string `json:"benchmark"`
+	Config      string `json:"config"`
+	Shards      int    `json:"shards,omitempty"`
+	BatchSize   int    `json:"batch_size,omitempty"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	RacyObjects int    `json:"racy_objects"`
+}
+
+// JSONReport is the top-level structure of the bench JSON artifact
+// (BENCH_PR2.json and successors).
+type JSONReport struct {
+	Note    string       `json:"note"`
+	Results []JSONResult `json:"results"`
+}
+
+// jsonConfigs is the measured matrix: the paper's Table 2 ablations
+// plus the parallel back-end variants introduced with the sharded
+// detector.
+func jsonConfigs() []struct {
+	Name string
+	Cfg  core.Config
+} {
+	configs := Table2Configs()
+	sharded := core.Full()
+	sharded.Shards = 4
+	batched := core.Full()
+	batched.BatchSize = 64
+	both := core.Full()
+	both.Shards = 4
+	both.BatchSize = 64
+	return append(configs,
+		struct {
+			Name string
+			Cfg  core.Config
+		}{"FullSharded4", sharded},
+		struct {
+			Name string
+			Cfg  core.Config
+		}{"FullBatched64", batched},
+		struct {
+			Name string
+			Cfg  core.Config
+		}{"FullSharded4Batched64", both},
+	)
+}
+
+// WriteJSON measures every CPU-bound benchmark under the JSON config
+// matrix with the testing package's benchmark driver and writes the
+// report to w.
+func WriteJSON(w io.Writer) error {
+	rep := JSONReport{
+		Note: "racebench machine-readable results; regenerate with: racebench -json <path>",
+	}
+	for _, b := range All() {
+		if !b.CPUBound {
+			continue
+		}
+		for _, c := range jsonConfigs() {
+			pipe, err := core.Compile(b.Name+".mj", b.Source(), c.Cfg)
+			if err != nil {
+				return fmt.Errorf("bench %s/%s: %w", b.Name, c.Name, err)
+			}
+			var racy int
+			var runErr error
+			br := testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				for i := 0; i < tb.N; i++ {
+					rr, err := pipe.RunConfig(c.Cfg)
+					if err != nil {
+						runErr = err
+						tb.FailNow()
+					}
+					if rr.Err != nil {
+						runErr = rr.Err
+						tb.FailNow()
+					}
+					racy = len(rr.RacyObjects)
+				}
+			})
+			if runErr != nil {
+				return fmt.Errorf("bench %s/%s: %w", b.Name, c.Name, runErr)
+			}
+			rep.Results = append(rep.Results, JSONResult{
+				Benchmark:   b.Name,
+				Config:      c.Name,
+				Shards:      c.Cfg.Shards,
+				BatchSize:   c.Cfg.BatchSize,
+				NsPerOp:     br.NsPerOp(),
+				AllocsPerOp: br.AllocsPerOp(),
+				BytesPerOp:  br.AllocedBytesPerOp(),
+				RacyObjects: racy,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

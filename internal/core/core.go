@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"racedet/internal/escape"
@@ -143,6 +144,19 @@ type Config struct {
 	// PackedTrie selects the §8.2 multi-location trie representation
 	// (one trie per object instead of per location).
 	PackedTrie bool
+
+	// Shards, when >= 1, runs the trie detector as a location-sharded
+	// parallel back end with that many workers (1 pins the sharded
+	// machinery without parallelism; 0 keeps the serial back end).
+	// Race reports are merged deterministically and are byte-identical
+	// to the serial back end (for unbounded detector memory; see
+	// detector.Sharded). Only DetTrie honors it.
+	Shards int
+	// BatchSize, when > 0, batches access events per thread: the
+	// interpreter buffers up to this many accesses before calling into
+	// the sink chain. Event order — and therefore detection — is
+	// unchanged; see interp.Options.BatchSize.
+	BatchSize int
 }
 
 // Full returns the paper's complete configuration.
@@ -219,6 +233,15 @@ type Pipeline struct {
 
 	InstrStats  instrument.Stats
 	StaticStats StaticStats
+
+	// hintOnce/hintIndex memoize the static may-race partner index used
+	// by staticHints: the pairs are fixed at compile time, but the index
+	// used to be rebuilt on every run — a measurable share of per-run
+	// allocations for fuzzing workloads that run one compiled program
+	// thousands of times. sync.Once keeps RunConfig safe to call from
+	// concurrent workers.
+	hintOnce  sync.Once
+	hintIndex map[string][]string
 }
 
 // Compile runs phases 1–2 of Figure 1 (static analysis and optimized
@@ -343,13 +366,13 @@ func (p *Pipeline) RunConfig(cfg Config) (*RunResult, error) {
 	}
 
 	var sink event.Sink
-	var det *detector.Detector
+	var det detector.Backend
 	var era *eraser.Detector
 	var obr *objectrace.Detector
 	var vcl *vclock.Detector
 	switch cfg.Detector {
 	case DetTrie:
-		det = detector.New(detector.Options{
+		dopts := detector.Options{
 			NoCache:           !cfg.Cache,
 			NoOwnership:       !cfg.Ownership,
 			FieldsMerged:      cfg.FieldsMerged,
@@ -359,7 +382,12 @@ func (p *Pipeline) RunConfig(cfg Config) (*RunResult, error) {
 			MaxTrieNodes:      cfg.MaxTrieNodes,
 			MaxCacheThreads:   cfg.MaxCacheThreads,
 			MaxOwnerLocations: cfg.MaxOwnerLocations,
-		})
+		}
+		if cfg.Shards >= 1 {
+			det = detector.NewSharded(dopts, cfg.Shards, cfg.BatchSize)
+		} else {
+			det = detector.New(dopts)
+		}
 		sink = det
 	case DetEraser:
 		era = eraser.New()
@@ -408,6 +436,7 @@ func (p *Pipeline) RunConfig(cfg Config) (*RunResult, error) {
 		RecordSchedule: cfg.RecordSchedule,
 		Replay:         cfg.ReplaySchedule,
 		LivelockWindow: cfg.LivelockWindow,
+		BatchSize:      cfg.BatchSize,
 	}
 	if cfg.Timeout > 0 {
 		iopts.Deadline = time.Now().Add(cfg.Timeout)
@@ -454,6 +483,9 @@ func (p *Pipeline) RunConfig(cfg Config) (*RunResult, error) {
 		rr.DetectorStats = det.Stats()
 		rr.TrieNodes = det.TrieNodeCount()
 		rr.TrieLocations = det.TrieLocationCount()
+		if berr := det.Err(); berr != nil && rr.Err == nil {
+			rr.Err = berr
+		}
 	case era != nil:
 		for _, r := range era.Reports() {
 			rr.BaselineReports = append(rr.BaselineReports, r.String())
@@ -482,24 +514,28 @@ func (p *Pipeline) staticHints(reports []detector.Report) [][]string {
 	if p.Static == nil {
 		return hints
 	}
-	// Index the static pairs by each side's source position.
-	partners := make(map[string][]string)
-	add := func(at, other racestatic.AccessSite) {
-		key := at.Instr.Pos.String()
-		val := fmt.Sprintf("%s (%s)", other.Instr.Pos, other.Fn.Name)
-		for _, existing := range partners[key] {
-			if existing == val {
-				return
+	// Index the static pairs by each side's source position. The pairs
+	// are fixed after Compile, so the index is built once per Pipeline.
+	p.hintOnce.Do(func() {
+		partners := make(map[string][]string)
+		add := func(at, other racestatic.AccessSite) {
+			key := at.Instr.Pos.String()
+			val := fmt.Sprintf("%s (%s)", other.Instr.Pos, other.Fn.Name)
+			for _, existing := range partners[key] {
+				if existing == val {
+					return
+				}
 			}
+			partners[key] = append(partners[key], val)
 		}
-		partners[key] = append(partners[key], val)
-	}
-	for _, pair := range p.Static.Pairs {
-		add(pair[0], pair[1])
-		add(pair[1], pair[0])
-	}
+		for _, pair := range p.Static.Pairs {
+			add(pair[0], pair[1])
+			add(pair[1], pair[0])
+		}
+		p.hintIndex = partners
+	})
 	for i, r := range reports {
-		hints[i] = partners[r.Access.Pos.String()]
+		hints[i] = p.hintIndex[r.Access.Pos.String()]
 	}
 	return hints
 }

@@ -1,0 +1,131 @@
+package corpus
+
+import (
+	"fmt"
+	"testing"
+
+	"racedet/internal/bench"
+	"racedet/internal/core"
+)
+
+// renderReports is the byte-level view of a run's detection outcome:
+// the ordered race reports plus the racy-object set. The sharded back
+// end's determinism contract is that this string is identical to the
+// serial back end's for the same program and seed.
+func renderReports(res *core.RunResult) string {
+	s := ""
+	for _, r := range res.Reports {
+		s += r.String() + "\n"
+	}
+	s += "racy:"
+	for _, o := range res.RacyObjects {
+		s += " " + o.String()
+	}
+	return s
+}
+
+// shardedVariants is the matrix the equivalence contract is checked
+// over: shard counts bracketing the interesting cases (1 = the sharded
+// machinery with no parallelism, 2 = minimal partitioning, 8 = more
+// shards than corpus threads), plus a batched front end.
+func shardedVariants(base core.Config) []struct {
+	name string
+	cfg  core.Config
+} {
+	var out []struct {
+		name string
+		cfg  core.Config
+	}
+	for _, shards := range []int{1, 2, 8} {
+		c := base
+		c.Shards = shards
+		out = append(out, struct {
+			name string
+			cfg  core.Config
+		}{fmt.Sprintf("shards=%d", shards), c})
+	}
+	b := base
+	b.Shards = 4
+	b.BatchSize = 16
+	out = append(out, struct {
+		name string
+		cfg  core.Config
+	}{"shards=4,batch=16", b})
+	return out
+}
+
+// TestCorpusShardedMatchesSerial is the differential test for the
+// sharded back end: on every corpus program, under ten harness seeds,
+// every sharded/batched variant must produce exactly the serial back
+// end's ordered race reports and racy-object set.
+func TestCorpusShardedMatchesSerial(t *testing.T) {
+	for _, e := range loadCorpus(t) {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 10; seed++ {
+				serial, err := core.RunSource(e.name+".mj", e.src, core.Full().WithSeed(seed))
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if serial.Err != nil {
+					t.Fatalf("seed %d: runtime: %v", seed, serial.Err)
+				}
+				want := renderReports(serial)
+				for _, v := range shardedVariants(core.Full().WithSeed(seed)) {
+					res, err := core.RunSource(e.name+".mj", e.src, v.cfg)
+					if err != nil {
+						t.Fatalf("seed %d %s: %v", seed, v.name, err)
+					}
+					if res.Err != nil {
+						t.Fatalf("seed %d %s: runtime: %v", seed, v.name, res.Err)
+					}
+					if got := renderReports(res); got != want {
+						t.Errorf("seed %d %s diverges from serial:\n--- serial ---\n%s\n--- %s ---\n%s",
+							seed, v.name, want, v.name, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBenchmarksShardedMatchesSerial extends the differential check to
+// the five paper benchmarks (Table 1), which are much larger than the
+// corpus idioms and exercise the shard router under real load.
+func TestBenchmarksShardedMatchesSerial(t *testing.T) {
+	seeds := []int64{0, 1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			src := b.Source()
+			for _, seed := range seeds {
+				serial, err := core.RunSource(b.Name+".mj", src, core.Full().WithSeed(seed))
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if serial.Err != nil {
+					t.Fatalf("seed %d: runtime: %v", seed, serial.Err)
+				}
+				want := renderReports(serial)
+				for _, v := range shardedVariants(core.Full().WithSeed(seed)) {
+					res, err := core.RunSource(b.Name+".mj", src, v.cfg)
+					if err != nil {
+						t.Fatalf("seed %d %s: %v", seed, v.name, err)
+					}
+					if res.Err != nil {
+						t.Fatalf("seed %d %s: runtime: %v", seed, v.name, res.Err)
+					}
+					if got := renderReports(res); got != want {
+						t.Errorf("seed %d %s diverges from serial (%d vs %d reports)",
+							seed, v.name, len(res.Reports), len(serial.Reports))
+					}
+				}
+			}
+		})
+	}
+}

@@ -108,15 +108,48 @@ type Thread struct {
 	// after being notified.
 	savedDepth int
 	steps      uint64
+
+	// regArena backs the frames' register windows: calls carve a
+	// window off the end instead of allocating a fresh slice per frame
+	// (the dominant allocation in call-heavy programs). See pushWindow.
+	regArena []Value
 }
 
 type frame struct {
-	fn     *ir.Func
-	regs   []Value
-	block  *ir.Block
-	pc     int
-	retReg int // register in the caller frame receiving the return value
+	fn      *ir.Func
+	regs    []Value
+	block   *ir.Block
+	pc      int
+	retReg  int // register in the caller frame receiving the return value
+	regBase int // offset of this frame's register window in the arena
 }
+
+// pushWindow carves an n-register zeroed window off the thread's
+// register arena. When the arena must grow, a fresh backing array is
+// allocated and older frames simply keep their windows in the previous
+// one — every register access goes through frame.regs, so stale arena
+// prefixes are never read, and the space is reclaimed as those frames
+// pop.
+func (t *Thread) pushWindow(n int) ([]Value, int) {
+	base := len(t.regArena)
+	if base+n > cap(t.regArena) {
+		size := cap(t.regArena)*2 + 64
+		if size < base+n {
+			size = base + n
+		}
+		t.regArena = make([]Value, base, size)
+	}
+	t.regArena = t.regArena[:base+n]
+	regs := t.regArena[base : base+n : base+n]
+	for i := range regs {
+		regs[i] = Value{}
+	}
+	return regs, base
+}
+
+// popWindow releases the most recent window (called when its frame
+// returns).
+func (t *Thread) popWindow(base int) { t.regArena = t.regArena[:base] }
 
 // ErrKind classifies a RuntimeError so callers (the fuzzing harness,
 // the CLI exit-code logic) can react without parsing messages.
@@ -223,6 +256,17 @@ type Options struct {
 	// the slice ordinal. It exists for diagnostics and fault-injection
 	// tests; a panic inside it is recovered like any interpreter panic.
 	SliceHook func(slice uint64)
+
+	// BatchSize, when positive, buffers access events per thread and
+	// delivers them to the sink in batches of up to this size instead of
+	// one call per access. Buffers are flushed before every non-access
+	// sink callback, at every context switch, and when the run ends, so
+	// the sink observes exactly the unbatched event order (see
+	// event.Batcher). The inlined QuickCheck fast path keeps consulting
+	// the unwrapped sink; the context-switch flush guarantees buffered
+	// events always belong to the thread being checked, which keeps the
+	// fast path's cache view consistent.
+	BatchSize int
 }
 
 // Result summarizes an execution.
@@ -245,11 +289,12 @@ type AccessFastPath interface {
 
 // Machine executes one program.
 type Machine struct {
-	prog *ir.Program
-	opts Options
-	sink event.Sink
-	fast AccessFastPath // non-nil when sink implements AccessFastPath
-	out  io.Writer
+	prog    *ir.Program
+	opts    Options
+	sink    event.Sink
+	fast    AccessFastPath // non-nil when sink implements AccessFastPath
+	batcher *event.Batcher // non-nil when Options.BatchSize > 0
+	out     io.Writer
 
 	threads   []*Thread
 	classObjs map[*sem.Class]*Object
@@ -305,6 +350,10 @@ func New(prog *ir.Program, opts Options) *Machine {
 	}
 	if f, ok := opts.Sink.(AccessFastPath); ok {
 		m.fast = f
+	}
+	if opts.BatchSize > 0 {
+		m.batcher = event.NewBatcher(opts.Sink, opts.BatchSize)
+		m.sink = m.batcher
 	}
 	if opts.RecordSchedule {
 		m.sched = &ScheduleTrace{Seed: opts.Seed, Quantum: m.opts.Quantum}
@@ -370,16 +419,25 @@ func (m *Machine) Run() (res Result, err error) {
 			res, err = m.res, re
 		}
 	}()
+	// Deliver trailing buffered accesses on every exit path (including
+	// aborts) so the detector's results are complete when Run returns.
+	// Registered after the recover defer, so a detector panic during
+	// this final flush is still converted to an ErrPanic result.
+	if m.batcher != nil {
+		defer m.batcher.Flush()
+	}
 	mainFn := m.prog.FuncOf[m.prog.Sem.Main]
 	if mainFn == nil {
 		return m.res, fmt.Errorf("interp: program has no lowered main")
 	}
 	main := &Thread{ID: 0}
+	mregs, mbase := main.pushWindow(mainFn.NumRegs)
 	main.frames = append(main.frames, frame{
-		fn:     mainFn,
-		regs:   make([]Value, mainFn.NumRegs),
-		block:  mainFn.Entry,
-		retReg: ir.NoReg,
+		fn:      mainFn,
+		regs:    mregs,
+		block:   mainFn.Entry,
+		retReg:  ir.NoReg,
+		regBase: mbase,
 	})
 	m.threads = append(m.threads, main)
 	m.res.ThreadsUsed = 1
@@ -426,6 +484,14 @@ func (m *Machine) Run() (res Result, err error) {
 					Dump:   m.threadDump(),
 				}
 			}
+		}
+		// Flush buffered accesses at the slice boundary: the invariant
+		// that pending events always belong to the currently running
+		// thread is what keeps the QuickCheck fast path sound under
+		// batching (a cross-thread ownership transition can never hide
+		// in a buffer while the cache answers for another thread).
+		if m.batcher != nil {
+			m.batcher.Flush()
 		}
 		m.res.ContextSwaps++
 		slice++
@@ -834,11 +900,13 @@ func (m *Machine) call(t *Thread, f *frame, in *ir.Instr) {
 		m.fail(t, in.Pos, "stack overflow calling %s", callee.QualifiedName())
 		return
 	}
+	regs, base := t.pushWindow(fn.NumRegs)
 	nf := frame{
-		fn:     fn,
-		regs:   make([]Value, fn.NumRegs),
-		block:  fn.Entry,
-		retReg: in.Dst,
+		fn:      fn,
+		regs:    regs,
+		block:   fn.Entry,
+		retReg:  in.Dst,
+		regBase: base,
 	}
 	for i, src := range in.Src {
 		nf.regs[i] = f.regs[src]
@@ -856,6 +924,7 @@ func (m *Machine) ret(t *Thread, f *frame, in *ir.Instr) {
 	}
 	retReg := f.retReg
 	t.frames = t.frames[:len(t.frames)-1]
+	t.popWindow(f.regBase)
 	if len(t.frames) == 0 {
 		t.state = stateFinished
 		m.progress++
@@ -1020,11 +1089,13 @@ func (m *Machine) startThread(t *Thread, f *frame, in *ir.Instr) {
 			m.fail(t, in.Pos, "run method of %s not lowered", obj.Class.Name)
 			return
 		}
+		cregs, cbase := child.pushWindow(fn.NumRegs)
 		cf := frame{
-			fn:     fn,
-			regs:   make([]Value, fn.NumRegs),
-			block:  fn.Entry,
-			retReg: ir.NoReg,
+			fn:      fn,
+			regs:    cregs,
+			block:   fn.Entry,
+			retReg:  ir.NoReg,
+			regBase: cbase,
 		}
 		cf.regs[0] = Value{Ref: obj}
 		child.frames = append(child.frames, cf)

@@ -1,0 +1,52 @@
+// Package profiling is the tiny pprof plumbing shared by the CLI
+// tools: start a CPU profile and/or schedule a heap profile, and get
+// back one stop function to call before exiting.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and arranges
+// for an allocation profile to be written to memPath (if non-empty)
+// when the returned stop function runs. The stop function is safe to
+// call exactly once; with both paths empty it is a no-op.
+//
+// The heap profile is written with the default sample rate; inspect
+// allocation counts with
+//
+//	go tool pprof -sample_index=alloc_objects <binary> <memPath>
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush garbage so live-heap numbers are accurate
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

@@ -120,6 +120,7 @@ type history interface {
 type Detector struct {
 	opts Options
 
+	intern *event.Interner
 	locks  *event.LockTracker
 	cache  *cache.Cache
 	owner  *ownership.Table
@@ -132,13 +133,15 @@ type Detector struct {
 	reportedObj map[event.ObjID]struct{}
 }
 
-var _ event.Sink = (*Detector)(nil)
+var _ event.BatchSink = (*Detector)(nil)
 
 // New builds a detector with the given options.
 func New(opts Options) *Detector {
+	it := event.NewInterner()
 	d := &Detector{
 		opts:        opts,
-		locks:       event.NewLockTracker(),
+		intern:      it,
+		locks:       event.NewLockTrackerInterned(it),
 		cache:       cache.New(),
 		owner:       ownership.New(),
 		parent:      make(map[event.ThreadID]event.ThreadID),
@@ -161,8 +164,21 @@ func New(opts Options) *Detector {
 	default:
 		d.trie = trie.New()
 	}
+	if st, ok := d.trie.(interface {
+		SetInterner(*event.Interner)
+	}); ok {
+		st.SetInterner(it)
+	}
 	return d
 }
+
+// Interner exposes the per-run lockset intern table (read-only use:
+// resolving LocksetIDs carried by reports).
+func (d *Detector) Interner() *event.Interner { return d.intern }
+
+// Err implements the Backend contract; the serial detector cannot fail
+// asynchronously.
+func (d *Detector) Err() error { return nil }
 
 // Reports returns the datarace reports in detection order.
 func (d *Detector) Reports() []Report { return d.reports }
@@ -297,9 +313,10 @@ func (d *Detector) Access(a event.Access) {
 		}
 	}
 
-	// 3. Trie detector. Materialize the lockset now.
+	// 3. Trie detector. Materialize the (interned) lockset now.
 	a.Loc = loc
 	a.Locks = d.locks.Held(a.Thread)
+	a.LockID = d.locks.HeldID(a.Thread)
 	race, info := d.trie.Process(a)
 	if race {
 		d.report(a, info)
@@ -309,6 +326,15 @@ func (d *Detector) Access(a event.Access) {
 	if !d.opts.NoCache {
 		top, ok := d.locks.Top(a.Thread)
 		d.cache.Insert(a.Thread, loc, a.Kind, top, ok)
+	}
+}
+
+// AccessBatch implements event.BatchSink: a batch is a run of accesses
+// by one thread under one lock environment, so the tracker's memoized
+// lockset is computed at most once for the whole batch.
+func (d *Detector) AccessBatch(batch []event.Access) {
+	for _, a := range batch {
+		d.Access(a)
 	}
 }
 

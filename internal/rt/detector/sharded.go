@@ -1,0 +1,498 @@
+// Location-sharded parallel detection back end.
+//
+// The serial Detector's state is naturally partitioned by memory
+// location: the trie is per location, the ownership table is per
+// location, and cache entries are keyed by location. Sharded exploits
+// that: a router (running on the interpreter's goroutine, as the
+// event.Sink) snapshots each access's lock environment, stamps it with
+// a global sequence number, and forwards it — batched — to one of N
+// worker goroutines chosen by hash(ObjID, slot). Each worker owns the
+// full detector stack (cache, ownership, trie) for its slice of the
+// location space, so workers never share mutable state.
+//
+// Determinism contract: a location's accesses all hash to the same
+// shard and arrive in global program order, so every per-location
+// trie/ownership evolution is identical to the serial back end's. The
+// per-shard caches partition differently than the serial cache, but a
+// cache hit only ever absorbs an access that a weaker-or-equal stored
+// access already subsumes — a trie no-op — so the set of reports is
+// unaffected. Reports are recorded with their access's sequence number
+// and merged in sequence order, which is exactly the serial back end's
+// detection order. The merged reports are byte-identical to the serial
+// ones (asserted corpus-wide by the differential tests).
+//
+// Bounded-memory options (MaxTrieNodes, MaxCacheThreads,
+// MaxOwnerLocations) are split evenly across shards; collapse decisions
+// then depend on per-shard occupancy, so bounded configurations trade
+// the byte-equivalence guarantee for the usual "strictly over-reports,
+// never misses" degradation.
+package detector
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"racedet/internal/rt/cache"
+	"racedet/internal/rt/event"
+	"racedet/internal/rt/ownership"
+	"racedet/internal/rt/trie"
+)
+
+// Backend is what the pipeline needs from a detection back end; both
+// the serial Detector and Sharded satisfy it.
+type Backend interface {
+	event.Sink
+	Reports() []Report
+	RacyObjects() []event.ObjID
+	Stats() Stats
+	TrieNodeCount() int
+	TrieLocationCount() int
+	SetDescribeObj(func(event.ObjID) string)
+	// Err reports an asynchronous back-end failure (a worker panic);
+	// valid after the run completes.
+	Err() error
+}
+
+var (
+	_ Backend = (*Detector)(nil)
+	_ Backend = (*Sharded)(nil)
+)
+
+// shardAccess is one routed access: the event plus everything the
+// worker needs that only the router can compute (the lock environment
+// at access time and the global order stamp).
+type shardAccess struct {
+	a      event.Access
+	top    event.ObjID // most recently acquired lock (cache insert key)
+	hasTop bool
+	seq    uint64
+}
+
+type msgKind uint8
+
+const (
+	msgBatch msgKind = iota
+	msgLockReleased
+	msgThreadFinished
+)
+
+type shardMsg struct {
+	kind   msgKind
+	batch  []shardAccess
+	thread event.ThreadID
+	lock   event.ObjID
+}
+
+// shardReport is a worker-side report stamped with the triggering
+// access's sequence number for the deterministic merge.
+type shardReport struct {
+	rep Report
+	seq uint64
+}
+
+// worker owns one shard's detector stack. All fields are goroutine-
+// local; the router communicates only through ch.
+type worker struct {
+	idx   int
+	opts  Options
+	ch    chan shardMsg
+	cache *cache.Cache
+	owner *ownership.Table
+	trie  history
+	stats Stats
+
+	reports     []shardReport
+	reportedLoc map[event.Loc]struct{}
+	reportedObj map[event.ObjID]struct{}
+	err         error
+}
+
+// Sharded is the parallel Backend. It implements event.Sink (and
+// BatchSink) on the producer side; results become available once the
+// event stream ends (the first result accessor finalizes the run).
+type Sharded struct {
+	opts    Options
+	workers []*worker
+	pending [][]shardAccess // per-shard router-side batch buffers
+	batch   int
+
+	intern *event.Interner
+	locks  *event.LockTracker
+	seq    uint64
+
+	wg        sync.WaitGroup
+	finalized bool
+
+	reports []Report
+	objs    []event.ObjID
+	stats   Stats
+	nodes   int
+	locs    int
+	err     error
+}
+
+// NewSharded builds a back end with n location-sharded workers
+// (n >= 1) that consume access batches of up to batchSize events
+// (<= 0 selects event.DefaultBatchSize). Options are interpreted as in
+// New; memory bounds are split evenly across shards.
+func NewSharded(opts Options, n, batchSize int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	if batchSize <= 0 {
+		batchSize = event.DefaultBatchSize
+	}
+	it := event.NewInterner()
+	s := &Sharded{
+		opts:    opts,
+		pending: make([][]shardAccess, n),
+		batch:   batchSize,
+		intern:  it,
+		locks:   event.NewLockTrackerInterned(it),
+	}
+	for i := 0; i < n; i++ {
+		w := &worker{
+			idx:         i,
+			opts:        opts,
+			ch:          make(chan shardMsg, 8),
+			cache:       cache.New(),
+			owner:       ownership.New(),
+			reportedLoc: make(map[event.Loc]struct{}),
+			reportedObj: make(map[event.ObjID]struct{}),
+		}
+		if opts.MaxCacheThreads > 0 {
+			w.cache = cache.NewBounded(opts.MaxCacheThreads)
+		}
+		if opts.MaxOwnerLocations > 0 {
+			w.owner = ownership.NewBounded(splitBudget(opts.MaxOwnerLocations, n))
+		}
+		switch {
+		case opts.PackedTrie:
+			w.trie = trie.NewPacked()
+		case opts.NoTBot:
+			w.trie = trie.NewNoTBot()
+		case opts.MaxTrieNodes > 0:
+			w.trie = trie.NewBounded(splitBudget(opts.MaxTrieNodes, n))
+		default:
+			w.trie = trie.New()
+		}
+		if st, ok := w.trie.(interface {
+			SetInterner(*event.Interner)
+		}); ok {
+			// Worker-local interner: workers must never touch the
+			// router's intern table, which the producer goroutine keeps
+			// mutating.
+			st.SetInterner(event.NewInterner())
+		}
+		s.pending[i] = make([]shardAccess, 0, batchSize)
+		s.workers = append(s.workers, w)
+		s.wg.Add(1)
+		go w.run(&s.wg)
+	}
+	return s
+}
+
+// splitBudget divides a global memory bound across n shards, never
+// below 1 per shard.
+func splitBudget(total, n int) int {
+	b := total / n
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+func (w *worker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			w.err = fmt.Errorf("detector shard %d: panic: %v", w.idx, r)
+			// Keep draining so the router can never block on a full
+			// channel after a shard dies.
+			for range w.ch {
+			}
+		}
+	}()
+	for msg := range w.ch {
+		switch msg.kind {
+		case msgBatch:
+			for _, sa := range msg.batch {
+				w.access(sa)
+			}
+		case msgLockReleased:
+			w.cache.LockReleased(msg.thread, msg.lock)
+		case msgThreadFinished:
+			w.cache.ThreadFinished(msg.thread)
+		}
+	}
+}
+
+// access replicates Detector.Access with the lock environment already
+// materialized by the router.
+func (w *worker) access(sa shardAccess) {
+	a := sa.a
+	w.stats.Accesses++
+	if !w.opts.NoCache {
+		if w.cache.Lookup(a.Thread, a.Loc, a.Kind) {
+			w.stats.CacheHits++
+			return
+		}
+	}
+	if !w.opts.NoOwnership {
+		forward, becameShared := w.owner.Filter(a.Thread, a.Loc)
+		if becameShared && !w.opts.NoCache {
+			w.cache.EvictLocation(a.Loc)
+		}
+		if !forward {
+			w.stats.OwnerSkips++
+			if !w.opts.NoCache {
+				w.cache.Insert(a.Thread, a.Loc, a.Kind, sa.top, sa.hasTop)
+			}
+			return
+		}
+	}
+	race, info := w.trie.Process(a)
+	if race {
+		w.report(sa, info)
+	}
+	if !w.opts.NoCache {
+		w.cache.Insert(a.Thread, a.Loc, a.Kind, sa.top, sa.hasTop)
+	}
+}
+
+func (w *worker) report(sa shardAccess, info trie.RaceInfo) {
+	if !w.opts.ReportAll {
+		if _, dup := w.reportedLoc[sa.a.Loc]; dup {
+			return
+		}
+	}
+	w.reportedLoc[sa.a.Loc] = struct{}{}
+	w.reportedObj[sa.a.Loc.Obj] = struct{}{}
+	// ObjDesc is filled at merge time: DescribeObj reads the
+	// interpreter's heap, which is mutating while workers run.
+	w.reports = append(w.reports, shardReport{
+		rep: Report{
+			Access:      sa.a,
+			PriorThread: info.PriorThread,
+			PriorLocks:  info.PriorLocks,
+			PriorKind:   info.PriorKind,
+		},
+		seq: sa.seq,
+	})
+}
+
+// shardOf hashes a location to a worker, using the same mixing
+// constants as the access cache so related locations spread evenly.
+func shardOf(loc event.Loc, n int) int {
+	h := uint64(loc.Obj)*0x9E3779B97F4A7C15 + uint64(uint32(loc.Slot))*0x85EBCA6B
+	return int((h >> 32) % uint64(n))
+}
+
+// ---------------------------------------------------------------------------
+// producer side (event.Sink, router)
+
+var _ event.BatchSink = (*Sharded)(nil)
+
+func (s *Sharded) flushShard(i int) {
+	if len(s.pending[i]) == 0 {
+		return
+	}
+	s.workers[i].ch <- shardMsg{kind: msgBatch, batch: s.pending[i]}
+	s.pending[i] = make([]shardAccess, 0, s.batch)
+}
+
+func (s *Sharded) flushAll() {
+	for i := range s.pending {
+		s.flushShard(i)
+	}
+}
+
+// broadcast flushes pending batches (order!) and sends msg to every
+// worker.
+func (s *Sharded) broadcast(msg shardMsg) {
+	s.flushAll()
+	for _, w := range s.workers {
+		w.ch <- msg
+	}
+}
+
+// Access implements event.Sink: snapshot the lock environment, stamp
+// the global sequence number, and route by location.
+func (s *Sharded) Access(a event.Access) {
+	if s.opts.FieldsMerged && a.Loc.Slot >= event.ArraySlot {
+		a.Loc.Slot = 0
+	}
+	a.Locks = s.locks.Held(a.Thread) // immutable canonical slice
+	a.LockID = s.locks.HeldID(a.Thread)
+	top, hasTop := s.locks.Top(a.Thread)
+	s.seq++
+	i := shardOf(a.Loc, len(s.workers))
+	s.pending[i] = append(s.pending[i], shardAccess{a: a, top: top, hasTop: hasTop, seq: s.seq})
+	if len(s.pending[i]) >= s.batch {
+		s.flushShard(i)
+	}
+}
+
+// AccessBatch implements event.BatchSink.
+func (s *Sharded) AccessBatch(batch []event.Access) {
+	for _, a := range batch {
+		s.Access(a)
+	}
+}
+
+// ThreadStarted implements event.Sink.
+func (s *Sharded) ThreadStarted(child, parent event.ThreadID) {
+	if !s.opts.NoPseudoLocks {
+		s.locks.ThreadStarted(child, parent)
+	}
+}
+
+// ThreadFinished implements event.Sink.
+func (s *Sharded) ThreadFinished(t event.ThreadID) {
+	if !s.opts.NoPseudoLocks {
+		s.locks.ThreadFinished(t)
+	}
+	if !s.opts.NoCache {
+		s.broadcast(shardMsg{kind: msgThreadFinished, thread: t})
+	}
+}
+
+// Joined implements event.Sink.
+func (s *Sharded) Joined(joiner, joinee event.ThreadID) {
+	if !s.opts.NoPseudoLocks {
+		s.locks.Joined(joiner, joinee)
+	}
+}
+
+// MonitorEnter implements event.Sink. Lock acquisition only changes
+// the router-side lock environment; workers see it through the
+// snapshots attached to later accesses.
+func (s *Sharded) MonitorEnter(t event.ThreadID, lock event.ObjID, depth int) {
+	s.locks.MonitorEnter(t, lock, depth)
+}
+
+// MonitorExit implements event.Sink. A full release invalidates cache
+// entries guarded by the lock in every shard.
+func (s *Sharded) MonitorExit(t event.ThreadID, lock event.ObjID, depth int) {
+	s.locks.MonitorExit(t, lock, depth)
+	if depth == 0 && !s.opts.NoCache {
+		s.broadcast(shardMsg{kind: msgLockReleased, thread: t, lock: lock})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// results (merge side)
+
+// finalize ends the event stream: flush, close the channels, wait for
+// the workers, and merge their results deterministically. Idempotent;
+// triggered by the first result accessor after the run.
+func (s *Sharded) finalize() {
+	if s.finalized {
+		return
+	}
+	s.finalized = true
+	s.flushAll()
+	for _, w := range s.workers {
+		close(w.ch)
+	}
+	s.wg.Wait()
+
+	var all []shardReport
+	objSet := make(map[event.ObjID]struct{})
+	for _, w := range s.workers {
+		if w.err != nil && s.err == nil {
+			s.err = w.err
+		}
+		all = append(all, w.reports...)
+		for o := range w.reportedObj {
+			objSet[o] = struct{}{}
+		}
+		st := w.stats
+		s.stats.Accesses += st.Accesses
+		s.stats.CacheHits += st.CacheHits
+		s.stats.OwnerSkips += st.OwnerSkips
+		s.stats.OwnerLocations += w.owner.Locations()
+		s.stats.OwnerOverflows += w.owner.Overflows()
+		addTrieStats(&s.stats.Trie, w.trie.Stats())
+		addCacheStats(&s.stats.Cache, w.cache.Stats())
+		s.nodes += w.trie.NodeCount()
+		s.locs += w.trie.LocationCount()
+	}
+	// Sequence order is the serial back end's detection order.
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	s.reports = make([]Report, len(all))
+	for i, sr := range all {
+		s.reports[i] = sr.rep
+		if s.opts.DescribeObj != nil {
+			s.reports[i].ObjDesc = s.opts.DescribeObj(sr.rep.Access.Loc.Obj)
+		}
+	}
+	s.objs = make([]event.ObjID, 0, len(objSet))
+	for o := range objSet {
+		s.objs = append(s.objs, o)
+	}
+	sort.Slice(s.objs, func(i, j int) bool { return s.objs[i] < s.objs[j] })
+}
+
+func addTrieStats(dst *trie.Stats, src trie.Stats) {
+	dst.Events += src.Events
+	dst.WeaknessHits += src.WeaknessHits
+	dst.RaceChecks += src.RaceChecks
+	dst.NodesVisited += src.NodesVisited
+	dst.Races += src.Races
+	dst.NodesAllocated += src.NodesAllocated
+	dst.NodesPruned += src.NodesPruned
+	dst.LocationsStored += src.LocationsStored
+	dst.Collapses += src.Collapses
+	dst.NodesCollapsed += src.NodesCollapsed
+	dst.CollapseHits += src.CollapseHits
+}
+
+func addCacheStats(dst *cache.Stats, src cache.Stats) {
+	dst.Hits += src.Hits
+	dst.Misses += src.Misses
+	dst.Evictions += src.Evictions
+	dst.ThreadEvictions += src.ThreadEvictions
+}
+
+// Reports implements Backend: the merged reports, in the serial
+// detection order.
+func (s *Sharded) Reports() []Report {
+	s.finalize()
+	return s.reports
+}
+
+// RacyObjects implements Backend.
+func (s *Sharded) RacyObjects() []event.ObjID {
+	s.finalize()
+	return s.objs
+}
+
+// Stats implements Backend: counters aggregated across shards.
+func (s *Sharded) Stats() Stats {
+	s.finalize()
+	return s.stats
+}
+
+// TrieNodeCount implements Backend.
+func (s *Sharded) TrieNodeCount() int {
+	s.finalize()
+	return s.nodes
+}
+
+// TrieLocationCount implements Backend.
+func (s *Sharded) TrieLocationCount() int {
+	s.finalize()
+	return s.locs
+}
+
+// SetDescribeObj implements Backend. The renderer runs only at merge
+// time, after the interpreter has finished, so it may read the heap.
+func (s *Sharded) SetDescribeObj(fn func(event.ObjID) string) { s.opts.DescribeObj = fn }
+
+// Err implements Backend: the first worker failure, if any.
+func (s *Sharded) Err() error {
+	s.finalize()
+	return s.err
+}

@@ -1,0 +1,196 @@
+package detector
+
+import (
+	"math/rand"
+	"testing"
+
+	"racedet/internal/rt/event"
+)
+
+// feedRandom drives a sink through a pseudo-random but deterministic
+// event stream with threads, locks, shared objects, and join edges —
+// dense enough to exercise caches, ownership transitions, and the trie.
+func feedRandom(s event.Sink, seed int64, events int) {
+	rng := rand.New(rand.NewSource(seed))
+	const nThreads = 4
+	const nObjs = 12
+	const nLocks = 3
+	s.ThreadStarted(0, event.NoThread)
+	for t := event.ThreadID(1); t < nThreads; t++ {
+		s.ThreadStarted(t, 0)
+	}
+	held := make([][]event.ObjID, nThreads) // lock stacks per thread
+	for i := 0; i < events; i++ {
+		t := event.ThreadID(rng.Intn(nThreads))
+		switch op := rng.Intn(10); {
+		case op < 6: // access
+			obj := event.ObjID(100 + rng.Intn(nObjs))
+			slot := int32(rng.Intn(3))
+			kind := event.Read
+			if rng.Intn(2) == 0 {
+				kind = event.Write
+			}
+			s.Access(event.Access{
+				Loc:       event.Loc{Obj: obj, Slot: slot},
+				Thread:    t,
+				Kind:      kind,
+				FieldName: "F.f",
+			})
+		case op < 8: // lock
+			if len(held[t]) < 2 {
+				l := event.ObjID(500 + rng.Intn(nLocks))
+				dup := false
+				for _, h := range held[t] {
+					if h == l {
+						dup = true
+					}
+				}
+				if !dup {
+					held[t] = append(held[t], l)
+					s.MonitorEnter(t, l, 1)
+				}
+			}
+		default: // unlock (LIFO)
+			if n := len(held[t]); n > 0 {
+				l := held[t][n-1]
+				held[t] = held[t][:n-1]
+				s.MonitorExit(t, l, 0)
+			}
+		}
+	}
+	for t := event.ThreadID(0); t < nThreads; t++ {
+		for n := len(held[t]); n > 0; n-- {
+			s.MonitorExit(t, held[t][n-1], 0)
+		}
+	}
+	for t := event.ThreadID(1); t < nThreads; t++ {
+		s.ThreadFinished(t)
+		s.Joined(0, t)
+	}
+	s.ThreadFinished(0)
+}
+
+func reportStrings(b Backend) []string {
+	var out []string
+	for _, r := range b.Reports() {
+		out = append(out, r.String())
+	}
+	return out
+}
+
+// TestShardedMatchesSerial is the back-end-level differential check:
+// for several option sets, seeds, and shard counts, the sharded
+// backend's merged reports must be byte-identical to the serial ones.
+func TestShardedMatchesSerial(t *testing.T) {
+	optSets := map[string]Options{
+		"full":        {},
+		"nocache":     {NoCache: true},
+		"noownership": {NoOwnership: true},
+		"reportall":   {ReportAll: true},
+		"merged":      {FieldsMerged: true},
+		"packed":      {PackedTrie: true},
+	}
+	for name, opts := range optSets {
+		for seed := int64(0); seed < 5; seed++ {
+			serial := New(opts)
+			feedRandom(serial, seed, 3000)
+			want := reportStrings(serial)
+			wantObjs := serial.RacyObjects()
+			for _, shards := range []int{1, 2, 8} {
+				sh := NewSharded(opts, shards, 16)
+				feedRandom(sh, seed, 3000)
+				if err := sh.Err(); err != nil {
+					t.Fatalf("%s/seed%d/%dshards: worker error: %v", name, seed, shards, err)
+				}
+				got := reportStrings(sh)
+				if len(got) != len(want) {
+					t.Fatalf("%s/seed%d/%dshards: %d reports, serial has %d\nsharded: %v\nserial: %v",
+						name, seed, shards, len(got), len(want), got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s/seed%d/%dshards: report %d differs\nsharded: %s\nserial:  %s",
+							name, seed, shards, i, got[i], want[i])
+					}
+				}
+				gotObjs := sh.RacyObjects()
+				if len(gotObjs) != len(wantObjs) {
+					t.Fatalf("%s/seed%d/%dshards: racy objects %v, serial %v", name, seed, shards, gotObjs, wantObjs)
+				}
+				for i := range wantObjs {
+					if gotObjs[i] != wantObjs[i] {
+						t.Fatalf("%s/seed%d/%dshards: racy objects %v, serial %v", name, seed, shards, gotObjs, wantObjs)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedBatchedProducer checks the batched producer path: a
+// Batcher in front of the sharded backend (the interpreter's BatchSize
+// wiring) must not change the reports either.
+func TestShardedBatchedProducer(t *testing.T) {
+	serial := New(Options{})
+	feedRandom(serial, 7, 3000)
+	want := reportStrings(serial)
+
+	sh := NewSharded(Options{}, 4, 8)
+	b := event.NewBatcher(sh, 8)
+	feedRandom(b, 7, 3000)
+	b.Flush()
+	if err := sh.Err(); err != nil {
+		t.Fatalf("worker error: %v", err)
+	}
+	got := reportStrings(sh)
+	if len(got) != len(want) {
+		t.Fatalf("batched sharded: %d reports, serial %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("report %d differs\nbatched sharded: %s\nserial: %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardedStatsAggregate sanity-checks that counters survive the
+// merge (exact values differ from serial because sharded has no
+// QuickCheck fast path and partitions the caches).
+func TestShardedStatsAggregate(t *testing.T) {
+	sh := NewSharded(Options{}, 3, 16)
+	feedRandom(sh, 1, 2000)
+	st := sh.Stats()
+	if st.Accesses == 0 || st.Trie.Events == 0 {
+		t.Fatalf("stats lost in merge: %+v", st)
+	}
+	if sh.TrieLocationCount() == 0 {
+		t.Fatal("trie location count lost in merge")
+	}
+}
+
+// TestShardedDescribeObjAtMerge verifies ObjDesc is filled during the
+// deterministic merge, matching the serial reports.
+func TestShardedDescribeObjAtMerge(t *testing.T) {
+	desc := func(o event.ObjID) string { return "OBJ" + o.String() }
+
+	serial := New(Options{NoOwnership: true})
+	serial.SetDescribeObj(desc)
+	feedRandom(serial, 3, 1000)
+
+	sh := NewSharded(Options{NoOwnership: true}, 2, 16)
+	sh.SetDescribeObj(desc)
+	feedRandom(sh, 3, 1000)
+
+	want, got := serial.Reports(), sh.Reports()
+	if len(want) == 0 {
+		t.Fatal("scenario should produce reports")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d reports, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ObjDesc == "" || got[i].ObjDesc != want[i].ObjDesc {
+			t.Fatalf("report %d ObjDesc = %q, want %q", i, got[i].ObjDesc, want[i].ObjDesc)
+		}
+	}
+}

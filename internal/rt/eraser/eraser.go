@@ -81,7 +81,7 @@ var _ event.Sink = (*Detector)(nil)
 // New returns an empty Eraser detector.
 func New() *Detector {
 	return &Detector{
-		locks: event.NewLockTracker(),
+		locks: event.NewLockTrackerInterned(event.NewInterner()),
 		locs:  make(map[event.Loc]*locState),
 		objs:  make(map[event.ObjID]struct{}),
 	}
@@ -138,7 +138,9 @@ func (d *Detector) Access(a event.Access) {
 			return
 		}
 		// First second-thread access: initialize the candidate set.
-		ls.candidate = held.Clone()
+		// held is an interned canonical set and never mutated, so it
+		// can be stored without a defensive copy.
+		ls.candidate = held
 		if a.Kind == event.Write {
 			ls.state = SharedModified
 		} else {
@@ -155,7 +157,7 @@ func (d *Detector) Access(a event.Access) {
 
 	if ls.state == SharedModified && len(ls.candidate) == 0 && !ls.reported {
 		ls.reported = true
-		a.Locks = held.Clone()
+		a.Locks = held
 		d.reports = append(d.reports, Report{Access: a, State: ls.state})
 		d.objs[a.Loc.Obj] = struct{}{}
 	}

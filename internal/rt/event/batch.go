@@ -1,0 +1,152 @@
+// Per-thread access batching: instead of calling Sink.Access once per
+// executed trace instruction, the interpreter appends accesses to
+// fixed-size per-thread buffers and hands whole batches to the sink.
+//
+// The equivalence argument is structural: a buffer only ever holds a
+// run of consecutive accesses by one thread, and it is flushed before
+// any other sink callback (monitor, lifecycle, join) and before a
+// different thread's access is appended. The downstream sink therefore
+// observes exactly the event sequence it would have seen unbatched —
+// batching changes call granularity, never order. Because every lock
+// operation forces a flush, all accesses in one batch were executed
+// under the same lock environment, which is what lets batch-aware
+// detectors materialize the (interned) lockset once per batch instead
+// of once per access.
+package event
+
+// BatchSink is implemented by sinks that can consume a run of
+// consecutive accesses by a single thread in one call. All accesses in
+// the batch share the thread and the lock environment (flushes are
+// forced on every monitor and lifecycle event).
+type BatchSink interface {
+	Sink
+	AccessBatch(batch []Access)
+}
+
+// AccessBatch implements BatchSink for MultiSink: batch-aware children
+// receive the whole batch, the rest receive the accesses one by one —
+// in both cases in original order.
+func (m MultiSink) AccessBatch(batch []Access) {
+	for _, s := range m {
+		if bs, ok := s.(BatchSink); ok {
+			bs.AccessBatch(batch)
+			continue
+		}
+		for _, a := range batch {
+			s.Access(a)
+		}
+	}
+}
+
+// AccessBatch implements BatchSink.
+func (NullSink) AccessBatch(batch []Access) {}
+
+// DefaultBatchSize is the per-thread buffer capacity used when batching
+// is requested without an explicit size.
+const DefaultBatchSize = 128
+
+// Batcher wraps a sink with per-thread access batching. It implements
+// Sink itself; the owner (the interpreter) must additionally call
+// Flush at context switches and when the run ends.
+type Batcher struct {
+	sink  Sink
+	batch BatchSink // non-nil when sink is batch-aware
+	size  int
+	bufs  [][]Access // per thread, lazily sized; at most one non-empty
+	live  ThreadID   // thread owning the single non-empty buffer
+	any   bool       // some buffer is non-empty
+}
+
+// NewBatcher wraps sink; size <= 0 selects DefaultBatchSize.
+func NewBatcher(sink Sink, size int) *Batcher {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	b := &Batcher{sink: sink, size: size}
+	if bs, ok := sink.(BatchSink); ok {
+		b.batch = bs
+	}
+	return b
+}
+
+var _ BatchSink = (*Batcher)(nil)
+
+func (b *Batcher) buf(t ThreadID) *[]Access {
+	for int(t) >= len(b.bufs) {
+		b.bufs = append(b.bufs, nil)
+	}
+	return &b.bufs[t]
+}
+
+// Flush delivers every buffered access downstream, preserving order.
+func (b *Batcher) Flush() {
+	if !b.any {
+		return
+	}
+	b.any = false
+	buf := &b.bufs[b.live]
+	if b.batch != nil {
+		b.batch.AccessBatch(*buf)
+	} else {
+		for _, a := range *buf {
+			b.sink.Access(a)
+		}
+	}
+	*buf = (*buf)[:0]
+}
+
+// Access implements Sink: append to t's buffer, flushing another
+// thread's pending run first so global order is preserved.
+func (b *Batcher) Access(a Access) {
+	if b.any && b.live != a.Thread {
+		b.Flush()
+	}
+	buf := b.buf(a.Thread)
+	if *buf == nil {
+		*buf = make([]Access, 0, b.size)
+	}
+	*buf = append(*buf, a)
+	b.live = a.Thread
+	b.any = true
+	if len(*buf) >= b.size {
+		b.Flush()
+	}
+}
+
+// AccessBatch implements BatchSink (an already-batched producer short-
+// circuits through, after flushing pending accesses).
+func (b *Batcher) AccessBatch(batch []Access) {
+	for _, a := range batch {
+		b.Access(a)
+	}
+}
+
+// ThreadStarted implements Sink.
+func (b *Batcher) ThreadStarted(child, parent ThreadID) {
+	b.Flush()
+	b.sink.ThreadStarted(child, parent)
+}
+
+// ThreadFinished implements Sink.
+func (b *Batcher) ThreadFinished(t ThreadID) {
+	b.Flush()
+	b.sink.ThreadFinished(t)
+}
+
+// Joined implements Sink.
+func (b *Batcher) Joined(joiner, joinee ThreadID) {
+	b.Flush()
+	b.sink.Joined(joiner, joinee)
+}
+
+// MonitorEnter implements Sink.
+func (b *Batcher) MonitorEnter(t ThreadID, lock ObjID, depth int) {
+	b.Flush()
+	b.sink.MonitorEnter(t, lock, depth)
+}
+
+// MonitorExit implements Sink.
+func (b *Batcher) MonitorExit(t ThreadID, lock ObjID, depth int) {
+	b.Flush()
+	b.sink.MonitorExit(t, lock, depth)
+}

@@ -244,6 +244,11 @@ type Access struct {
 	Loc    Loc
 	Thread ThreadID
 	Locks  Lockset
+	// LockID is the interned identity of Locks when the producing
+	// detector back end interns locksets (LockID and Locks are then set
+	// together and Locks is the interner's immutable canonical slice).
+	// Zero-valued events carry the empty lockset, consistently.
+	LockID LocksetID
 	Kind   Kind
 	Pos    token.Pos
 	// FieldName is the human-readable location name ("Class.field" or
@@ -378,6 +383,8 @@ func (NullSink) Access(a Access) {}
 type LockTracker struct {
 	stacks [][]ObjID // per thread: acquisition order, outermost first
 	sorted []Lockset // memoized canonical lockset; nil = stale
+	ids    []LocksetID
+	intern *Interner // nil: Held allocates fresh canonical sets
 }
 
 // NewLockTracker returns an empty tracker.
@@ -385,10 +392,19 @@ func NewLockTracker() *LockTracker {
 	return &LockTracker{}
 }
 
+// NewLockTrackerInterned returns a tracker that materializes locksets
+// through it: Held returns the interner's immutable canonical slice
+// (allocation-free after the first sight of each lockset) and HeldID
+// returns its dense identity.
+func NewLockTrackerInterned(it *Interner) *LockTracker {
+	return &LockTracker{intern: it}
+}
+
 func (lt *LockTracker) grow(t ThreadID) {
 	for int(t) >= len(lt.stacks) {
 		lt.stacks = append(lt.stacks, nil)
 		lt.sorted = append(lt.sorted, nil)
+		lt.ids = append(lt.ids, EmptyLocksetID)
 	}
 }
 
@@ -443,10 +459,19 @@ func (lt *LockTracker) remove(t ThreadID, lock ObjID) {
 
 // Held returns the canonical lockset currently held by t. The result
 // is memoized until the lock environment changes; callers must not
-// mutate it.
+// mutate it. With an interner attached, the result is the interner's
+// immutable canonical slice — repeated lock environments allocate
+// nothing.
 func (lt *LockTracker) Held(t ThreadID) Lockset {
 	lt.grow(t)
 	if ls := lt.sorted[t]; ls != nil {
+		return ls
+	}
+	if lt.intern != nil {
+		id := lt.intern.Intern(lt.stacks[t])
+		lt.ids[t] = id
+		ls := lt.intern.Lockset(id)
+		lt.sorted[t] = ls
 		return ls
 	}
 	ls := NewLockset(lt.stacks[t]...)
@@ -455,6 +480,16 @@ func (lt *LockTracker) Held(t ThreadID) Lockset {
 	}
 	lt.sorted[t] = ls
 	return ls
+}
+
+// HeldID returns the interned identity of t's current lockset. The
+// tracker must have been built with NewLockTrackerInterned.
+func (lt *LockTracker) HeldID(t ThreadID) LocksetID {
+	lt.grow(t)
+	if lt.sorted[t] == nil {
+		lt.Held(t)
+	}
+	return lt.ids[t]
 }
 
 // Stack returns t's lock acquisition stack, outermost first; callers

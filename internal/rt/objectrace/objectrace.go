@@ -52,7 +52,7 @@ var _ event.Sink = (*Detector)(nil)
 // New returns an empty object-race detector.
 func New() *Detector {
 	return &Detector{
-		locks: event.NewLockTracker(),
+		locks: event.NewLockTrackerInterned(event.NewInterner()),
 		objs:  make(map[event.ObjID]*objState),
 		racy:  make(map[event.ObjID]struct{}),
 	}
@@ -104,7 +104,8 @@ func (d *Detector) Access(a event.Access) {
 			return
 		}
 		st.shared = true
-		st.candidate = d.locks.Held(a.Thread).Clone()
+		// Interned tracker: Held returns an immutable canonical set.
+		st.candidate = d.locks.Held(a.Thread)
 		st.anyWrite = a.Kind == event.Write
 	} else {
 		st.candidate = st.candidate.Intersect(d.locks.Held(a.Thread))
@@ -112,7 +113,7 @@ func (d *Detector) Access(a event.Access) {
 	}
 	if st.anyWrite && len(st.candidate) == 0 && !st.reported {
 		st.reported = true
-		a.Locks = d.locks.Held(a.Thread).Clone()
+		a.Locks = d.locks.Held(a.Thread)
 		d.reports = append(d.reports, Report{Obj: obj, Access: a})
 		d.racy[obj] = struct{}{}
 	}

@@ -256,7 +256,7 @@ func (p RacePair) String() string {
 // pseudolocks. maxPairs bounds the output (0 = unlimited).
 func FullRace(r io.Reader, maxPairs int) ([]RacePair, error) {
 	collector := &fullRaceSink{
-		locks:    event.NewLockTracker(),
+		locks:    event.NewLockTrackerInterned(event.NewInterner()),
 		history:  make(map[event.Loc][]event.Access),
 		maxPairs: maxPairs,
 	}
@@ -284,7 +284,10 @@ func (f *fullRaceSink) MonitorExit(t event.ThreadID, l event.ObjID, d int) {
 }
 
 func (f *fullRaceSink) Access(a event.Access) {
-	a.Locks = f.locks.Held(a.Thread).Clone()
+	// The interned tracker hands out immutable canonical locksets, so
+	// the access can keep a reference without copying; every identical
+	// lockset in the history then shares one backing array.
+	a.Locks = f.locks.Held(a.Thread)
 	for _, prev := range f.history[a.Loc] {
 		if event.IsRace(prev, a) {
 			if f.maxPairs > 0 && len(f.pairs) >= f.maxPairs {

@@ -23,6 +23,11 @@ type Packed struct {
 	tries map[event.ObjID]*pnode
 	stats Stats
 	locs  map[event.Loc]struct{}
+
+	// intern/pathBuf mirror the per-location Detector: interned report
+	// locksets and a reusable traversal path scratch.
+	intern  *event.Interner
+	pathBuf event.Lockset
 }
 
 // pnode is a packed trie node: one lockset path, many locations.
@@ -77,9 +82,20 @@ func (n *pnode) slot(s int32) (slotState, bool) {
 // NewPacked returns an empty packed detector.
 func NewPacked() *Packed {
 	return &Packed{
-		tries: make(map[event.ObjID]*pnode),
-		locs:  make(map[event.Loc]struct{}),
+		tries:   make(map[event.ObjID]*pnode),
+		locs:    make(map[event.Loc]struct{}),
+		pathBuf: make(event.Lockset, 0, 64),
 	}
+}
+
+// SetInterner attaches a lockset interner (see Detector.SetInterner).
+func (d *Packed) SetInterner(it *event.Interner) { d.intern = it }
+
+func (d *Packed) priorLocks(path event.Lockset) event.Lockset {
+	if d.intern != nil {
+		return d.intern.Lockset(d.intern.Intern(path))
+	}
+	return path.Clone()
 }
 
 // Stats returns the work counters.
@@ -128,7 +144,7 @@ func (d *Packed) Process(e event.Access) (bool, RaceInfo) {
 
 	d.stats.RaceChecks++
 	race, info := false, RaceInfo{}
-	d.raceCheck(root, nil, slot, e, &race, &info)
+	d.raceCheck(root, d.pathBuf[:0], slot, e, &race, &info)
 	d.update(root, slot, e)
 	if race {
 		d.stats.Races++
@@ -164,7 +180,7 @@ func (d *Packed) raceCheck(n *pnode, path event.Lockset, slot int32, e event.Acc
 			*race = true
 			*info = RaceInfo{
 				PriorThread: st.thread,
-				PriorLocks:  path.Clone(),
+				PriorLocks:  d.priorLocks(path),
 				PriorKind:   st.kind,
 			}
 			return
@@ -205,7 +221,7 @@ func (d *Packed) update(root *pnode, slot int32, e event.Access) {
 	// Prune stronger entries of the same slot.
 	cur := n.slots[slot]
 	weak := event.Access{Loc: e.Loc, Thread: cur.thread, Locks: e.Locks, Kind: cur.kind}
-	d.prune(root, nil, slot, weak, n)
+	d.prune(root, d.pathBuf[:0], slot, weak, n)
 	d.sweep(root)
 }
 

@@ -137,6 +137,12 @@ type Detector struct {
 	// access" (t⊥, WRITE, ∅). See node.collapsed.
 	maxNodes  int
 	liveNodes int
+
+	// intern, when set, supplies immutable canonical locksets for race
+	// reports so PriorLocks needs no defensive clone. pathBuf is the
+	// reusable traversal scratch for raceCheck/prune paths.
+	intern  *event.Interner
+	pathBuf event.Lockset
 }
 
 // New returns an empty detector with the paper's configuration.
@@ -144,7 +150,23 @@ func New() *Detector {
 	return &Detector{
 		tries:   make(map[event.Loc]*node),
 		UseTBot: true,
+		pathBuf: make(event.Lockset, 0, 64),
 	}
+}
+
+// SetInterner attaches a lockset interner. Reported PriorLocks are
+// then interned canonical slices (immutable, shared) instead of
+// per-report clones.
+func (d *Detector) SetInterner(it *event.Interner) { d.intern = it }
+
+// priorLocks materializes a traversal path for a race report. The
+// traversal scratch buffer is reused across events, so the escaping
+// copy must be either interned or cloned.
+func (d *Detector) priorLocks(path event.Lockset) event.Lockset {
+	if d.intern != nil {
+		return d.intern.Lockset(d.intern.Intern(path))
+	}
+	return path.Clone()
 }
 
 // NewNoTBot returns a detector that keeps exact thread sets per node
@@ -226,7 +248,7 @@ func (d *Detector) Process(e event.Access) (bool, RaceInfo) {
 	// 2. Race check.
 	d.stats.RaceChecks++
 	race, info := false, RaceInfo{}
-	d.raceCheck(root, nil, e, &race, &info)
+	d.raceCheck(root, d.pathBuf[:0], e, &race, &info)
 
 	// 3. Update and prune.
 	d.update(root, e)
@@ -345,7 +367,7 @@ func (d *Detector) raceCheck(n *node, path event.Lockset, e event.Access, race *
 			*race = true
 			*info = RaceInfo{
 				PriorThread: d.reportableThread(n, e.Thread),
-				PriorLocks:  path.Clone(),
+				PriorLocks:  d.priorLocks(path),
 				PriorKind:   n.kind,
 			}
 			return
@@ -412,7 +434,7 @@ func (d *Detector) update(root *node, e event.Access) {
 	// reachable from root via supersets — we walk the whole trie and
 	// match Definition 2 per node.
 	weak := event.Access{Loc: e.Loc, Thread: n.thread, Locks: e.Locks, Kind: n.kind}
-	d.prune(root, nil, weak, n)
+	d.prune(root, d.pathBuf[:0], weak, n)
 	d.sweep(root)
 }
 

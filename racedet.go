@@ -143,6 +143,16 @@ type Options struct {
 	MaxTrieNodes      int
 	MaxCacheThreads   int
 	MaxOwnerLocations int
+
+	// Shards, when > 1, runs detection on that many location-sharded
+	// worker goroutines. Race reports are merged deterministically and
+	// match the serial back end byte for byte (for unbounded detector
+	// memory). Only the trie detector honors it.
+	Shards int
+	// BatchSize, when > 0, buffers access events per thread and hands
+	// them to the detector in batches of up to this size; event order
+	// and reports are unchanged.
+	BatchSize int
 }
 
 func (o Options) config() core.Config {
@@ -173,6 +183,8 @@ func (o Options) config() core.Config {
 	cfg.MaxTrieNodes = o.MaxTrieNodes
 	cfg.MaxCacheThreads = o.MaxCacheThreads
 	cfg.MaxOwnerLocations = o.MaxOwnerLocations
+	cfg.Shards = o.Shards
+	cfg.BatchSize = o.BatchSize
 	switch o.Detector {
 	case Eraser:
 		cfg.Detector = core.DetEraser
