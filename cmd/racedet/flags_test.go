@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestCLIFlagValidation pins the usage-error contract: explicit
+// nonsense values for the back-end flags are rejected up front with a
+// clear message on stderr and exit code 3, before any compilation or
+// execution happens.
+func TestCLIFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	prog := writeProg(t, racyProg)
+
+	cases := []struct {
+		name string
+		args []string
+		want string // substring required on stderr
+	}{
+		{"shards zero", []string{"-shards", "0", prog}, "-shards must be >= 1"},
+		{"shards negative", []string{"-shards", "-4", prog}, "-shards must be >= 1"},
+		{"batch zero", []string{"-batch", "0", prog}, "-batch must be >= 1"},
+		{"batch negative", []string{"-shards", "2", "-batch", "-8", prog}, "-batch must be >= 1"},
+		{"journal negative", []string{"-shards", "2", "-journal", "-1", prog}, "-journal must be >= 0"},
+		{"retry budget negative", []string{"-shards", "2", "-retry-budget", "-1", prog}, "-retry-budget must be >= 0"},
+		{"inject without shards", []string{"-inject", "panic:shard=0,event=1", prog}, "-inject targets the sharded back end"},
+		{"inject bad spec", []string{"-shards", "2", "-inject", "panic:shard=0", prog}, "fault"},
+		{"unknown flag", []string{"-no-such-flag", prog}, "flag"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, tc.args...).CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("expected a usage failure, got err=%v\n%s", err, out)
+			}
+			if ee.ExitCode() != exitInternal {
+				t.Fatalf("exit = %d, want %d (usage error)\n%s", ee.ExitCode(), exitInternal, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+
+	// Defaults stay legal: not passing the flags at all must not trip
+	// the explicit-value validation.
+	if out, err := exec.Command(bin, "-q", prog).CombinedOutput(); err != nil {
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != exitRaces {
+			t.Fatalf("default flags: exit = %v, want %d\n%s", err, exitRaces, out)
+		}
+	}
+}
+
+// TestCLIInjectSmoke runs the fault-injection path end to end: a
+// worker panic is injected mid-stream, the supervisor recovers, and
+// the race is still reported exactly as without the fault.
+func TestCLIInjectSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	prog := writeProg(t, racyProg)
+
+	// Recovered run: same verdict and report as an undisturbed one.
+	out, err := exec.Command(bin, "-q", "-stats", "-shards", "2",
+		"-inject", "panic:shard=*,event=1", prog).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != exitRaces {
+		t.Fatalf("recovered run exit = %v, want %d\n%s", err, exitRaces, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "datarace on Data.f") {
+		t.Errorf("recovered run lost the race report:\n%s", text)
+	}
+	if !strings.Contains(text, "recovery:") || !strings.Contains(text, "restarts=1") {
+		t.Errorf("-stats missing the recovery line:\n%s", text)
+	}
+
+	// Budget-zero run: the shard degrades but the analysis completes.
+	out, err = exec.Command(bin, "-q", "-stats", "-shards", "2", "-retry-budget", "0",
+		"-inject", "panic:shard=*,event=1", prog).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != exitRaces {
+		t.Fatalf("degraded run exit = %v, want %d (analysis must survive)\n%s", err, exitRaces, out)
+	}
+	if !strings.Contains(string(out), "degradedShards=1") {
+		t.Errorf("degraded run missing the degradation counter:\n%s", out)
+	}
+}

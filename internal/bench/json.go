@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"racedet/internal/core"
+	"racedet/internal/rt/detector"
 )
 
 // JSONResult is one (benchmark, configuration) measurement in the
@@ -22,6 +23,17 @@ type JSONResult struct {
 	AllocsPerOp int64  `json:"allocs_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
 	RacyObjects int    `json:"racy_objects"`
+
+	// Fault-tolerance counters of the supervised sharded configuration
+	// (last run of the measurement; omitted when zero). Checkpoints and
+	// JournaledEvents are the insurance overhead; the rest should stay
+	// zero in an undisturbed benchmark run.
+	Checkpoints     uint64 `json:"checkpoints,omitempty"`
+	JournaledEvents uint64 `json:"journaled_events,omitempty"`
+	WorkerRestarts  uint64 `json:"worker_restarts,omitempty"`
+	DegradedShards  int    `json:"degraded_shards,omitempty"`
+	DroppedEvents   uint64 `json:"dropped_events,omitempty"`
+	QueueHighWater  int    `json:"queue_high_water,omitempty"`
 }
 
 // JSONReport is the top-level structure of the bench JSON artifact
@@ -31,41 +43,73 @@ type JSONReport struct {
 	Results []JSONResult `json:"results"`
 }
 
+// JSONOptions parameterizes the parallel variants of the measured
+// matrix. The zero value selects the defaults (4 shards, batch 64,
+// journal 4096, retry budget 3).
+type JSONOptions struct {
+	Shards      int
+	BatchSize   int
+	JournalCap  int
+	RetryBudget int
+}
+
+func (o JSONOptions) withDefaults() JSONOptions {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	if o.JournalCap <= 0 {
+		o.JournalCap = 4096
+	}
+	if o.RetryBudget < 0 {
+		o.RetryBudget = 3
+	}
+	return o
+}
+
 // jsonConfigs is the measured matrix: the paper's Table 2 ablations
 // plus the parallel back-end variants introduced with the sharded
-// detector.
-func jsonConfigs() []struct {
+// detector and the supervised (fault-tolerant) configuration, which
+// quantifies the journaling/checkpointing insurance premium.
+func jsonConfigs(o JSONOptions) []struct {
 	Name string
 	Cfg  core.Config
 } {
+	o = o.withDefaults()
 	configs := Table2Configs()
 	sharded := core.Full()
-	sharded.Shards = 4
+	sharded.Shards = o.Shards
 	batched := core.Full()
-	batched.BatchSize = 64
+	batched.BatchSize = o.BatchSize
 	both := core.Full()
-	both.Shards = 4
-	both.BatchSize = 64
+	both.Shards = o.Shards
+	both.BatchSize = o.BatchSize
+	supervised := both
+	supervised.JournalCap = o.JournalCap
+	supervised.RetryBudget = o.RetryBudget
+	add := func(name string, cfg core.Config) struct {
+		Name string
+		Cfg  core.Config
+	} {
+		return struct {
+			Name string
+			Cfg  core.Config
+		}{name, cfg}
+	}
 	return append(configs,
-		struct {
-			Name string
-			Cfg  core.Config
-		}{"FullSharded4", sharded},
-		struct {
-			Name string
-			Cfg  core.Config
-		}{"FullBatched64", batched},
-		struct {
-			Name string
-			Cfg  core.Config
-		}{"FullSharded4Batched64", both},
+		add(fmt.Sprintf("FullSharded%d", o.Shards), sharded),
+		add(fmt.Sprintf("FullBatched%d", o.BatchSize), batched),
+		add(fmt.Sprintf("FullSharded%dBatched%d", o.Shards, o.BatchSize), both),
+		add("FullSupervised", supervised),
 	)
 }
 
 // WriteJSON measures every CPU-bound benchmark under the JSON config
 // matrix with the testing package's benchmark driver and writes the
 // report to w.
-func WriteJSON(w io.Writer) error {
+func WriteJSON(w io.Writer, opts JSONOptions) error {
 	rep := JSONReport{
 		Note: "racebench machine-readable results; regenerate with: racebench -json <path>",
 	}
@@ -73,12 +117,13 @@ func WriteJSON(w io.Writer) error {
 		if !b.CPUBound {
 			continue
 		}
-		for _, c := range jsonConfigs() {
+		for _, c := range jsonConfigs(opts) {
 			pipe, err := core.Compile(b.Name+".mj", b.Source(), c.Cfg)
 			if err != nil {
 				return fmt.Errorf("bench %s/%s: %w", b.Name, c.Name, err)
 			}
 			var racy int
+			var rec detector.RecoveryStats
 			var runErr error
 			br := testing.Benchmark(func(tb *testing.B) {
 				tb.ReportAllocs()
@@ -93,20 +138,27 @@ func WriteJSON(w io.Writer) error {
 						tb.FailNow()
 					}
 					racy = len(rr.RacyObjects)
+					rec = rr.DetectorStats.Recovery
 				}
 			})
 			if runErr != nil {
 				return fmt.Errorf("bench %s/%s: %w", b.Name, c.Name, runErr)
 			}
 			rep.Results = append(rep.Results, JSONResult{
-				Benchmark:   b.Name,
-				Config:      c.Name,
-				Shards:      c.Cfg.Shards,
-				BatchSize:   c.Cfg.BatchSize,
-				NsPerOp:     br.NsPerOp(),
-				AllocsPerOp: br.AllocsPerOp(),
-				BytesPerOp:  br.AllocedBytesPerOp(),
-				RacyObjects: racy,
+				Benchmark:       b.Name,
+				Config:          c.Name,
+				Shards:          c.Cfg.Shards,
+				BatchSize:       c.Cfg.BatchSize,
+				NsPerOp:         br.NsPerOp(),
+				AllocsPerOp:     br.AllocsPerOp(),
+				BytesPerOp:      br.AllocedBytesPerOp(),
+				RacyObjects:     racy,
+				Checkpoints:     rec.Checkpoints,
+				JournaledEvents: rec.Journaled,
+				WorkerRestarts:  rec.Restarts,
+				DegradedShards:  rec.DegradedShards,
+				DroppedEvents:   rec.DroppedEvents,
+				QueueHighWater:  rec.QueueHighWater,
 			})
 		}
 	}

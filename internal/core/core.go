@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"racedet/internal/escape"
+	"racedet/internal/faultinject"
 	"racedet/internal/icfg"
 	"racedet/internal/instrument"
 	"racedet/internal/interp"
@@ -157,6 +158,28 @@ type Config struct {
 	// the sink chain. Event order — and therefore detection — is
 	// unchanged; see interp.Options.BatchSize.
 	BatchSize int
+
+	// JournalCap enables fault tolerance in the sharded back end: each
+	// shard journals routed messages and checkpoints its state, so a
+	// panicked worker restarts and replays instead of failing the run
+	// (0 = off). Meaningful only with Shards >= 1.
+	JournalCap int
+	// RetryBudget is the number of per-shard restart attempts before a
+	// supervised shard degrades to the Eraser lockset path (0 degrades
+	// on the first panic).
+	RetryBudget int
+	// ShardQueueDepth bounds each router→worker queue in messages
+	// (0 = detector.DefaultQueueDepth).
+	ShardQueueDepth int
+	// DropOnBackpressure drops access batches with accounting instead
+	// of blocking when a shard queue is full (trades exactness for
+	// router latency; see detector.Options.DropOnBackpressure).
+	DropOnBackpressure bool
+	// Faults installs fault-injection hooks on the sharded back end
+	// (tests); FaultSpec is the textual alternative (CLI -inject),
+	// parsed by internal/faultinject. Faults wins when both are set.
+	Faults    detector.FaultInjector
+	FaultSpec string
 }
 
 // Full returns the paper's complete configuration.
@@ -384,6 +407,20 @@ func (p *Pipeline) RunConfig(cfg Config) (*RunResult, error) {
 			MaxOwnerLocations: cfg.MaxOwnerLocations,
 		}
 		if cfg.Shards >= 1 {
+			dopts.JournalCap = cfg.JournalCap
+			dopts.RetryBudget = cfg.RetryBudget
+			dopts.QueueDepth = cfg.ShardQueueDepth
+			dopts.DropOnBackpressure = cfg.DropOnBackpressure
+			dopts.Faults = cfg.Faults
+			if cfg.FaultSpec != "" && dopts.Faults == nil {
+				plan, err := faultinject.Parse(cfg.FaultSpec)
+				if err != nil {
+					return nil, fmt.Errorf("fault injection: %w", err)
+				}
+				if !plan.Empty() {
+					dopts.Faults = plan
+				}
+			}
 			det = detector.NewSharded(dopts, cfg.Shards, cfg.BatchSize)
 		} else {
 			det = detector.New(dopts)

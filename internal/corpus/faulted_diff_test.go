@@ -1,0 +1,180 @@
+package corpus
+
+import (
+	"fmt"
+	"testing"
+
+	"racedet/internal/bench"
+	"racedet/internal/core"
+	"racedet/internal/faultinject"
+)
+
+// faultedConfig is the supervised sharded configuration the recovery
+// differential tests run under: a small journal capacity forces
+// frequent checkpoints so replay exercises both the restore path and
+// the journal-suffix path, and batching keeps the router realistic.
+func faultedConfig(seed int64, faults *faultinject.Plan) core.Config {
+	cfg := core.Full().WithSeed(seed)
+	cfg.Shards = 4
+	cfg.BatchSize = 16
+	cfg.JournalCap = 64
+	cfg.RetryBudget = 3
+	cfg.Faults = faults
+	return cfg
+}
+
+// panicPlan builds a wildcard-shard panic at a seed-chosen event index
+// in [1, ceil(accesses/shards)]. With four shards splitting `accesses`
+// events, the busiest shard processes at least that many (pigeonhole),
+// so the panic is guaranteed to fire on every seed — even on the
+// three-access racy_publish_window idiom — while the seed sweep still
+// covers arbitrary points of the stream.
+func panicPlan(t *testing.T, seed int64, accesses uint64) *faultinject.Plan {
+	t.Helper()
+	limit := (accesses + 3) / 4
+	if limit < 1 {
+		limit = 1
+	}
+	ev := 1 + (uint64(seed)*7919)%limit
+	plan, err := faultinject.Parse(fmt.Sprintf("panic:shard=*,event=%d", ev))
+	if err != nil {
+		t.Fatalf("panic plan: %v", err)
+	}
+	return plan
+}
+
+// TestCorpusFaultInjectedMatchesSerial is the recovery differential
+// test: on every corpus program, under ten seeds, a worker panic at a
+// seed-chosen event index must be invisible in the output — the
+// supervisor restarts the worker, replays the journal suffix, and the
+// merged report stays byte-identical to the serial back end's.
+func TestCorpusFaultInjectedMatchesSerial(t *testing.T) {
+	for _, e := range loadCorpus(t) {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 10; seed++ {
+				serial, err := core.RunSource(e.name+".mj", e.src, core.Full().WithSeed(seed))
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if serial.Err != nil {
+					t.Fatalf("seed %d: runtime: %v", seed, serial.Err)
+				}
+				want := renderReports(serial)
+
+				plan := panicPlan(t, seed, serial.DetectorStats.Accesses)
+				res, err := core.RunSource(e.name+".mj", e.src, faultedConfig(seed, plan))
+				if err != nil {
+					t.Fatalf("seed %d faulted: %v", seed, err)
+				}
+				if res.Err != nil {
+					t.Fatalf("seed %d faulted: runtime: %v", seed, res.Err)
+				}
+				if got := renderReports(res); got != want {
+					t.Errorf("seed %d: faulted run diverges from serial:\n--- serial ---\n%s\n--- faulted ---\n%s",
+						seed, want, got)
+				}
+				if plan.Fired() == 0 {
+					t.Fatalf("seed %d: injected panic never fired (event index past the busiest shard)", seed)
+				}
+				rec := res.DetectorStats.Recovery
+				if rec.Restarts == 0 {
+					t.Errorf("seed %d: panic fired but no worker restart recorded", seed)
+				}
+				if rec.Replayed == 0 {
+					t.Errorf("seed %d: worker restarted without replaying the journal", seed)
+				}
+				if rec.DegradedShards != 0 {
+					t.Errorf("seed %d: shard degraded with retry budget 3: %+v", seed, rec)
+				}
+			}
+		})
+	}
+}
+
+// TestBenchmarksFaultInjectedMatchesSerial extends the recovery
+// differential check to the five paper benchmarks, whose much longer
+// event streams land panics deep into checkpointed history.
+func TestBenchmarksFaultInjectedMatchesSerial(t *testing.T) {
+	seeds := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			src := b.Source()
+			for _, seed := range seeds {
+				serial, err := core.RunSource(b.Name+".mj", src, core.Full().WithSeed(seed))
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if serial.Err != nil {
+					t.Fatalf("seed %d: runtime: %v", seed, serial.Err)
+				}
+				want := renderReports(serial)
+
+				plan := panicPlan(t, seed, serial.DetectorStats.Accesses)
+				res, err := core.RunSource(b.Name+".mj", src, faultedConfig(seed, plan))
+				if err != nil {
+					t.Fatalf("seed %d faulted: %v", seed, err)
+				}
+				if res.Err != nil {
+					t.Fatalf("seed %d faulted: runtime: %v", seed, res.Err)
+				}
+				if got := renderReports(res); got != want {
+					t.Errorf("seed %d: faulted run diverges from serial (%d vs %d reports)",
+						seed, len(res.Reports), len(serial.Reports))
+				}
+				if plan.Fired() == 0 {
+					t.Fatalf("seed %d: injected panic never fired", seed)
+				}
+				if res.DetectorStats.Recovery.Restarts == 0 {
+					t.Errorf("seed %d: panic fired but no worker restart recorded", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusDegradedCompletes pins the never-lose-the-analysis
+// guarantee: with a retry budget of zero every fired panic degrades
+// its shard to the Eraser lockset path, and the run still completes
+// with a report and an honest degradation counter — never an error,
+// never a silently missing shard.
+func TestCorpusDegradedCompletes(t *testing.T) {
+	for _, e := range loadCorpus(t) {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 10; seed++ {
+				serial, err := core.RunSource(e.name+".mj", e.src, core.Full().WithSeed(seed))
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				plan := panicPlan(t, seed, serial.DetectorStats.Accesses)
+				cfg := faultedConfig(seed, plan)
+				cfg.RetryBudget = 0
+				res, err := core.RunSource(e.name+".mj", e.src, cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if res.Err != nil {
+					t.Fatalf("seed %d: degraded run must not fail the analysis: %v", seed, res.Err)
+				}
+				if plan.Fired() == 0 {
+					t.Fatalf("seed %d: injected panic never fired", seed)
+				}
+				rec := res.DetectorStats.Recovery
+				if rec.DegradedShards == 0 {
+					t.Errorf("seed %d: panic fired with budget 0 but no shard degraded: %+v", seed, rec)
+				}
+				if rec.Restarts != 0 {
+					t.Errorf("seed %d: budget 0 must not restart, got %d restarts", seed, rec.Restarts)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,231 @@
+// Package faultinject provides deterministic, seedable fault injection
+// for the sharded detection back end's robustness tests and the CLI
+// -inject flag.
+//
+// A Plan is a set of faults that fire at exact points in a run —
+// "panic on shard 2's 157th access", "treat shard 0's queue as full
+// the first three times", "corrupt shard 1's next checkpoint" — so a
+// failing recovery scenario replays exactly. Plans implement the
+// detector.FaultInjector interface structurally (this package imports
+// no detector code); all trigger state is atomic because the hooks run
+// on the router and every worker goroutine concurrently.
+//
+// The textual spec syntax (CLI -inject, semicolon-separated):
+//
+//	panic:shard=S,event=N        one-shot panic on shard S's N-th access
+//	slow:shard=S,every=K,delay=D sleep D on every K-th access of shard S
+//	queuefull:shard=S,times=T    report shard S's queue full T times
+//	corrupt-checkpoint:shard=S   mark shard S's next checkpoint corrupt
+//
+// shard=* (or shard=any) matches every shard.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// anyShard is the wildcard shard selector.
+const anyShard = -1
+
+type panicFault struct {
+	shard int
+	event uint64
+	done  atomic.Bool
+}
+
+type slowFault struct {
+	shard int
+	every uint64
+	delay time.Duration
+}
+
+type queueFault struct {
+	shard int
+	left  atomic.Int64
+}
+
+type corruptFault struct {
+	shard int
+	done  atomic.Bool
+}
+
+// Plan is a deterministic set of faults; safe for concurrent use.
+type Plan struct {
+	panics   []*panicFault
+	slows    []*slowFault
+	qfulls   []*queueFault
+	corrupts []*corruptFault
+	fired    atomic.Uint64
+}
+
+func match(sel, shard int) bool { return sel == anyShard || sel == shard }
+
+// WorkerEvent implements the worker-side hook: it panics when a panic
+// fault matches (one-shot, so a journaled replay of the same event
+// does not re-fire) and sleeps when a slow fault matches.
+func (p *Plan) WorkerEvent(shard int, n uint64) {
+	for _, f := range p.slows {
+		if match(f.shard, shard) && f.every > 0 && n%f.every == 0 {
+			p.fired.Add(1)
+			time.Sleep(f.delay)
+		}
+	}
+	for _, f := range p.panics {
+		if match(f.shard, shard) && n == f.event && f.done.CompareAndSwap(false, true) {
+			p.fired.Add(1)
+			panic(fmt.Sprintf("faultinject: injected panic on shard %d event %d", shard, n))
+		}
+	}
+}
+
+// QueueFull implements the router-side hook: true while a matching
+// queuefull fault has firings left.
+func (p *Plan) QueueFull(shard int) bool {
+	for _, f := range p.qfulls {
+		if match(f.shard, shard) && f.left.Add(-1) >= 0 {
+			p.fired.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// CorruptCheckpoint implements the checkpoint hook: true once per
+// matching corrupt-checkpoint fault.
+func (p *Plan) CorruptCheckpoint(shard int) bool {
+	for _, f := range p.corrupts {
+		if match(f.shard, shard) && f.done.CompareAndSwap(false, true) {
+			p.fired.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Fired returns how many injections have triggered so far. Tests use
+// it to assert the plan actually disturbed the run (a panic planned
+// past the end of the stream never fires).
+func (p *Plan) Fired() uint64 { return p.fired.Load() }
+
+// Empty reports whether the plan contains no faults at all.
+func (p *Plan) Empty() bool {
+	return len(p.panics) == 0 && len(p.slows) == 0 &&
+		len(p.qfulls) == 0 && len(p.corrupts) == 0
+}
+
+// PanicPlan returns a plan with a single worker panic at a seed-chosen
+// shard and event index in [1, maxEvent]. The corpus differential
+// tests sweep seeds to cover panics at arbitrary points of the stream.
+func PanicPlan(seed int64, shards int, maxEvent uint64) *Plan {
+	r := rand.New(rand.NewSource(seed))
+	if shards < 1 {
+		shards = 1
+	}
+	if maxEvent < 1 {
+		maxEvent = 1
+	}
+	p := &Plan{}
+	p.panics = append(p.panics, &panicFault{
+		shard: r.Intn(shards),
+		event: 1 + uint64(r.Int63n(int64(maxEvent))),
+	})
+	return p
+}
+
+// Parse builds a Plan from the textual spec syntax documented at the
+// top of the package. An empty spec yields an empty plan.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, argstr, _ := strings.Cut(part, ":")
+		args, err := parseArgs(argstr)
+		if err != nil {
+			return nil, fmt.Errorf("fault %q: %w", part, err)
+		}
+		shard, err := args.shard()
+		if err != nil {
+			return nil, fmt.Errorf("fault %q: %w", part, err)
+		}
+		switch kind {
+		case "panic":
+			n, err := args.uintArg("event")
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: %w", part, err)
+			}
+			p.panics = append(p.panics, &panicFault{shard: shard, event: n})
+		case "slow":
+			every, err := args.uintArg("every")
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: %w", part, err)
+			}
+			d, err := time.ParseDuration(args["delay"])
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: bad delay: %w", part, err)
+			}
+			p.slows = append(p.slows, &slowFault{shard: shard, every: every, delay: d})
+		case "queuefull":
+			times, err := args.uintArg("times")
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: %w", part, err)
+			}
+			f := &queueFault{shard: shard}
+			f.left.Store(int64(times))
+			p.qfulls = append(p.qfulls, f)
+		case "corrupt-checkpoint":
+			p.corrupts = append(p.corrupts, &corruptFault{shard: shard})
+		default:
+			return nil, fmt.Errorf("fault %q: unknown kind %q", part, kind)
+		}
+	}
+	return p, nil
+}
+
+type faultArgs map[string]string
+
+func parseArgs(s string) (faultArgs, error) {
+	args := faultArgs{}
+	if strings.TrimSpace(s) == "" {
+		return args, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("bad argument %q (want key=value)", kv)
+		}
+		args[k] = v
+	}
+	return args, nil
+}
+
+func (a faultArgs) shard() (int, error) {
+	v, ok := a["shard"]
+	if !ok || v == "*" || v == "any" {
+		return anyShard, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad shard %q", v)
+	}
+	return n, nil
+}
+
+func (a faultArgs) uintArg(key string) (uint64, error) {
+	v, ok := a[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %s=", key)
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil || n == 0 {
+		return 0, fmt.Errorf("bad %s %q (want positive integer)", key, v)
+	}
+	return n, nil
+}

@@ -112,6 +112,52 @@ func NewBounded(maxThreads int) *Cache {
 // Stats returns a copy of the work counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// Clone returns a deep copy of the cache layer for checkpointing. The
+// eviction-list pointers of each thread cache point at entries inside
+// that cache's own arrays, so cloning remaps them array-index-wise.
+func (c *Cache) Clone() *Cache {
+	nc := &Cache{
+		threads:    make([]*threadCache, len(c.threads)),
+		stats:      c.stats,
+		maxThreads: c.maxThreads,
+		tick:       c.tick,
+		live:       c.live,
+	}
+	for i, tc := range c.threads {
+		if tc != nil {
+			nc.threads[i] = tc.clone()
+		}
+	}
+	return nc
+}
+
+func (tc *threadCache) clone() *threadCache {
+	nt := &threadCache{
+		read:    tc.read,
+		write:   tc.write,
+		lastUse: tc.lastUse,
+		lists:   make(map[event.ObjID]*entry, len(tc.lists)),
+	}
+	// Entry pointers (prev/next and list heads) always target entries
+	// embedded in this thread cache's read/write arrays; map each old
+	// address to its same-index counterpart in the copy (nil → nil).
+	remap := make(map[*entry]*entry, 2*Size)
+	for i := range tc.read {
+		remap[&tc.read[i]] = &nt.read[i]
+		remap[&tc.write[i]] = &nt.write[i]
+	}
+	for i := range nt.read {
+		nt.read[i].prev = remap[nt.read[i].prev]
+		nt.read[i].next = remap[nt.read[i].next]
+		nt.write[i].prev = remap[nt.write[i].prev]
+		nt.write[i].next = remap[nt.write[i].next]
+	}
+	for lock, head := range tc.lists {
+		nt.lists[lock] = remap[head]
+	}
+	return nt
+}
+
 // index is the direct-mapped hash: multiply by a odd constant and take
 // the upper bits (the paper multiplies the 32-bit address by a
 // constant and keeps the upper 16 bits; we fold object ID and slot).

@@ -29,15 +29,21 @@
 package detector
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"racedet/internal/rt/cache"
 	"racedet/internal/rt/event"
+	"racedet/internal/rt/journal"
 	"racedet/internal/rt/ownership"
 	"racedet/internal/rt/trie"
 )
+
+// DefaultQueueDepth is the per-shard router→worker queue capacity in
+// messages when Options.QueueDepth is zero.
+const DefaultQueueDepth = 8
 
 // Backend is what the pipeline needs from a detection back end; both
 // the serial Detector and Sharded satisfy it.
@@ -94,18 +100,27 @@ type shardReport struct {
 // worker owns one shard's detector stack. All fields are goroutine-
 // local; the router communicates only through ch.
 type worker struct {
-	idx   int
-	opts  Options
-	ch    chan shardMsg
-	cache *cache.Cache
-	owner *ownership.Table
-	trie  history
-	stats Stats
+	idx     int
+	nshards int
+	opts    Options
+	ch      chan shardMsg
+	cache   *cache.Cache
+	owner   *ownership.Table
+	trie    history
+	stats   Stats
 
 	reports     []shardReport
 	reportedLoc map[event.Loc]struct{}
 	reportedObj map[event.ObjID]struct{}
 	err         error
+
+	// Supervision state (see supervise.go); journal is nil when
+	// Options.JournalCap == 0 and the worker runs unsupervised.
+	journal  *journal.Log[shardMsg]
+	ckpt     journal.Checkpoint[workerSnapshot]
+	events   uint64 // accesses processed, the fault-hook index
+	rec      RecoveryStats
+	degraded *degradedShard // non-nil once the shard fell back to Eraser
 }
 
 // Sharded is the parallel Backend. It implements event.Sink (and
@@ -121,8 +136,15 @@ type Sharded struct {
 	locks  *event.LockTracker
 	seq    uint64
 
-	wg        sync.WaitGroup
-	finalized bool
+	// Router-side backpressure accounting (producer goroutine only
+	// until finalize merges it into stats.Recovery).
+	depthHigh []int // per-shard queue high-water mark
+	dropped   uint64
+	droppedEv uint64
+	stalls    uint64
+
+	wg  sync.WaitGroup
+	fin sync.Once
 
 	reports []Report
 	objs    []event.ObjID
@@ -145,45 +167,27 @@ func NewSharded(opts Options, n, batchSize int) *Sharded {
 	}
 	it := event.NewInterner()
 	s := &Sharded{
-		opts:    opts,
-		pending: make([][]shardAccess, n),
-		batch:   batchSize,
-		intern:  it,
-		locks:   event.NewLockTrackerInterned(it),
+		opts:      opts,
+		pending:   make([][]shardAccess, n),
+		batch:     batchSize,
+		intern:    it,
+		locks:     event.NewLockTrackerInterned(it),
+		depthHigh: make([]int, n),
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
 	}
 	for i := 0; i < n; i++ {
 		w := &worker{
-			idx:         i,
-			opts:        opts,
-			ch:          make(chan shardMsg, 8),
-			cache:       cache.New(),
-			owner:       ownership.New(),
-			reportedLoc: make(map[event.Loc]struct{}),
-			reportedObj: make(map[event.ObjID]struct{}),
+			idx:     i,
+			nshards: n,
+			opts:    opts,
+			ch:      make(chan shardMsg, depth),
 		}
-		if opts.MaxCacheThreads > 0 {
-			w.cache = cache.NewBounded(opts.MaxCacheThreads)
-		}
-		if opts.MaxOwnerLocations > 0 {
-			w.owner = ownership.NewBounded(splitBudget(opts.MaxOwnerLocations, n))
-		}
-		switch {
-		case opts.PackedTrie:
-			w.trie = trie.NewPacked()
-		case opts.NoTBot:
-			w.trie = trie.NewNoTBot()
-		case opts.MaxTrieNodes > 0:
-			w.trie = trie.NewBounded(splitBudget(opts.MaxTrieNodes, n))
-		default:
-			w.trie = trie.New()
-		}
-		if st, ok := w.trie.(interface {
-			SetInterner(*event.Interner)
-		}); ok {
-			// Worker-local interner: workers must never touch the
-			// router's intern table, which the producer goroutine keeps
-			// mutating.
-			st.SetInterner(event.NewInterner())
+		w.freshState()
+		if opts.JournalCap > 0 {
+			w.journal = journal.New[shardMsg](opts.JournalCap)
 		}
 		s.pending[i] = make([]shardAccess, 0, batchSize)
 		s.workers = append(s.workers, w)
@@ -191,6 +195,41 @@ func NewSharded(opts Options, n, batchSize int) *Sharded {
 		go w.run(&s.wg)
 	}
 	return s
+}
+
+// freshState (re)builds the worker's empty detector stack; used at
+// construction and when a restart finds no checkpoint to restore.
+func (w *worker) freshState() {
+	w.cache = cache.New()
+	w.owner = ownership.New()
+	w.reportedLoc = make(map[event.Loc]struct{})
+	w.reportedObj = make(map[event.ObjID]struct{})
+	w.reports = nil
+	w.stats = Stats{}
+	w.events = 0
+	if w.opts.MaxCacheThreads > 0 {
+		w.cache = cache.NewBounded(w.opts.MaxCacheThreads)
+	}
+	if w.opts.MaxOwnerLocations > 0 {
+		w.owner = ownership.NewBounded(splitBudget(w.opts.MaxOwnerLocations, w.nshards))
+	}
+	switch {
+	case w.opts.PackedTrie:
+		w.trie = trie.NewPacked()
+	case w.opts.NoTBot:
+		w.trie = trie.NewNoTBot()
+	case w.opts.MaxTrieNodes > 0:
+		w.trie = trie.NewBounded(splitBudget(w.opts.MaxTrieNodes, w.nshards))
+	default:
+		w.trie = trie.New()
+	}
+	if st, ok := w.trie.(interface {
+		SetInterner(*event.Interner)
+	}); ok {
+		// Worker-local interner: workers must never touch the router's
+		// intern table, which the producer goroutine keeps mutating.
+		st.SetInterner(event.NewInterner())
+	}
 }
 
 // splitBudget divides a global memory bound across n shards, never
@@ -205,6 +244,14 @@ func splitBudget(total, n int) int {
 
 func (w *worker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
+	if w.journal != nil {
+		// Supervised: every message is journaled before processing and
+		// a panic restarts the worker from its checkpoint (supervise.go).
+		for msg := range w.ch {
+			w.handleSupervised(msg)
+		}
+		return
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			w.err = fmt.Errorf("detector shard %d: panic: %v", w.idx, r)
@@ -215,22 +262,34 @@ func (w *worker) run(wg *sync.WaitGroup) {
 		}
 	}()
 	for msg := range w.ch {
-		switch msg.kind {
-		case msgBatch:
-			for _, sa := range msg.batch {
-				w.access(sa)
-			}
-		case msgLockReleased:
-			w.cache.LockReleased(msg.thread, msg.lock)
-		case msgThreadFinished:
-			w.cache.ThreadFinished(msg.thread)
+		w.process(msg)
+	}
+}
+
+// process applies one routed message to the shard's detector stack.
+func (w *worker) process(msg shardMsg) {
+	switch msg.kind {
+	case msgBatch:
+		for _, sa := range msg.batch {
+			w.access(sa)
 		}
+	case msgLockReleased:
+		w.cache.LockReleased(msg.thread, msg.lock)
+	case msgThreadFinished:
+		w.cache.ThreadFinished(msg.thread)
 	}
 }
 
 // access replicates Detector.Access with the lock environment already
 // materialized by the router.
 func (w *worker) access(sa shardAccess) {
+	w.events++
+	if f := w.opts.Faults; f != nil {
+		// Fault-injection hook: may sleep (slow worker) or panic. A
+		// panic here is indistinguishable from a detector bug, which is
+		// exactly what the supervision tests need.
+		f.WorkerEvent(w.idx, w.events)
+	}
 	a := sa.a
 	w.stats.Accesses++
 	if !w.opts.NoCache {
@@ -298,7 +357,29 @@ func (s *Sharded) flushShard(i int) {
 	if len(s.pending[i]) == 0 {
 		return
 	}
-	s.workers[i].ch <- shardMsg{kind: msgBatch, batch: s.pending[i]}
+	ch := s.workers[i].ch
+	if d := len(ch); d > s.depthHigh[i] {
+		s.depthHigh[i] = d
+	}
+	full := len(ch) == cap(ch)
+	if f := s.opts.Faults; f != nil && f.QueueFull(i) {
+		full = true
+	}
+	if full {
+		if s.opts.DropOnBackpressure {
+			// Lossy policy: only access batches may be dropped (control
+			// messages keep the caches sound) and every loss is
+			// accounted, so a run can report exactly what it skipped.
+			s.dropped++
+			s.droppedEv += uint64(len(s.pending[i]))
+			s.pending[i] = s.pending[i][:0]
+			return
+		}
+		// Default policy: block until the worker drains. Counted so
+		// operators can see router stalls and resize the queues.
+		s.stalls++
+	}
+	ch <- shardMsg{kind: msgBatch, batch: s.pending[i]}
 	s.pending[i] = make([]shardAccess, 0, s.batch)
 }
 
@@ -385,24 +466,51 @@ func (s *Sharded) MonitorExit(t event.ThreadID, lock event.ObjID, depth int) {
 // results (merge side)
 
 // finalize ends the event stream: flush, close the channels, wait for
-// the workers, and merge their results deterministically. Idempotent;
-// triggered by the first result accessor after the run.
-func (s *Sharded) finalize() {
-	if s.finalized {
-		return
+// the workers, and merge their results deterministically. Idempotent
+// and safe under concurrent result accessors (sync.Once); triggered by
+// the first accessor after the run.
+func (s *Sharded) finalize() { s.fin.Do(s.doFinalize) }
+
+func (s *Sharded) doFinalize() {
+	// Final flush always blocks: the workers are about to drain their
+	// channels to completion, so the send cannot deadlock, and dropping
+	// the tail of the stream under the lossy policy would be pure loss.
+	for i := range s.pending {
+		if len(s.pending[i]) > 0 {
+			s.workers[i].ch <- shardMsg{kind: msgBatch, batch: s.pending[i]}
+			s.pending[i] = nil
+		}
 	}
-	s.finalized = true
-	s.flushAll()
 	for _, w := range s.workers {
 		close(w.ch)
 	}
 	s.wg.Wait()
 
 	var all []shardReport
+	var errs []error
 	objSet := make(map[event.ObjID]struct{})
-	for _, w := range s.workers {
-		if w.err != nil && s.err == nil {
-			s.err = w.err
+	rec := &s.stats.Recovery
+	rec.DroppedBatches = s.dropped
+	rec.DroppedEvents = s.droppedEv
+	rec.BackpressureStalls = s.stalls
+	for i, w := range s.workers {
+		if w.err != nil {
+			errs = append(errs, w.err)
+		}
+		if s.depthHigh[i] > rec.QueueHighWater {
+			rec.QueueHighWater = s.depthHigh[i]
+		}
+		rec.Restarts += w.rec.Restarts
+		rec.Checkpoints += w.rec.Checkpoints
+		rec.CheckpointCorruptions += w.rec.CheckpointCorruptions
+		if w.degraded != nil {
+			rec.DegradedShards++
+		}
+		rec.DegradedEvents += w.rec.DegradedEvents
+		if w.journal != nil {
+			js := w.journal.Stats()
+			rec.Journaled += js.Appended
+			rec.Replayed += js.Replayed
 		}
 		all = append(all, w.reports...)
 		for o := range w.reportedObj {
@@ -419,6 +527,9 @@ func (s *Sharded) finalize() {
 		s.nodes += w.trie.NodeCount()
 		s.locs += w.trie.LocationCount()
 	}
+	// All worker failures are preserved, not just the first: a run that
+	// lost several shards should say so.
+	s.err = errors.Join(errs...)
 	// Sequence order is the serial back end's detection order.
 	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
 	s.reports = make([]Report, len(all))
@@ -491,7 +602,11 @@ func (s *Sharded) TrieLocationCount() int {
 // time, after the interpreter has finished, so it may read the heap.
 func (s *Sharded) SetDescribeObj(fn func(event.ObjID) string) { s.opts.DescribeObj = fn }
 
-// Err implements Backend: the first worker failure, if any.
+// Err implements Backend: every unrecovered worker failure, joined.
+// Supervised shards that recovered (or degraded to the Eraser path)
+// contribute nothing here — the run completed and Stats().Recovery
+// tells the story. Safe under concurrent polling: finalization runs
+// exactly once and s.err is written before the Once releases waiters.
 func (s *Sharded) Err() error {
 	s.finalize()
 	return s.err

@@ -79,20 +79,35 @@ func (b *Batcher) buf(t ThreadID) *[]Access {
 }
 
 // Flush delivers every buffered access downstream, preserving order.
+// A no-op when nothing is buffered: downstream batch sinks never see
+// an empty AccessBatch call.
 func (b *Batcher) Flush() {
 	if !b.any {
 		return
 	}
 	b.any = false
 	buf := &b.bufs[b.live]
+	// The buffer is truncated via defer: if the sink panics mid-
+	// delivery, the run counts as consumed, so a caller that recovers
+	// and keeps going can never re-deliver the prefix the sink already
+	// saw (the fault-tolerant back end journals upstream of us and
+	// re-drives delivery itself).
+	defer func() { *buf = (*buf)[:0] }()
 	if b.batch != nil {
 		b.batch.AccessBatch(*buf)
-	} else {
-		for _, a := range *buf {
-			b.sink.Access(a)
-		}
+		return
 	}
-	*buf = (*buf)[:0]
+	for _, a := range *buf {
+		b.sink.Access(a)
+	}
+}
+
+// Close flushes any buffered accesses. Producers that end early — an
+// interpreter error, a cancelled run — must call it (or Flush) so the
+// tail of the access stream is not silently dropped. Idempotent; the
+// batcher remains usable afterwards.
+func (b *Batcher) Close() {
+	b.Flush()
 }
 
 // Access implements Sink: append to t's buffer, flushing another

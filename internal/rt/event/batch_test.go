@@ -1,0 +1,152 @@
+package event
+
+import (
+	"testing"
+)
+
+// recordingSink captures the delivered event sequence, optionally
+// panicking partway through one AccessBatch delivery.
+type recordingSink struct {
+	accesses []Access
+	batches  int
+
+	panicInBatch int // panic after delivering this many accesses of a batch (0 = never)
+	panicked     bool
+}
+
+func (r *recordingSink) Access(a Access) { r.accesses = append(r.accesses, a) }
+
+func (r *recordingSink) AccessBatch(batch []Access) {
+	r.batches++
+	if len(batch) == 0 {
+		panic("empty AccessBatch delivered")
+	}
+	for i, a := range batch {
+		if r.panicInBatch > 0 && !r.panicked && i == r.panicInBatch {
+			r.panicked = true
+			panic("recordingSink: injected mid-flush failure")
+		}
+		r.accesses = append(r.accesses, a)
+	}
+}
+
+func (r *recordingSink) ThreadStarted(child, parent ThreadID)       {}
+func (r *recordingSink) ThreadFinished(t ThreadID)                  {}
+func (r *recordingSink) Joined(joiner, joinee ThreadID)             {}
+func (r *recordingSink) MonitorEnter(t ThreadID, lock ObjID, d int) {}
+func (r *recordingSink) MonitorExit(t ThreadID, lock ObjID, d int)  {}
+
+func acc(t ThreadID, slot int32) Access {
+	return Access{Loc: Loc{Obj: 1, Slot: slot}, Thread: t, Kind: Write}
+}
+
+// TestBatcherCloseFlushesTail: a producer that stops mid-batch (early
+// Close) must not lose the buffered suffix.
+func TestBatcherCloseFlushesTail(t *testing.T) {
+	sink := &recordingSink{}
+	b := NewBatcher(sink, 8)
+	for i := int32(0); i < 3; i++ {
+		b.Access(acc(0, i))
+	}
+	if len(sink.accesses) != 0 {
+		t.Fatalf("accesses delivered before any flush: %d", len(sink.accesses))
+	}
+	b.Close()
+	if len(sink.accesses) != 3 {
+		t.Fatalf("Close delivered %d accesses, want 3", len(sink.accesses))
+	}
+	// Idempotent: a second Close delivers nothing more.
+	b.Close()
+	if len(sink.accesses) != 3 || sink.batches != 1 {
+		t.Fatalf("second Close re-delivered: %d accesses, %d batches", len(sink.accesses), sink.batches)
+	}
+}
+
+// TestBatcherNoEmptyBatchAtContextSwitch: monitor and lifecycle events
+// force flushes; when nothing is buffered those flushes must not turn
+// into empty AccessBatch deliveries (recordingSink panics on one).
+func TestBatcherNoEmptyBatchAtContextSwitch(t *testing.T) {
+	sink := &recordingSink{}
+	b := NewBatcher(sink, 8)
+	b.MonitorEnter(0, 500, 1) // nothing buffered: flush is a no-op
+	b.Access(acc(0, 0))
+	b.MonitorExit(0, 500, 0) // flushes the single access
+	b.MonitorExit(0, 501, 0) // nothing buffered again
+	b.ThreadFinished(0)
+	if sink.batches != 1 {
+		t.Fatalf("%d batch deliveries, want 1", sink.batches)
+	}
+	if len(sink.accesses) != 1 {
+		t.Fatalf("%d accesses delivered, want 1", len(sink.accesses))
+	}
+}
+
+// TestBatcherThreadSwitchOrdering: interleaved threads produce flushes
+// on every switch, and the delivered order equals program order.
+func TestBatcherThreadSwitchOrdering(t *testing.T) {
+	sink := &recordingSink{}
+	b := NewBatcher(sink, 8)
+	want := []Access{acc(0, 0), acc(0, 1), acc(1, 2), acc(0, 3)}
+	for _, a := range want {
+		b.Access(a)
+	}
+	b.Flush()
+	if len(sink.accesses) != len(want) {
+		t.Fatalf("%d accesses delivered, want %d", len(sink.accesses), len(want))
+	}
+	for i, a := range want {
+		got := sink.accesses[i]
+		if got.Thread != a.Thread || got.Loc != a.Loc {
+			t.Fatalf("access %d = %+v, want %+v", i, got, a)
+		}
+	}
+	if sink.batches != 3 {
+		t.Fatalf("%d batches, want 3 (run per thread switch)", sink.batches)
+	}
+}
+
+// TestBatcherPanicMidFlushNoRedelivery: if the sink fails partway
+// through a batch, the buffered run counts as consumed — a recovering
+// producer's next Flush must not re-deliver the prefix the sink
+// already processed.
+func TestBatcherPanicMidFlushNoRedelivery(t *testing.T) {
+	sink := &recordingSink{panicInBatch: 2}
+	b := NewBatcher(sink, 8)
+	for i := int32(0); i < 4; i++ {
+		b.Access(acc(0, i))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("sink panic did not propagate")
+			}
+		}()
+		b.Flush()
+	}()
+	delivered := len(sink.accesses) // prefix before the failure
+	// The producer recovers and continues with new accesses.
+	b.Access(acc(0, 9))
+	b.Flush()
+	if len(sink.accesses) != delivered+1 {
+		t.Fatalf("after recovery %d accesses, want %d (prefix must not re-deliver)",
+			len(sink.accesses), delivered+1)
+	}
+	if last := sink.accesses[len(sink.accesses)-1]; last.Loc.Slot != 9 {
+		t.Fatalf("last delivered access = %+v, want slot 9", last)
+	}
+}
+
+// TestBatcherSizeTrigger: the buffer flushes exactly when it reaches
+// the configured size.
+func TestBatcherSizeTrigger(t *testing.T) {
+	sink := &recordingSink{}
+	b := NewBatcher(sink, 2)
+	b.Access(acc(0, 0))
+	if sink.batches != 0 {
+		t.Fatal("flushed before reaching size")
+	}
+	b.Access(acc(0, 1))
+	if sink.batches != 1 || len(sink.accesses) != 2 {
+		t.Fatalf("size-2 buffer: %d batches / %d accesses after 2 appends", sink.batches, len(sink.accesses))
+	}
+}

@@ -1,0 +1,136 @@
+// Package journal provides the bounded write-ahead event journal and
+// checkpoint bookkeeping behind the fault-tolerant sharded back end.
+//
+// Each shard worker owns one Log: every routed message is appended to
+// the journal *before* it is processed, so that after a worker panic
+// the shard's state can be reconstructed exactly — restore the last
+// checkpoint snapshot, then replay the journal suffix in order. The
+// journal is bounded: when it reaches capacity the owner must take a
+// checkpoint (a deep snapshot of the downstream state) and truncate,
+// so journal memory never grows with the run and a restart replays at
+// most one journal's worth of messages.
+//
+// The Log is generic over the message type: the detector journals its
+// internal routed-message representation without this package needing
+// to know its shape, and the package stays free of detector imports.
+//
+// A Log is owned by a single goroutine (the shard worker); it is not
+// safe for concurrent use. Checkpoints carry a caller-supplied stamp
+// and an integrity bit so restore paths can detect (injected or real)
+// checkpoint corruption instead of silently replaying onto bad state.
+package journal
+
+// DefaultCap is the journal capacity used when a caller enables
+// journaling without choosing one. Entries are routed messages
+// (typically whole access batches), so the replay window this buys is
+// large while the journal itself stays small.
+const DefaultCap = 4096
+
+// Stats counts journal work for the recovery accounting surfaced in
+// detector statistics.
+type Stats struct {
+	// Appended is the total number of messages journaled.
+	Appended uint64
+	// Truncations counts checkpoint-driven truncations.
+	Truncations uint64
+	// Replayed counts messages re-delivered by Replay calls.
+	Replayed uint64
+}
+
+// Log is a bounded write-ahead journal of routed messages for one
+// shard. Base tracks how many messages earlier checkpoints have
+// absorbed, so positions are global over the shard's whole stream.
+type Log[T any] struct {
+	entries []T
+	cap     int
+	base    uint64 // messages absorbed by checkpoints so far
+	stats   Stats
+}
+
+// New returns an empty journal holding at most capacity messages
+// between checkpoints (capacity <= 0 selects DefaultCap).
+func New[T any](capacity int) *Log[T] {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Log[T]{entries: make([]T, 0, capacity), cap: capacity}
+}
+
+// Cap returns the journal capacity.
+func (l *Log[T]) Cap() int { return l.cap }
+
+// Len returns the number of journaled messages since the last
+// truncation (the replay suffix length).
+func (l *Log[T]) Len() int { return len(l.entries) }
+
+// Full reports whether the next Append would exceed capacity; the
+// owner must checkpoint and truncate first.
+func (l *Log[T]) Full() bool { return len(l.entries) >= l.cap }
+
+// Pos returns the global position of the next message: base plus the
+// suffix length. Checkpoint stamps record it.
+func (l *Log[T]) Pos() uint64 { return l.base + uint64(len(l.entries)) }
+
+// Stats returns a copy of the work counters.
+func (l *Log[T]) Stats() Stats { return l.stats }
+
+// Append journals one message. The caller must have resolved fullness
+// first (checkpoint + Truncate); appending to a full journal still
+// succeeds — the bound is advisory at this layer so a fault mid-
+// checkpoint can never lose the message — but keeps Full true.
+func (l *Log[T]) Append(m T) {
+	l.entries = append(l.entries, m)
+	l.stats.Appended++
+}
+
+// Truncate discards the journaled suffix after a checkpoint has
+// absorbed it.
+func (l *Log[T]) Truncate() {
+	l.base += uint64(len(l.entries))
+	l.entries = l.entries[:0]
+	l.stats.Truncations++
+}
+
+// Replay delivers the journaled suffix, in order, to fn. It is the
+// restore path's second half: the caller restores the checkpoint
+// snapshot first, then replays. fn may panic (the replayed message may
+// be the one that killed the worker); the delivery count is accounted
+// before each call so partial replays are visible in Stats.
+func (l *Log[T]) Replay(fn func(T)) {
+	for _, m := range l.entries {
+		l.stats.Replayed++
+		fn(m)
+	}
+}
+
+// Checkpoint pairs an opaque snapshot of downstream state with the
+// journal position it covers and an integrity bit. The zero value is
+// "no checkpoint yet": restoring it means rebuilding from scratch and
+// replaying the whole journal.
+type Checkpoint[S any] struct {
+	// State is the snapshot (a deep copy made by the owner).
+	State S
+	// Pos is the journal position the snapshot covers: the state is the
+	// result of processing exactly the first Pos messages.
+	Pos uint64
+	// taken distinguishes a real checkpoint from the zero value;
+	// corrupt marks a checkpoint that must not be restored.
+	taken   bool
+	corrupt bool
+}
+
+// Capture records a checkpoint of state at position pos.
+func Capture[S any](state S, pos uint64) Checkpoint[S] {
+	return Checkpoint[S]{State: state, Pos: pos, taken: true}
+}
+
+// Taken reports whether the checkpoint holds a real snapshot.
+func (c *Checkpoint[S]) Taken() bool { return c.taken }
+
+// Corrupt marks the checkpoint unusable (fault injection, or a real
+// integrity failure detected by the owner).
+func (c *Checkpoint[S]) Corrupt() { c.corrupt = true }
+
+// Valid reports whether the checkpoint may be restored: it was taken
+// and has not been marked corrupt.
+func (c *Checkpoint[S]) Valid() bool { return c.taken && !c.corrupt }

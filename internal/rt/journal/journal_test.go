@@ -1,0 +1,104 @@
+package journal
+
+import "testing"
+
+func TestAppendTruncateReplay(t *testing.T) {
+	l := New[int](4)
+	if l.Cap() != 4 || l.Len() != 0 || l.Full() || l.Pos() != 0 {
+		t.Fatalf("fresh log: cap=%d len=%d full=%v pos=%d", l.Cap(), l.Len(), l.Full(), l.Pos())
+	}
+	for i := 0; i < 4; i++ {
+		l.Append(i)
+	}
+	if !l.Full() || l.Len() != 4 || l.Pos() != 4 {
+		t.Fatalf("after 4 appends: len=%d full=%v pos=%d", l.Len(), l.Full(), l.Pos())
+	}
+
+	var got []int
+	l.Replay(func(m int) { got = append(got, m) })
+	for i, m := range got {
+		if m != i {
+			t.Fatalf("replay[%d] = %d", i, m)
+		}
+	}
+
+	l.Truncate()
+	if l.Len() != 0 || l.Full() || l.Pos() != 4 {
+		t.Fatalf("after truncate: len=%d full=%v pos=%d", l.Len(), l.Full(), l.Pos())
+	}
+	l.Append(9)
+	if l.Pos() != 5 {
+		t.Fatalf("pos after post-truncate append = %d", l.Pos())
+	}
+
+	st := l.Stats()
+	if st.Appended != 5 || st.Truncations != 1 || st.Replayed != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAppendPastCapNeverDrops: the bound is advisory at this layer so
+// a fault between "journal full" and "checkpoint taken" cannot lose a
+// message.
+func TestAppendPastCapNeverDrops(t *testing.T) {
+	l := New[int](2)
+	for i := 0; i < 5; i++ {
+		l.Append(i)
+	}
+	if l.Len() != 5 || !l.Full() {
+		t.Fatalf("len=%d full=%v", l.Len(), l.Full())
+	}
+}
+
+func TestDefaultCap(t *testing.T) {
+	if got := New[int](0).Cap(); got != DefaultCap {
+		t.Fatalf("cap = %d, want %d", got, DefaultCap)
+	}
+	if got := New[int](-3).Cap(); got != DefaultCap {
+		t.Fatalf("cap = %d, want %d", got, DefaultCap)
+	}
+}
+
+// TestReplayPartialOnPanic: a replayed message may be the one that
+// killed the worker; the counts delivered before the panic stay
+// accounted.
+func TestReplayPartialOnPanic(t *testing.T) {
+	l := New[int](8)
+	for i := 0; i < 4; i++ {
+		l.Append(i)
+	}
+	var seen []int
+	func() {
+		defer func() { recover() }()
+		l.Replay(func(m int) {
+			if m == 2 {
+				panic("boom")
+			}
+			seen = append(seen, m)
+		})
+	}()
+	if len(seen) != 2 {
+		t.Fatalf("delivered before panic: %v", seen)
+	}
+	if l.Stats().Replayed != 3 {
+		t.Fatalf("replayed count = %d, want 3 (panicking delivery accounted)", l.Stats().Replayed)
+	}
+}
+
+func TestCheckpointLifecycle(t *testing.T) {
+	var c Checkpoint[string]
+	if c.Taken() || c.Valid() {
+		t.Fatal("zero checkpoint must be untaken and invalid")
+	}
+	c = Capture("state", 7)
+	if !c.Taken() || !c.Valid() || c.Pos != 7 || c.State != "state" {
+		t.Fatalf("captured checkpoint: %+v", c)
+	}
+	c.Corrupt()
+	if c.Valid() {
+		t.Fatal("corrupted checkpoint must be invalid")
+	}
+	if !c.Taken() {
+		t.Fatal("corruption does not untake the checkpoint")
+	}
+}

@@ -52,6 +52,20 @@ func NewBounded(maxLocations int) *Table {
 	return t
 }
 
+// Clone returns a deep copy of the table for checkpointing.
+func (tb *Table) Clone() *Table {
+	nt := &Table{
+		owner:        make(map[event.Loc]event.ThreadID, len(tb.owner)),
+		transitions:  tb.transitions,
+		maxLocations: tb.maxLocations,
+		overflows:    tb.overflows,
+	}
+	for loc, o := range tb.owner {
+		nt.owner[loc] = o
+	}
+	return nt
+}
+
 // Filter processes an access by thread t to loc. It returns true if
 // the access must be forwarded to the detector (the location is
 // shared), false if the access is absorbed by the ownership model.

@@ -153,6 +153,31 @@ type Options struct {
 	// them to the detector in batches of up to this size; event order
 	// and reports are unchanged.
 	BatchSize int
+
+	// JournalCap enables fault tolerance for sharded detection: each
+	// shard journals its routed events and checkpoints its state, so a
+	// crashed worker is restarted and replayed — and, once RetryBudget
+	// is exhausted, degraded to a simpler lockset detector — instead of
+	// failing the run (0 = off). Recovery work is quantified in Stats.
+	JournalCap int
+	// RetryBudget is the number of restart attempts per shard before it
+	// degrades (0 = degrade on the first crash). Meaningful only with
+	// JournalCap > 0.
+	RetryBudget int
+	// ShardQueueDepth bounds each shard's event queue in messages
+	// (0 = a small default). A full queue blocks the event producer
+	// unless DropOnBackpressure is set.
+	ShardQueueDepth int
+	// DropOnBackpressure sheds load instead of blocking when a shard
+	// queue is full: access batches are dropped with exact accounting
+	// in Stats (the run may then under-report races). Control events
+	// are never dropped.
+	DropOnBackpressure bool
+	// FaultInjection is a deterministic fault-injection spec for
+	// robustness testing of sharded detection, e.g.
+	// "panic:shard=1,event=100" (see internal/faultinject for the
+	// syntax). Empty disables injection; an invalid spec fails Detect.
+	FaultInjection string
 }
 
 func (o Options) config() core.Config {
@@ -185,6 +210,11 @@ func (o Options) config() core.Config {
 	cfg.MaxOwnerLocations = o.MaxOwnerLocations
 	cfg.Shards = o.Shards
 	cfg.BatchSize = o.BatchSize
+	cfg.JournalCap = o.JournalCap
+	cfg.RetryBudget = o.RetryBudget
+	cfg.ShardQueueDepth = o.ShardQueueDepth
+	cfg.DropOnBackpressure = o.DropOnBackpressure
+	cfg.FaultSpec = o.FaultInjection
 	switch o.Detector {
 	case Eraser:
 		cfg.Detector = core.DetEraser
@@ -257,6 +287,19 @@ type Stats struct {
 	TrieCollapses        uint64 // per-location histories discarded
 	CacheThreadEvictions uint64 // whole per-thread caches discarded
 	OwnerOverflows       uint64 // accesses forwarded as born-shared
+
+	// Fault-tolerance counters of supervised sharded runs (all zero
+	// for serial or unsupervised runs). WorkerRestarts and
+	// EventsReplayed describe exact recoveries; DegradedShards > 0 or
+	// DroppedEvents > 0 mean the affected shards' reports are
+	// best-effort rather than byte-exact.
+	WorkerRestarts uint64
+	EventsReplayed uint64
+	Checkpoints    uint64
+	DegradedShards int
+	DegradedEvents uint64
+	DroppedEvents  uint64
+	QueueHighWater int
 }
 
 // Result is the outcome of Detect.
@@ -432,22 +475,29 @@ func convert(res *core.RunResult) *Result {
 		Output:             res.Output,
 		Duration:           res.Duration,
 		Stats: Stats{
-			AccessSites:       res.StaticStats.AccessSites,
-			StaticRaceSet:     res.StaticStats.RaceSetSize,
-			ThreadLocalPruned: res.StaticStats.ThreadLocalPruned,
-			TracesInserted:    res.InstrStats.Inserted,
-			TracesEliminated:  res.InstrStats.Eliminated,
-			LoopsPeeled:       res.InstrStats.LoopsPeeled,
-			Instructions:      res.Interp.Steps,
-			TraceEvents:       res.Interp.TraceEvents,
-			CacheHits:         res.DetectorStats.CacheHits,
-			OwnerSkips:        res.DetectorStats.OwnerSkips,
+			AccessSites:          res.StaticStats.AccessSites,
+			StaticRaceSet:        res.StaticStats.RaceSetSize,
+			ThreadLocalPruned:    res.StaticStats.ThreadLocalPruned,
+			TracesInserted:       res.InstrStats.Inserted,
+			TracesEliminated:     res.InstrStats.Eliminated,
+			LoopsPeeled:          res.InstrStats.LoopsPeeled,
+			Instructions:         res.Interp.Steps,
+			TraceEvents:          res.Interp.TraceEvents,
+			CacheHits:            res.DetectorStats.CacheHits,
+			OwnerSkips:           res.DetectorStats.OwnerSkips,
 			TrieEvents:           res.DetectorStats.Trie.Events,
 			TrieNodes:            res.TrieNodes,
 			Threads:              res.Interp.ThreadsUsed,
 			TrieCollapses:        res.DetectorStats.Trie.Collapses,
 			CacheThreadEvictions: res.DetectorStats.Cache.ThreadEvictions,
 			OwnerOverflows:       res.DetectorStats.OwnerOverflows,
+			WorkerRestarts:       res.DetectorStats.Recovery.Restarts,
+			EventsReplayed:       res.DetectorStats.Recovery.Replayed,
+			Checkpoints:          res.DetectorStats.Recovery.Checkpoints,
+			DegradedShards:       res.DetectorStats.Recovery.DegradedShards,
+			DegradedEvents:       res.DetectorStats.Recovery.DegradedEvents,
+			DroppedEvents:        res.DetectorStats.Recovery.DroppedEvents,
+			QueueHighWater:       res.DetectorStats.Recovery.QueueHighWater,
 		},
 	}
 	if res.Schedule != nil {
