@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"racedet/internal/bench"
+)
+
+func loadReport(path string) (*bench.JSONReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return bench.ReadJSON(f)
+}
+
+// row is one (benchmark, config) comparison between the two artifacts.
+type row struct {
+	Benchmark string
+	Config    string
+	BaseNs    int64
+	CurNs     int64
+	Gated     bool
+	Missing   bool // cell present in the baseline but not measured now
+}
+
+// Ratio is current/baseline ns/op; 1.0 means unchanged, 1.30 means 30%
+// slower than the baseline.
+func (r row) Ratio() float64 { return float64(r.CurNs) / float64(r.BaseNs) }
+
+// compare walks every cell of the baseline and looks it up in the
+// current artifact. A gated cell missing from the current artifact is
+// a violation (a gate that silently skips cells protects nothing), as
+// is a gated cell whose ns/op grew beyond the threshold. Extra cells
+// that exist only in the current artifact are ignored: adding a new
+// configuration must not require regenerating the baseline first.
+func compare(base, cur *bench.JSONReport, gated map[string]bool, threshold float64) (rows []row, violations []string) {
+	curNs := make(map[string]int64, len(cur.Results))
+	for _, r := range cur.Results {
+		curNs[r.Benchmark+"/"+r.Config] = r.NsPerOp
+	}
+	for _, b := range base.Results {
+		r := row{
+			Benchmark: b.Benchmark,
+			Config:    b.Config,
+			BaseNs:    b.NsPerOp,
+			Gated:     gated[b.Config],
+		}
+		ns, ok := curNs[b.Benchmark+"/"+b.Config]
+		if !ok {
+			r.Missing = true
+			if r.Gated {
+				violations = append(violations,
+					fmt.Sprintf("%s/%s: gated cell missing from current artifact", b.Benchmark, b.Config))
+			}
+		} else {
+			r.CurNs = ns
+			if r.Gated && r.Ratio() > 1+threshold {
+				violations = append(violations,
+					fmt.Sprintf("%s/%s: %d -> %d ns/op (%.2fx, limit %.2fx)",
+						b.Benchmark, b.Config, r.BaseNs, r.CurNs, r.Ratio(), 1+threshold))
+			}
+		}
+		rows = append(rows, r)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Gated != rows[j].Gated {
+			return rows[i].Gated
+		}
+		if rows[i].Benchmark != rows[j].Benchmark {
+			return rows[i].Benchmark < rows[j].Benchmark
+		}
+		return rows[i].Config < rows[j].Config
+	})
+	return rows, violations
+}
+
+func countGated(rows []row) int {
+	n := 0
+	for _, r := range rows {
+		if r.Gated {
+			n++
+		}
+	}
+	return n
+}
+
+func printRows(w io.Writer, rows []row) {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tconfig\tbaseline ns/op\tcurrent ns/op\tratio\tgated")
+	for _, r := range rows {
+		gate := ""
+		if r.Gated {
+			gate = "*"
+		}
+		if r.Missing {
+			fmt.Fprintf(tw, "%s\t%s\t%d\t(missing)\t\t%s\n", r.Benchmark, r.Config, r.BaseNs, gate)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.2fx\t%s\n", r.Benchmark, r.Config, r.BaseNs, r.CurNs, r.Ratio(), gate)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"racedet/internal/bench"
+)
+
+func report(cells ...bench.JSONResult) *bench.JSONReport {
+	return &bench.JSONReport{Results: cells}
+}
+
+func cell(b, c string, ns int64) bench.JSONResult {
+	return bench.JSONResult{Benchmark: b, Config: c, NsPerOp: ns}
+}
+
+var gateConfigs = map[string]bool{"Full": true, "FullSharded4Batched64": true}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := report(
+		cell("mtrt", "Full", 1000),
+		cell("mtrt", "FullSharded4Batched64", 1100),
+		cell("mtrt", "Empty", 100),
+	)
+	cur := report(
+		cell("mtrt", "Full", 1240),                  // +24%, inside 25%
+		cell("mtrt", "FullSharded4Batched64", 1000), // improvement
+		cell("mtrt", "Empty", 900),                  // 9x, but not gated
+	)
+	rows, violations := compare(base, cur, gateConfigs, 0.25)
+	if len(violations) != 0 {
+		t.Fatalf("unexpected violations: %v", violations)
+	}
+	if got := countGated(rows); got != 2 {
+		t.Errorf("countGated = %d, want 2", got)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := report(cell("tsp", "Full", 1000), cell("tsp", "FullSharded4Batched64", 1000))
+	cur := report(cell("tsp", "Full", 1300), cell("tsp", "FullSharded4Batched64", 990))
+	_, violations := compare(base, cur, gateConfigs, 0.25)
+	if len(violations) != 1 {
+		t.Fatalf("violations = %v, want exactly one (tsp/Full)", violations)
+	}
+	if !strings.Contains(violations[0], "tsp/Full") || !strings.Contains(violations[0], "1.30x") {
+		t.Errorf("violation message %q missing cell or ratio", violations[0])
+	}
+}
+
+func TestGateFailsOnMissingGatedCell(t *testing.T) {
+	base := report(cell("sor", "Full", 1000), cell("sor", "FullSharded4Batched64", 1000))
+	cur := report(cell("sor", "Full", 1000)) // sharded cell absent
+	_, violations := compare(base, cur, gateConfigs, 0.25)
+	if len(violations) != 1 || !strings.Contains(violations[0], "missing") {
+		t.Fatalf("violations = %v, want one missing-cell violation", violations)
+	}
+}
+
+func TestGateIgnoresExtraCurrentCells(t *testing.T) {
+	base := report(cell("hedc", "Full", 1000))
+	cur := report(cell("hedc", "Full", 1000), cell("hedc", "FullSharded8Batched64", 9999))
+	rows, violations := compare(base, cur, gateConfigs, 0.25)
+	if len(violations) != 0 {
+		t.Fatalf("unexpected violations: %v", violations)
+	}
+	if len(rows) != 1 {
+		t.Errorf("rows = %d, want 1 (extra current-only cells ignored)", len(rows))
+	}
+}
+
+func TestReadJSONRejectsEmpty(t *testing.T) {
+	if _, err := bench.ReadJSON(strings.NewReader(`{"results": []}`)); err == nil {
+		t.Error("ReadJSON accepted a report with no results")
+	}
+	if _, err := bench.ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("ReadJSON accepted malformed input")
+	}
+}

@@ -29,6 +29,7 @@ func TestBenchFlagValidation(t *testing.T) {
 		{"journal zero", []string{"-journal", "0"}, "-journal must be >= 1"},
 		{"retry budget negative", []string{"-retry-budget", "-2"}, "-retry-budget must be >= 0"},
 		{"runs zero", []string{"-runs", "0"}, "-runs must be >= 1"},
+		{"benchreps zero", []string{"-benchreps", "0"}, "-benchreps must be >= 1"},
 		{"unknown flag", []string{"-no-such-flag"}, "flag"},
 	}
 	for _, tc := range cases {

@@ -30,6 +30,7 @@ func main() {
 		batchSize   = flag.Int("batch", 64, "access batch size of the batched configurations in the -json matrix")
 		journalCap  = flag.Int("journal", 4096, "per-shard journal capacity of the supervised -json configuration")
 		retryBudget = flag.Int("retry-budget", 3, "restart attempts per shard of the supervised -json configuration")
+		benchReps   = flag.Int("benchreps", 1, "measurement reps per -json cell, interleaved across configurations; the report carries median ns/op with min/max spread")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -67,6 +68,10 @@ func main() {
 			if *runs <= 0 {
 				flagErr = fmt.Errorf("-runs must be >= 1 (got %d)", *runs)
 			}
+		case "benchreps":
+			if *benchReps <= 0 {
+				flagErr = fmt.Errorf("-benchreps must be >= 1 (got %d)", *benchReps)
+			}
 		}
 	})
 	if flagErr != nil {
@@ -97,6 +102,7 @@ func main() {
 			BatchSize:   *batchSize,
 			JournalCap:  *journalCap,
 			RetryBudget: *retryBudget,
+			BenchReps:   *benchReps,
 		}
 		if err := bench.WriteJSON(f, jopts); err != nil {
 			f.Close()

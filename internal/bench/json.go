@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"testing"
 
 	"racedet/internal/core"
@@ -15,14 +16,22 @@ import (
 // outcome, so a performance regression and a precision regression are
 // both visible from the same artifact.
 type JSONResult struct {
-	Benchmark   string `json:"benchmark"`
-	Config      string `json:"config"`
-	Shards      int    `json:"shards,omitempty"`
-	BatchSize   int    `json:"batch_size,omitempty"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
-	BytesPerOp  int64  `json:"bytes_per_op"`
-	RacyObjects int    `json:"racy_objects"`
+	Benchmark string `json:"benchmark"`
+	Config    string `json:"config"`
+	Shards    int    `json:"shards,omitempty"`
+	BatchSize int    `json:"batch_size,omitempty"`
+	// NsPerOp is the median over Reps independent measurements (the
+	// reps are interleaved across configurations so load drift on the
+	// host hits every configuration equally); NsMin/NsMax give the
+	// spread. With Reps <= 1 it is the single measurement and the
+	// spread fields are omitted.
+	NsPerOp     int64 `json:"ns_per_op"`
+	Reps        int   `json:"reps,omitempty"`
+	NsMin       int64 `json:"ns_min,omitempty"`
+	NsMax       int64 `json:"ns_max,omitempty"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	RacyObjects int   `json:"racy_objects"`
 
 	// Fault-tolerance counters of the supervised sharded configuration
 	// (last run of the measurement; omitted when zero). Checkpoints and
@@ -43,14 +52,34 @@ type JSONReport struct {
 	Results []JSONResult `json:"results"`
 }
 
+// ReadJSON parses a report previously written by WriteJSON, so tools
+// downstream of the artifact (the CI perf gate) share the schema with
+// the writer instead of re-declaring it.
+func ReadJSON(r io.Reader) (*JSONReport, error) {
+	var rep JSONReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("parsing bench report: %w", err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("parsing bench report: no results")
+	}
+	return &rep, nil
+}
+
 // JSONOptions parameterizes the parallel variants of the measured
 // matrix. The zero value selects the defaults (4 shards, batch 64,
-// journal 4096, retry budget 3).
+// journal 4096, retry budget 3, one measurement rep).
 type JSONOptions struct {
 	Shards      int
 	BatchSize   int
 	JournalCap  int
 	RetryBudget int
+	// BenchReps is how many times each (benchmark, config) cell is
+	// measured. The reps are interleaved — every cell is measured once
+	// before any cell is measured twice — so slow phases of a noisy
+	// host spread across all configurations instead of biasing whichever
+	// one they landed on; the report carries the median and the spread.
+	BenchReps int
 }
 
 func (o JSONOptions) withDefaults() JSONOptions {
@@ -65,6 +94,9 @@ func (o JSONOptions) withDefaults() JSONOptions {
 	}
 	if o.RetryBudget < 0 {
 		o.RetryBudget = 3
+	}
+	if o.BenchReps <= 0 {
+		o.BenchReps = 1
 	}
 	return o
 }
@@ -106,61 +138,117 @@ func jsonConfigs(o JSONOptions) []struct {
 	)
 }
 
-// WriteJSON measures every CPU-bound benchmark under the JSON config
-// matrix with the testing package's benchmark driver and writes the
-// report to w.
-func WriteJSON(w io.Writer, opts JSONOptions) error {
-	rep := JSONReport{
-		Note: "racebench machine-readable results; regenerate with: racebench -json <path>",
-	}
-	for _, b := range All() {
-		if !b.CPUBound {
-			continue
+// median returns the middle element of the samples (the lower middle
+// for even counts, so the result is always an observed value).
+func median(xs []int64) int64 {
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
+func minMax(xs []int64) (lo, hi int64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
 		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// jsonCell is one (benchmark, configuration) measurement target: the
+// pipeline is compiled once and re-measured on every rep.
+type jsonCell struct {
+	bench   string
+	cfgName string
+	cfg     core.Config
+	pipe    *core.Pipeline
+
+	ns, allocs, bytes []int64
+	racy              int
+	rec               detector.RecoveryStats
+}
+
+func (cl *jsonCell) measure() error {
+	var runErr error
+	br := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			rr, err := cl.pipe.RunConfig(cl.cfg)
+			if err != nil {
+				runErr = err
+				tb.FailNow()
+			}
+			if rr.Err != nil {
+				runErr = rr.Err
+				tb.FailNow()
+			}
+			cl.racy = len(rr.RacyObjects)
+			cl.rec = rr.DetectorStats.Recovery
+		}
+	})
+	if runErr != nil {
+		return fmt.Errorf("bench %s/%s: %w", cl.bench, cl.cfgName, runErr)
+	}
+	cl.ns = append(cl.ns, br.NsPerOp())
+	cl.allocs = append(cl.allocs, br.AllocsPerOp())
+	cl.bytes = append(cl.bytes, br.AllocedBytesPerOp())
+	return nil
+}
+
+// WriteJSON measures all five paper benchmarks under the JSON config
+// matrix with the testing package's benchmark driver and writes the
+// report to w. With BenchReps > 1 every cell is measured that many
+// times, reps interleaved across cells, and the report carries the
+// median with min/max spread.
+func WriteJSON(w io.Writer, opts JSONOptions) error {
+	o := opts.withDefaults()
+	var cells []*jsonCell
+	for _, b := range All() {
 		for _, c := range jsonConfigs(opts) {
 			pipe, err := core.Compile(b.Name+".mj", b.Source(), c.Cfg)
 			if err != nil {
 				return fmt.Errorf("bench %s/%s: %w", b.Name, c.Name, err)
 			}
-			var racy int
-			var rec detector.RecoveryStats
-			var runErr error
-			br := testing.Benchmark(func(tb *testing.B) {
-				tb.ReportAllocs()
-				for i := 0; i < tb.N; i++ {
-					rr, err := pipe.RunConfig(c.Cfg)
-					if err != nil {
-						runErr = err
-						tb.FailNow()
-					}
-					if rr.Err != nil {
-						runErr = rr.Err
-						tb.FailNow()
-					}
-					racy = len(rr.RacyObjects)
-					rec = rr.DetectorStats.Recovery
-				}
-			})
-			if runErr != nil {
-				return fmt.Errorf("bench %s/%s: %w", b.Name, c.Name, runErr)
-			}
-			rep.Results = append(rep.Results, JSONResult{
-				Benchmark:       b.Name,
-				Config:          c.Name,
-				Shards:          c.Cfg.Shards,
-				BatchSize:       c.Cfg.BatchSize,
-				NsPerOp:         br.NsPerOp(),
-				AllocsPerOp:     br.AllocsPerOp(),
-				BytesPerOp:      br.AllocedBytesPerOp(),
-				RacyObjects:     racy,
-				Checkpoints:     rec.Checkpoints,
-				JournaledEvents: rec.Journaled,
-				WorkerRestarts:  rec.Restarts,
-				DegradedShards:  rec.DegradedShards,
-				DroppedEvents:   rec.DroppedEvents,
-				QueueHighWater:  rec.QueueHighWater,
-			})
+			cells = append(cells, &jsonCell{bench: b.Name, cfgName: c.Name, cfg: c.Cfg, pipe: pipe})
 		}
+	}
+	for rep := 0; rep < o.BenchReps; rep++ {
+		for _, cl := range cells {
+			if err := cl.measure(); err != nil {
+				return err
+			}
+		}
+	}
+
+	rep := JSONReport{
+		Note: "racebench machine-readable results; regenerate with: racebench -json <path>",
+	}
+	for _, cl := range cells {
+		r := JSONResult{
+			Benchmark:       cl.bench,
+			Config:          cl.cfgName,
+			Shards:          cl.cfg.Shards,
+			BatchSize:       cl.cfg.BatchSize,
+			NsPerOp:         median(cl.ns),
+			AllocsPerOp:     median(cl.allocs),
+			BytesPerOp:      median(cl.bytes),
+			RacyObjects:     cl.racy,
+			Checkpoints:     cl.rec.Checkpoints,
+			JournaledEvents: cl.rec.Journaled,
+			WorkerRestarts:  cl.rec.Restarts,
+			DegradedShards:  cl.rec.DegradedShards,
+			DroppedEvents:   cl.rec.DroppedEvents,
+			QueueHighWater:  cl.rec.QueueHighWater,
+		}
+		if o.BenchReps > 1 {
+			r.Reps = o.BenchReps
+			r.NsMin, r.NsMax = minMax(cl.ns)
+		}
+		rep.Results = append(rep.Results, r)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

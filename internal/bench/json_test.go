@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+// TestMedianLowerMiddle pins the -benchreps aggregation contract: the
+// reported ns/op is an observed sample (the lower middle for even rep
+// counts), never an interpolated value.
+func TestMedianLowerMiddle(t *testing.T) {
+	cases := []struct {
+		xs   []int64
+		want int64
+	}{
+		{[]int64{7}, 7},
+		{[]int64{9, 1}, 1},
+		{[]int64{3, 1, 2}, 2},
+		{[]int64{4, 1, 3, 2}, 2},
+		{[]int64{5, 5, 1, 9, 7}, 5},
+	}
+	for _, tc := range cases {
+		in := append([]int64(nil), tc.xs...)
+		if got := median(in); got != tc.want {
+			t.Errorf("median(%v) = %d, want %d", tc.xs, got, tc.want)
+		}
+		// The input order must survive: WriteJSON reuses the samples
+		// for the min/max spread after taking the median.
+		for i := range in {
+			if in[i] != tc.xs[i] {
+				t.Errorf("median(%v) mutated its input to %v", tc.xs, in)
+				break
+			}
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := minMax([]int64{5, 2, 9, 2, 7})
+	if lo != 2 || hi != 9 {
+		t.Errorf("minMax = (%d, %d), want (2, 9)", lo, hi)
+	}
+	lo, hi = minMax([]int64{4})
+	if lo != 4 || hi != 4 {
+		t.Errorf("minMax single = (%d, %d), want (4, 4)", lo, hi)
+	}
+}

@@ -51,6 +51,18 @@ func shardedVariants(base core.Config) []struct {
 		name string
 		cfg  core.Config
 	}{"shards=4,batch=16", b})
+	// A deliberately starved ring: depth 1 with tiny batches keeps the
+	// SPSC buffers wrapping around and both sides cycling through their
+	// park/unpark paths, which is where a lost-wakeup or slot-reuse bug
+	// in the ring-backed router would surface as divergence or a hang.
+	q := base
+	q.Shards = 2
+	q.BatchSize = 4
+	q.ShardQueueDepth = 1
+	out = append(out, struct {
+		name string
+		cfg  core.Config
+	}{"shards=2,batch=4,queue=1", q})
 	return out
 }
 

@@ -419,12 +419,14 @@ func (m *Machine) Run() (res Result, err error) {
 			res, err = m.res, re
 		}
 	}()
-	// Deliver trailing buffered accesses on every exit path (including
-	// aborts) so the detector's results are complete when Run returns.
+	// Close the batcher on every exit path (including aborts): the
+	// final flush delivers trailing buffered accesses so the detector's
+	// results are complete when Run returns, and Close then recycles
+	// the batch buffers to the package pool for the next run.
 	// Registered after the recover defer, so a detector panic during
 	// this final flush is still converted to an ErrPanic result.
 	if m.batcher != nil {
-		defer m.batcher.Flush()
+		defer m.batcher.Close()
 	}
 	mainFn := m.prog.FuncOf[m.prog.Sem.Main]
 	if mainFn == nil {
@@ -810,11 +812,11 @@ func (m *Machine) step(t *Thread) bool {
 		m.trace(t, f, in)
 
 	case ir.OpJump:
-		f.block = f.fn.Targets(in)[0]
+		f.block = in.Targets()[0]
 		f.pc = 0
 		return counts
 	case ir.OpBranch:
-		targets := f.fn.Targets(in)
+		targets := in.Targets()
 		if f.regs[in.Src[0]].Bool() {
 			f.block = targets[0]
 		} else {

@@ -30,8 +30,8 @@ type Lexer struct {
 	src  string
 
 	offset int // byte offset of the next rune
-	line   int
-	col    int
+	line   int32
+	col    int32
 
 	errs []*Error
 }

@@ -199,10 +199,14 @@ func (k Kind) IsAssignOp() bool {
 
 // Pos is a source position: file name plus 1-based line and column.
 // The zero Pos is "no position".
+// Line and Col are int32, not int: a Pos is embedded in every
+// event.Access flowing through the detector pipeline, and the narrow
+// fields shave 8 bytes off each buffered event (int32 comfortably
+// covers any real source file).
 type Pos struct {
 	File string
-	Line int
-	Col  int
+	Line int32
+	Col  int32
 }
 
 // IsValid reports whether the position carries location information.

@@ -340,13 +340,13 @@ func (d *Detector) QuickCheck(t event.ThreadID, loc event.Loc, kind event.Kind) 
 	return false
 }
 
-// Access implements event.Sink: the full per-access pipeline. The
-// interpreter only calls it after QuickCheck missed, so the cache
-// lookup here is a second (cheap) miss except for sinks that do not
-// use the fast path.
-func (d *Detector) Access(a event.Access) {
+// filter is the front half of the per-access pipeline — stats, field
+// merging, cache lookup, ownership — shared by Access and AccessBatch.
+// It returns the (possibly merged) location and whether the access
+// survives to the trie stage; absorbed accesses are fully accounted
+// (including the owner-skip cache insert) before it returns.
+func (d *Detector) filter(t event.ThreadID, loc event.Loc, kind event.Kind) (event.Loc, bool) {
 	d.stats.Accesses++
-	loc := a.Loc
 	// FieldsMerged collapses instance fields and the array pseudo-slot
 	// (Slot >= ArraySlot) to one location per object; static slots
 	// (Slot <= StaticSlotBase) stay distinct, as in the paper.
@@ -356,29 +356,34 @@ func (d *Detector) Access(a event.Access) {
 
 	// 1. Cache.
 	if !d.opts.NoCache {
-		if d.cache.Lookup(a.Thread, loc, a.Kind) {
+		if d.cache.Lookup(t, loc, kind) {
 			d.stats.CacheHits++
-			return
+			return loc, false
 		}
 	}
 
 	// 2. Ownership.
 	if !d.opts.NoOwnership {
-		forward, becameShared := d.owner.Filter(a.Thread, loc)
+		forward, becameShared := d.owner.Filter(t, loc)
 		if becameShared && !d.opts.NoCache {
 			d.cache.EvictLocation(loc)
 		}
 		if !forward {
 			d.stats.OwnerSkips++
 			if !d.opts.NoCache {
-				top, ok := d.locks.Top(a.Thread)
-				d.cache.Insert(a.Thread, loc, a.Kind, top, ok)
+				top, ok := d.locks.Top(t)
+				d.cache.Insert(t, loc, kind, top, ok)
 			}
-			return
+			return loc, false
 		}
 	}
+	return loc, true
+}
 
-	// 3. Trie detector. Materialize the (interned) lockset now.
+// deliver is the back half of the pipeline for a filter survivor:
+// materialize the (interned) lockset, run the trie, and insert into
+// the cache so equal-or-stronger accesses short-circuit.
+func (d *Detector) deliver(a event.Access, loc event.Loc) {
 	a.Loc = loc
 	a.Locks = d.locks.Held(a.Thread)
 	a.LockID = d.locks.HeldID(a.Thread)
@@ -386,20 +391,38 @@ func (d *Detector) Access(a event.Access) {
 	if race {
 		d.report(a, info)
 	}
-
-	// 4. Cache insert so equal-or-stronger accesses short-circuit.
 	if !d.opts.NoCache {
 		top, ok := d.locks.Top(a.Thread)
 		d.cache.Insert(a.Thread, loc, a.Kind, top, ok)
 	}
 }
 
+// Access implements event.Sink: the full per-access pipeline. The
+// interpreter only calls it after QuickCheck missed, so the cache
+// lookup here is a second (cheap) miss except for sinks that do not
+// use the fast path.
+func (d *Detector) Access(a event.Access) {
+	loc, forward := d.filter(a.Thread, a.Loc, a.Kind)
+	if forward {
+		d.deliver(a, loc)
+	}
+}
+
 // AccessBatch implements event.BatchSink: a batch is a run of accesses
 // by one thread under one lock environment, so the tracker's memoized
-// lockset is computed at most once for the whole batch.
+// lockset is computed at most once for the whole batch. Iterating by
+// pointer keeps the hot filter front free of the per-element 96-byte
+// copy that calling Access in a loop would cost; the full event is
+// copied only for filter survivors, which deliver owns by value. The
+// batch slice itself is never retained or mutated (MultiSink hands
+// the same slice to every batch-aware child).
 func (d *Detector) AccessBatch(batch []event.Access) {
-	for _, a := range batch {
-		d.Access(a)
+	for i := range batch {
+		a := &batch[i]
+		loc, forward := d.filter(a.Thread, a.Loc, a.Kind)
+		if forward {
+			d.deliver(*a, loc)
+		}
 	}
 }
 

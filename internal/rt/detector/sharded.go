@@ -1,30 +1,45 @@
 // Location-sharded parallel detection back end.
 //
-// The serial Detector's state is naturally partitioned by memory
-// location: the trie is per location, the ownership table is per
-// location, and cache entries are keyed by location. Sharded exploits
-// that: a router (running on the interpreter's goroutine, as the
-// event.Sink) snapshots each access's lock environment, stamps it with
-// a global sequence number, and forwards it — batched — to one of N
-// worker goroutines chosen by hash(ObjID, slot). Each worker owns the
-// full detector stack (cache, ownership, trie) for its slice of the
-// location space, so workers never share mutable state.
+// The hot path is split by cost, not by layer symmetry. The router —
+// running on the interpreter's goroutine, as the event.Sink — owns
+// the cheap, high-hit-rate layers exactly as the serial detector
+// does: the per-thread access caches (§4, including the inlined
+// QuickCheck fast path) and the §7 ownership filter. Only accesses
+// that survive both filters — the minority that actually needs trie
+// work — are lockset-materialized, stamped with a global sequence
+// number, batched, and pushed over a bounded SPSC ring buffer to one
+// of N worker goroutines chosen by hash(ObjID, slot). Each worker
+// owns the trie slice for its share of the location space and nothing
+// else, so workers never share mutable state and no control messages
+// (lock releases, thread lifecycle) ever cross the rings: the cache
+// they would maintain lives upstream on the router.
 //
-// Determinism contract: a location's accesses all hash to the same
-// shard and arrive in global program order, so every per-location
-// trie/ownership evolution is identical to the serial back end's. The
-// per-shard caches partition differently than the serial cache, but a
-// cache hit only ever absorbs an access that a weaker-or-equal stored
-// access already subsumes — a trie no-op — so the set of reports is
-// unaffected. Reports are recorded with their access's sequence number
-// and merged in sequence order, which is exactly the serial back end's
-// detection order. The merged reports are byte-identical to the serial
-// ones (asserted corpus-wide by the differential tests).
+// Determinism contract: the router runs the cache and ownership
+// layers synchronously in event order, so their evolution — hits,
+// evictions, ownership transitions, stats — is bit-identical to the
+// serial back end's, and the stream of trie-bound accesses is exactly
+// the stream the serial trie processes. A location's accesses all
+// hash to the same shard and arrive in stream order, so every
+// per-location trie evolution is identical too. Reports are recorded
+// with their access's sequence number and merged in sequence order,
+// which is exactly the serial detection order; the merged reports are
+// byte-identical to the serial ones (asserted corpus-wide by the
+// differential tests).
 //
-// Bounded-memory options (MaxTrieNodes, MaxCacheThreads,
-// MaxOwnerLocations) are split evenly across shards; collapse decisions
-// then depend on per-shard occupancy, so bounded configurations trade
-// the byte-equivalence guarantee for the usual "strictly over-reports,
+// Allocation discipline: batch buffers are recycled. Each worker
+// returns processed buffers to the router over a second SPSC ring
+// (the freelist); the supervised variant, which must keep buffers
+// alive in its write-ahead journal, recycles them when a checkpoint
+// truncates the journal. Buffers that miss the freelist fall back to
+// a package-level pool shared across runs, so steady-state routing
+// allocates nothing.
+//
+// Bounded-memory options: MaxCacheThreads and MaxOwnerLocations now
+// apply to the single router-side cache and ownership table, exactly
+// as in the serial back end. Only MaxTrieNodes is still split evenly
+// across shards; bounded-trie collapse decisions then depend on
+// per-shard occupancy, so that configuration trades the
+// byte-equivalence guarantee for the usual "strictly over-reports,
 // never misses" degradation.
 package detector
 
@@ -38,11 +53,12 @@ import (
 	"racedet/internal/rt/event"
 	"racedet/internal/rt/journal"
 	"racedet/internal/rt/ownership"
+	"racedet/internal/rt/spsc"
 	"racedet/internal/rt/trie"
 )
 
-// DefaultQueueDepth is the per-shard router→worker queue capacity in
-// messages when Options.QueueDepth is zero.
+// DefaultQueueDepth is the per-shard router→worker ring capacity in
+// batches when Options.QueueDepth is zero.
 const DefaultQueueDepth = 8
 
 // Backend is what the pipeline needs from a detection back end; both
@@ -65,29 +81,46 @@ var (
 	_ Backend = (*Sharded)(nil)
 )
 
-// shardAccess is one routed access: the event plus everything the
-// worker needs that only the router can compute (the lock environment
-// at access time and the global order stamp).
+// shardAccess is one routed access: the event — lockset already
+// materialized by the router — plus the global order stamp for the
+// deterministic report merge.
 type shardAccess struct {
-	a      event.Access
-	top    event.ObjID // most recently acquired lock (cache insert key)
-	hasTop bool
-	seq    uint64
+	a   event.Access
+	seq uint64
 }
 
-type msgKind uint8
+// shardBatch is the unit that crosses a shard ring: a run of routed
+// accesses in stream order. (All control events are absorbed by the
+// router's cache and lock tracker; only access batches ever reach a
+// worker.)
+type shardBatch = []shardAccess
 
-const (
-	msgBatch msgKind = iota
-	msgLockReleased
-	msgThreadFinished
-)
+// batchPool recycles batch buffers across runs: buffers that miss a
+// ring freelist at recycle time, and every buffer still owned at
+// finalize, land here instead of in the garbage collector.
+var batchPool = sync.Pool{New: func() any { return shardBatch(nil) }}
 
-type shardMsg struct {
-	kind   msgKind
-	batch  []shardAccess
-	thread event.ThreadID
-	lock   event.ObjID
+// getBatch returns an empty buffer with capacity >= want.
+func getBatch(want int) shardBatch {
+	b := batchPool.Get().(shardBatch)
+	if cap(b) < want {
+		return make(shardBatch, 0, want)
+	}
+	return b[:0]
+}
+
+// putBatch returns a buffer to the cross-run pool. Elements are
+// cleared first so a pooled buffer cannot pin a dead run's interned
+// locksets or report strings.
+func putBatch(b shardBatch) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = shardAccess{}
+	}
+	batchPool.Put(b[:0])
 }
 
 // shardReport is a worker-side report stamped with the triggering
@@ -97,17 +130,15 @@ type shardReport struct {
 	seq uint64
 }
 
-// worker owns one shard's detector stack. All fields are goroutine-
-// local; the router communicates only through ch.
+// worker owns one shard's trie slice. All fields are goroutine-local;
+// the router communicates only through the two rings.
 type worker struct {
 	idx     int
 	nshards int
 	opts    Options
-	ch      chan shardMsg
-	cache   *cache.Cache
-	owner   *ownership.Table
+	ring    *spsc.Ring[shardBatch] // router → worker: routed batches
+	free    *spsc.Ring[shardBatch] // worker → router: recycled buffers
 	trie    history
-	stats   Stats
 
 	reports     []shardReport
 	reportedLoc map[event.Loc]struct{}
@@ -116,7 +147,7 @@ type worker struct {
 
 	// Supervision state (see supervise.go); journal is nil when
 	// Options.JournalCap == 0 and the worker runs unsupervised.
-	journal  *journal.Log[shardMsg]
+	journal  *journal.Log[shardBatch]
 	ckpt     journal.Checkpoint[workerSnapshot]
 	events   uint64 // accesses processed, the fault-hook index
 	rec      RecoveryStats
@@ -124,21 +155,29 @@ type worker struct {
 }
 
 // Sharded is the parallel Backend. It implements event.Sink (and
-// BatchSink) on the producer side; results become available once the
-// event stream ends (the first result accessor finalizes the run).
+// BatchSink, and the interpreter's QuickCheck fast path) on the
+// producer side; results become available once the event stream ends
+// (the first result accessor finalizes the run).
 type Sharded struct {
 	opts    Options
 	workers []*worker
-	pending [][]shardAccess // per-shard router-side batch buffers
+	pending []shardBatch // per-shard router-side batch buffers
 	batch   int
 
 	intern *event.Interner
 	locks  *event.LockTracker
+	cache  *cache.Cache
+	owner  *ownership.Table
 	seq    uint64
+
+	// Router-side filter accounting: Accesses/CacheHits/OwnerSkips are
+	// counted here, in exactly the serial order, so they (and the
+	// cache/ownership stats) match the serial back end bit for bit.
+	stats Stats
 
 	// Router-side backpressure accounting (producer goroutine only
 	// until finalize merges it into stats.Recovery).
-	depthHigh []int // per-shard queue high-water mark
+	depthHigh []int // per-shard ring high-water mark, in batches
 	dropped   uint64
 	droppedEv uint64
 	stalls    uint64
@@ -148,7 +187,6 @@ type Sharded struct {
 
 	reports []Report
 	objs    []event.ObjID
-	stats   Stats
 	nodes   int
 	locs    int
 	err     error
@@ -156,8 +194,8 @@ type Sharded struct {
 
 // NewSharded builds a back end with n location-sharded workers
 // (n >= 1) that consume access batches of up to batchSize events
-// (<= 0 selects event.DefaultBatchSize). Options are interpreted as in
-// New; memory bounds are split evenly across shards.
+// (<= 0 selects event.DefaultBatchSize). Options are interpreted as
+// in New; the trie memory bound is split evenly across shards.
 func NewSharded(opts Options, n, batchSize int) *Sharded {
 	if n < 1 {
 		n = 1
@@ -168,11 +206,19 @@ func NewSharded(opts Options, n, batchSize int) *Sharded {
 	it := event.NewInterner()
 	s := &Sharded{
 		opts:      opts,
-		pending:   make([][]shardAccess, n),
+		pending:   make([]shardBatch, n),
 		batch:     batchSize,
 		intern:    it,
 		locks:     event.NewLockTrackerInterned(it),
+		cache:     cache.New(),
+		owner:     ownership.New(),
 		depthHigh: make([]int, n),
+	}
+	if opts.MaxCacheThreads > 0 {
+		s.cache = cache.NewBounded(opts.MaxCacheThreads)
+	}
+	if opts.MaxOwnerLocations > 0 {
+		s.owner = ownership.NewBounded(opts.MaxOwnerLocations)
 	}
 	depth := opts.QueueDepth
 	if depth <= 0 {
@@ -183,13 +229,17 @@ func NewSharded(opts Options, n, batchSize int) *Sharded {
 			idx:     i,
 			nshards: n,
 			opts:    opts,
-			ch:      make(chan shardMsg, depth),
+			ring:    spsc.New[shardBatch](depth),
+			// One spare lap of freelist slots beyond the ring depth:
+			// every buffer in flight has a place to come home to, so
+			// in steady state the freelist never overflows into the
+			// pool.
+			free: spsc.New[shardBatch](depth + 2),
 		}
 		w.freshState()
 		if opts.JournalCap > 0 {
-			w.journal = journal.New[shardMsg](opts.JournalCap)
+			w.journal = journal.New[shardBatch](opts.JournalCap)
 		}
-		s.pending[i] = make([]shardAccess, 0, batchSize)
 		s.workers = append(s.workers, w)
 		s.wg.Add(1)
 		go w.run(&s.wg)
@@ -197,22 +247,13 @@ func NewSharded(opts Options, n, batchSize int) *Sharded {
 	return s
 }
 
-// freshState (re)builds the worker's empty detector stack; used at
+// freshState (re)builds the worker's empty trie slice; used at
 // construction and when a restart finds no checkpoint to restore.
 func (w *worker) freshState() {
-	w.cache = cache.New()
-	w.owner = ownership.New()
 	w.reportedLoc = make(map[event.Loc]struct{})
 	w.reportedObj = make(map[event.ObjID]struct{})
 	w.reports = nil
-	w.stats = Stats{}
 	w.events = 0
-	if w.opts.MaxCacheThreads > 0 {
-		w.cache = cache.NewBounded(w.opts.MaxCacheThreads)
-	}
-	if w.opts.MaxOwnerLocations > 0 {
-		w.owner = ownership.NewBounded(splitBudget(w.opts.MaxOwnerLocations, w.nshards))
-	}
 	switch {
 	case w.opts.PackedTrie:
 		w.trie = trie.NewPacked()
@@ -245,43 +286,63 @@ func splitBudget(total, n int) int {
 func (w *worker) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	if w.journal != nil {
-		// Supervised: every message is journaled before processing and
-		// a panic restarts the worker from its checkpoint (supervise.go).
-		for msg := range w.ch {
-			w.handleSupervised(msg)
+		// Supervised: every batch is journaled before processing and a
+		// panic restarts the worker from its checkpoint (supervise.go).
+		// Buffers are recycled when a checkpoint truncates the journal,
+		// not here.
+		for {
+			batch, ok := w.ring.Pop()
+			if !ok {
+				return
+			}
+			w.handleSupervised(batch)
 		}
-		return
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			w.err = fmt.Errorf("detector shard %d: panic: %v", w.idx, r)
 			// Keep draining so the router can never block on a full
-			// channel after a shard dies.
-			for range w.ch {
+			// ring after a shard dies.
+			for {
+				if _, ok := w.ring.Pop(); !ok {
+					return
+				}
 			}
 		}
 	}()
-	for msg := range w.ch {
-		w.process(msg)
-	}
-}
-
-// process applies one routed message to the shard's detector stack.
-func (w *worker) process(msg shardMsg) {
-	switch msg.kind {
-	case msgBatch:
-		for _, sa := range msg.batch {
-			w.access(sa)
+	for {
+		batch, ok := w.ring.Pop()
+		if !ok {
+			return
 		}
-	case msgLockReleased:
-		w.cache.LockReleased(msg.thread, msg.lock)
-	case msgThreadFinished:
-		w.cache.ThreadFinished(msg.thread)
+		w.process(batch)
+		w.recycle(batch)
 	}
 }
 
-// access replicates Detector.Access with the lock environment already
-// materialized by the router.
+// process applies one routed batch to the shard's trie slice.
+func (w *worker) process(batch shardBatch) {
+	for _, sa := range batch {
+		w.access(sa)
+	}
+}
+
+// recycle hands a processed buffer back to the router via the
+// freelist ring; when the freelist is full the buffer goes to the
+// cross-run pool instead. Safe only once nothing references the
+// buffer anymore (the trie and the reports copy what they keep).
+func (w *worker) recycle(batch shardBatch) {
+	if batch == nil {
+		return
+	}
+	if !w.free.TryPush(batch[:0]) {
+		putBatch(batch)
+	}
+}
+
+// access replicates the trie stage of Detector.Access; the router has
+// already run the cache and ownership layers and materialized the
+// lock environment.
 func (w *worker) access(sa shardAccess) {
 	w.events++
 	if f := w.opts.Faults; f != nil {
@@ -290,33 +351,9 @@ func (w *worker) access(sa shardAccess) {
 		// exactly what the supervision tests need.
 		f.WorkerEvent(w.idx, w.events)
 	}
-	a := sa.a
-	w.stats.Accesses++
-	if !w.opts.NoCache {
-		if w.cache.Lookup(a.Thread, a.Loc, a.Kind) {
-			w.stats.CacheHits++
-			return
-		}
-	}
-	if !w.opts.NoOwnership {
-		forward, becameShared := w.owner.Filter(a.Thread, a.Loc)
-		if becameShared && !w.opts.NoCache {
-			w.cache.EvictLocation(a.Loc)
-		}
-		if !forward {
-			w.stats.OwnerSkips++
-			if !w.opts.NoCache {
-				w.cache.Insert(a.Thread, a.Loc, a.Kind, sa.top, sa.hasTop)
-			}
-			return
-		}
-	}
-	race, info := w.trie.Process(a)
+	race, info := w.trie.Process(sa.a)
 	if race {
 		w.report(sa, info)
-	}
-	if !w.opts.NoCache {
-		w.cache.Insert(a.Thread, a.Loc, a.Kind, sa.top, sa.hasTop)
 	}
 }
 
@@ -353,72 +390,150 @@ func shardOf(loc event.Loc, n int) int {
 
 var _ event.BatchSink = (*Sharded)(nil)
 
+// QuickCheck is the inlined §4 fast path, identical to the serial
+// detector's: a cache hit absorbs the access before the event is even
+// materialized, so the parallel back end pays routing cost only for
+// accesses that need trie work.
+func (s *Sharded) QuickCheck(t event.ThreadID, loc event.Loc, kind event.Kind) bool {
+	if s.opts.NoCache {
+		return false
+	}
+	if s.opts.FieldsMerged && loc.Slot >= event.ArraySlot {
+		loc.Slot = 0
+	}
+	if s.cache.Lookup(t, loc, kind) {
+		s.stats.Accesses++
+		s.stats.CacheHits++
+		return true
+	}
+	return false
+}
+
+// acquireBatch hands the router an empty buffer for shard i:
+// freelist first (a buffer the worker already processed), then the
+// cross-run pool.
+func (s *Sharded) acquireBatch(i int) shardBatch {
+	if b, ok := s.workers[i].free.TryPop(); ok {
+		return b
+	}
+	return getBatch(s.batch)
+}
+
 func (s *Sharded) flushShard(i int) {
 	if len(s.pending[i]) == 0 {
 		return
 	}
-	ch := s.workers[i].ch
-	if d := len(ch); d > s.depthHigh[i] {
+	w := s.workers[i]
+	if d := w.ring.Len(); d > s.depthHigh[i] {
 		s.depthHigh[i] = d
 	}
-	full := len(ch) == cap(ch)
+	full := w.ring.Full()
 	if f := s.opts.Faults; f != nil && f.QueueFull(i) {
 		full = true
 	}
 	if full {
 		if s.opts.DropOnBackpressure {
-			// Lossy policy: only access batches may be dropped (control
-			// messages keep the caches sound) and every loss is
+			// Lossy policy: batches may be dropped, but every loss is
 			// accounted, so a run can report exactly what it skipped.
 			s.dropped++
 			s.droppedEv += uint64(len(s.pending[i]))
 			s.pending[i] = s.pending[i][:0]
 			return
 		}
-		// Default policy: block until the worker drains. Counted so
-		// operators can see router stalls and resize the queues.
+		// Default policy: block until the worker drains (Push parks the
+		// router only while the ring is actually full). Counted so
+		// operators can see router stalls and resize the rings.
 		s.stalls++
 	}
-	ch <- shardMsg{kind: msgBatch, batch: s.pending[i]}
-	s.pending[i] = make([]shardAccess, 0, s.batch)
+	w.ring.Push(s.pending[i])
+	s.pending[i] = nil
 }
 
-func (s *Sharded) flushAll() {
-	for i := range s.pending {
-		s.flushShard(i)
+// filter is the router-side front half of the pipeline — stats, field
+// merging, cache lookup, ownership — shared by Access and AccessBatch.
+// Order of operations (lookup → ownership/evict → insert) matches
+// Detector.filter exactly, so cache state, stats, and the trie-bound
+// stream are bit-identical to the serial back end's.
+func (s *Sharded) filter(t event.ThreadID, loc event.Loc, kind event.Kind) (event.Loc, bool) {
+	s.stats.Accesses++
+	// FieldsMerged collapses instance fields and the array pseudo-slot
+	// (Slot >= ArraySlot) to one location per object; static slots
+	// (Slot <= StaticSlotBase) stay distinct, as in the paper.
+	if s.opts.FieldsMerged && loc.Slot >= event.ArraySlot {
+		loc.Slot = 0
 	}
+
+	// 1. Cache.
+	if !s.opts.NoCache {
+		if s.cache.Lookup(t, loc, kind) {
+			s.stats.CacheHits++
+			return loc, false
+		}
+	}
+
+	// 2. Ownership.
+	if !s.opts.NoOwnership {
+		forward, becameShared := s.owner.Filter(t, loc)
+		if becameShared && !s.opts.NoCache {
+			s.cache.EvictLocation(loc)
+		}
+		if !forward {
+			s.stats.OwnerSkips++
+			if !s.opts.NoCache {
+				top, ok := s.locks.Top(t)
+				s.cache.Insert(t, loc, kind, top, ok)
+			}
+			return loc, false
+		}
+	}
+	return loc, true
 }
 
-// broadcast flushes pending batches (order!) and sends msg to every
-// worker.
-func (s *Sharded) broadcast(msg shardMsg) {
-	s.flushAll()
-	for _, w := range s.workers {
-		w.ch <- msg
-	}
-}
-
-// Access implements event.Sink: snapshot the lock environment, stamp
-// the global sequence number, and route by location.
-func (s *Sharded) Access(a event.Access) {
-	if s.opts.FieldsMerged && a.Loc.Slot >= event.ArraySlot {
-		a.Loc.Slot = 0
-	}
+// route sends a filter survivor to the owning shard's trie:
+// materialize the (interned) lockset, stamp the detection order,
+// append to the shard's pending batch, and insert into the cache so
+// equal-or-stronger accesses short-circuit (same order as
+// Detector.deliver).
+func (s *Sharded) route(a event.Access, loc event.Loc) {
+	a.Loc = loc
 	a.Locks = s.locks.Held(a.Thread) // immutable canonical slice
 	a.LockID = s.locks.HeldID(a.Thread)
-	top, hasTop := s.locks.Top(a.Thread)
 	s.seq++
-	i := shardOf(a.Loc, len(s.workers))
-	s.pending[i] = append(s.pending[i], shardAccess{a: a, top: top, hasTop: hasTop, seq: s.seq})
+	i := shardOf(loc, len(s.workers))
+	if s.pending[i] == nil {
+		s.pending[i] = s.acquireBatch(i)
+	}
+	s.pending[i] = append(s.pending[i], shardAccess{a: a, seq: s.seq})
 	if len(s.pending[i]) >= s.batch {
 		s.flushShard(i)
 	}
+
+	if !s.opts.NoCache {
+		top, ok := s.locks.Top(a.Thread)
+		s.cache.Insert(a.Thread, loc, a.Kind, top, ok)
+	}
 }
 
-// AccessBatch implements event.BatchSink.
+// Access implements event.Sink: the serial filter pipeline runs here
+// on the router, and only survivors are routed.
+func (s *Sharded) Access(a event.Access) {
+	loc, forward := s.filter(a.Thread, a.Loc, a.Kind)
+	if forward {
+		s.route(a, loc)
+	}
+}
+
+// AccessBatch implements event.BatchSink: the Batcher's buffer flushes
+// straight through the filter into the pending shard batches, with the
+// per-element event copy paid only for filter survivors. The batch
+// slice is never retained or mutated.
 func (s *Sharded) AccessBatch(batch []event.Access) {
-	for _, a := range batch {
-		s.Access(a)
+	for i := range batch {
+		a := &batch[i]
+		loc, forward := s.filter(a.Thread, a.Loc, a.Kind)
+		if forward {
+			s.route(*a, loc)
+		}
 	}
 }
 
@@ -429,14 +544,14 @@ func (s *Sharded) ThreadStarted(child, parent event.ThreadID) {
 	}
 }
 
-// ThreadFinished implements event.Sink.
+// ThreadFinished implements event.Sink. Purely router-side: the only
+// consumer of thread lifecycle downstream of the lock tracker is the
+// access cache, which lives here.
 func (s *Sharded) ThreadFinished(t event.ThreadID) {
 	if !s.opts.NoPseudoLocks {
 		s.locks.ThreadFinished(t)
 	}
-	if !s.opts.NoCache {
-		s.broadcast(shardMsg{kind: msgThreadFinished, thread: t})
-	}
+	s.cache.ThreadFinished(t)
 }
 
 // Joined implements event.Sink.
@@ -448,41 +563,42 @@ func (s *Sharded) Joined(joiner, joinee event.ThreadID) {
 
 // MonitorEnter implements event.Sink. Lock acquisition only changes
 // the router-side lock environment; workers see it through the
-// snapshots attached to later accesses.
+// locksets attached to later accesses.
 func (s *Sharded) MonitorEnter(t event.ThreadID, lock event.ObjID, depth int) {
 	s.locks.MonitorEnter(t, lock, depth)
 }
 
-// MonitorExit implements event.Sink. A full release invalidates cache
-// entries guarded by the lock in every shard.
+// MonitorExit implements event.Sink. A full release evicts the cache
+// entries guarded by the lock — a synchronous router-side operation
+// now that the cache lives upstream of the rings.
 func (s *Sharded) MonitorExit(t event.ThreadID, lock event.ObjID, depth int) {
 	s.locks.MonitorExit(t, lock, depth)
 	if depth == 0 && !s.opts.NoCache {
-		s.broadcast(shardMsg{kind: msgLockReleased, thread: t, lock: lock})
+		s.cache.LockReleased(t, lock)
 	}
 }
 
 // ---------------------------------------------------------------------------
 // results (merge side)
 
-// finalize ends the event stream: flush, close the channels, wait for
+// finalize ends the event stream: flush, close the rings, wait for
 // the workers, and merge their results deterministically. Idempotent
-// and safe under concurrent result accessors (sync.Once); triggered by
-// the first accessor after the run.
+// and safe under concurrent result accessors (sync.Once); triggered
+// by the first accessor after the run.
 func (s *Sharded) finalize() { s.fin.Do(s.doFinalize) }
 
 func (s *Sharded) doFinalize() {
 	// Final flush always blocks: the workers are about to drain their
-	// channels to completion, so the send cannot deadlock, and dropping
+	// rings to completion, so the push cannot deadlock, and dropping
 	// the tail of the stream under the lossy policy would be pure loss.
 	for i := range s.pending {
 		if len(s.pending[i]) > 0 {
-			s.workers[i].ch <- shardMsg{kind: msgBatch, batch: s.pending[i]}
+			s.workers[i].ring.Push(s.pending[i])
 			s.pending[i] = nil
 		}
 	}
 	for _, w := range s.workers {
-		close(w.ch)
+		w.ring.Close()
 	}
 	s.wg.Wait()
 
@@ -493,6 +609,11 @@ func (s *Sharded) doFinalize() {
 	rec.DroppedBatches = s.dropped
 	rec.DroppedEvents = s.droppedEv
 	rec.BackpressureStalls = s.stalls
+	// The filter layers live on the router; their stats are already in
+	// s.stats and match the serial back end exactly.
+	s.stats.OwnerLocations = s.owner.Locations()
+	s.stats.OwnerOverflows = s.owner.Overflows()
+	s.stats.Cache = s.cache.Stats()
 	for i, w := range s.workers {
 		if w.err != nil {
 			errs = append(errs, w.err)
@@ -516,16 +637,18 @@ func (s *Sharded) doFinalize() {
 		for o := range w.reportedObj {
 			objSet[o] = struct{}{}
 		}
-		st := w.stats
-		s.stats.Accesses += st.Accesses
-		s.stats.CacheHits += st.CacheHits
-		s.stats.OwnerSkips += st.OwnerSkips
-		s.stats.OwnerLocations += w.owner.Locations()
-		s.stats.OwnerOverflows += w.owner.Overflows()
 		addTrieStats(&s.stats.Trie, w.trie.Stats())
-		addCacheStats(&s.stats.Cache, w.cache.Stats())
 		s.nodes += w.trie.NodeCount()
 		s.locs += w.trie.LocationCount()
+		// Drain the freelist into the cross-run pool: the next run's
+		// router starts with warm buffers instead of fresh allocations.
+		for {
+			b, ok := w.free.TryPop()
+			if !ok {
+				break
+			}
+			putBatch(b)
+		}
 	}
 	// All worker failures are preserved, not just the first: a run that
 	// lost several shards should say so.
@@ -560,13 +683,6 @@ func addTrieStats(dst *trie.Stats, src trie.Stats) {
 	dst.CollapseHits += src.CollapseHits
 }
 
-func addCacheStats(dst *cache.Stats, src cache.Stats) {
-	dst.Hits += src.Hits
-	dst.Misses += src.Misses
-	dst.Evictions += src.Evictions
-	dst.ThreadEvictions += src.ThreadEvictions
-}
-
 // Reports implements Backend: the merged reports, in the serial
 // detection order.
 func (s *Sharded) Reports() []Report {
@@ -580,7 +696,8 @@ func (s *Sharded) RacyObjects() []event.ObjID {
 	return s.objs
 }
 
-// Stats implements Backend: counters aggregated across shards.
+// Stats implements Backend: router-side filter counters plus the trie
+// counters aggregated across shards.
 func (s *Sharded) Stats() Stats {
 	s.finalize()
 	return s.stats

@@ -153,19 +153,121 @@ func TestShardedBatchedProducer(t *testing.T) {
 	}
 }
 
-// TestShardedStatsAggregate sanity-checks that counters survive the
-// merge (exact values differ from serial because sharded has no
-// QuickCheck fast path and partitions the caches).
-func TestShardedStatsAggregate(t *testing.T) {
+// TestShardedStatsMatchSerial pins the strongest consequence of the
+// router-side filter design: because the cache and ownership layers
+// run synchronously on the router in exactly the serial order, every
+// filter counter — and, since the trie-bound stream is identical, the
+// summed trie counters too — matches the serial back end bit for bit.
+func TestShardedStatsMatchSerial(t *testing.T) {
+	serial := New(Options{})
+	feedRandom(serial, 1, 2000)
+	want := serial.Stats()
+
 	sh := NewSharded(Options{}, 3, 16)
 	feedRandom(sh, 1, 2000)
-	st := sh.Stats()
-	if st.Accesses == 0 || st.Trie.Events == 0 {
-		t.Fatalf("stats lost in merge: %+v", st)
+	got := sh.Stats()
+
+	if got.Accesses != want.Accesses || got.CacheHits != want.CacheHits ||
+		got.OwnerSkips != want.OwnerSkips {
+		t.Fatalf("filter counters diverge from serial:\nsharded: %+v\nserial:  %+v", got, want)
 	}
-	if sh.TrieLocationCount() == 0 {
-		t.Fatal("trie location count lost in merge")
+	if got.Cache != want.Cache {
+		t.Fatalf("cache stats diverge from serial:\nsharded: %+v\nserial:  %+v", got.Cache, want.Cache)
 	}
+	if got.OwnerLocations != want.OwnerLocations || got.OwnerOverflows != want.OwnerOverflows {
+		t.Fatalf("ownership stats diverge from serial:\nsharded: %+v\nserial:  %+v", got, want)
+	}
+	if got.Trie != want.Trie {
+		t.Fatalf("summed trie stats diverge from serial:\nsharded: %+v\nserial:  %+v", got.Trie, want.Trie)
+	}
+	if sh.TrieNodeCount() != serial.TrieNodeCount() {
+		t.Fatalf("trie nodes: sharded %d, serial %d", sh.TrieNodeCount(), serial.TrieNodeCount())
+	}
+	if sh.TrieLocationCount() != serial.TrieLocationCount() {
+		t.Fatalf("trie locations: sharded %d, serial %d", sh.TrieLocationCount(), serial.TrieLocationCount())
+	}
+}
+
+// TestShardedQuickCheckParity drives the inlined §4 fast path against
+// both back ends with interleaved QuickCheck/Access calls, the way
+// the interpreter does: hit/miss decisions, absorbed accesses, and
+// final reports must all agree.
+func TestShardedQuickCheckParity(t *testing.T) {
+	serial := New(Options{})
+	sh := NewSharded(Options{}, 4, 8)
+
+	drive := func(qc interface {
+		QuickCheck(event.ThreadID, event.Loc, event.Kind) bool
+	}, s event.Sink) {
+		s.ThreadStarted(0, event.NoThread)
+		s.ThreadStarted(1, 0)
+		for i := 0; i < 2000; i++ {
+			th := event.ThreadID(i & 1)
+			loc := event.Loc{Obj: event.ObjID(100 + i%7), Slot: int32(i % 3)}
+			kind := event.Kind(i & 1)
+			if qc.QuickCheck(th, loc, kind) {
+				continue // absorbed, exactly like the interpreter
+			}
+			s.Access(event.Access{Loc: loc, Thread: th, Kind: kind, FieldName: "Q.f"})
+		}
+		s.ThreadFinished(1)
+		s.ThreadFinished(0)
+	}
+	drive(serial, serial)
+	drive(sh, sh)
+
+	if err := sh.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want, got := reportStrings(serial), reportStrings(sh)
+	compareReports(t, "quickcheck parity", got, want)
+	ws, gs := serial.Stats(), sh.Stats()
+	if gs.Accesses != ws.Accesses || gs.CacheHits != ws.CacheHits {
+		t.Fatalf("fast-path counters diverge: sharded %+v, serial %+v", gs, ws)
+	}
+}
+
+// TestShardedStarvedRing runs the differential check with ring depth
+// 1 and tiny batches, forcing constant wraparound and park/unpark on
+// both sides of every ring. Run under -race this is the ring-integration
+// memory-ordering stress.
+func TestShardedStarvedRing(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		serial := New(Options{})
+		feedRandom(serial, seed, 3000)
+		want := reportStrings(serial)
+
+		sh := NewSharded(Options{QueueDepth: 1}, 4, 2)
+		feedRandom(sh, seed, 3000)
+		if err := sh.Err(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		compareReports(t, "starved ring", reportStrings(sh), want)
+	}
+}
+
+// TestPooledBuffersDoNotAliasReports pins the buffer-recycling
+// contract: batch buffers are reused across flushes and across runs
+// (the package pool), so an earlier run's reports must stay intact
+// while a later run churns through recycled buffers. Reports hold
+// value copies plus run-owned interned locksets; if anything ever
+// pointed back into a recycled buffer, the second run would scribble
+// over the first run's output.
+func TestPooledBuffersDoNotAliasReports(t *testing.T) {
+	first := NewSharded(Options{}, 2, 4)
+	feedRandom(first, 11, 2000)
+	before := reportStrings(first) // finalizes: buffers drain to the pool
+	if len(before) == 0 {
+		t.Fatal("scenario should produce reports")
+	}
+
+	for i := int64(0); i < 3; i++ {
+		next := NewSharded(Options{}, 2, 4)
+		feedRandom(next, 20+i, 2000)
+		_ = next.Reports()
+	}
+
+	compareReports(t, "after pool reuse", reportStrings(first), before)
 }
 
 // TestShardedDescribeObjAtMerge verifies ObjDesc is filled during the

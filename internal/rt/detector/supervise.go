@@ -3,32 +3,36 @@
 // degradation to the Eraser lockset path when the retry budget runs
 // out.
 //
-// The protocol per routed message is write-ahead: if the journal is
-// full, checkpoint (deep snapshot of the shard's detector stack) and
-// truncate; then append the message; then process it under a recover
+// The protocol per routed batch is write-ahead: if the journal is
+// full, checkpoint (deep snapshot of the shard's trie state) and
+// truncate; then append the batch; then process it under a recover
 // wrapper. A panic triggers recoverFrom, which restarts the shard —
-// restore a fresh clone of the checkpoint (or an empty stack if none
+// restore a fresh clone of the checkpoint (or an empty trie if none
 // was ever taken), replay the journal suffix — up to Options.
-// RetryBudget times. Because the panicking message was journaled
-// before processing, replay re-delivers it, so a deterministic fault
-// (the interesting kind: a detector bug tripped by a specific input)
-// will re-fire during replay and consume another attempt; a transient
+// RetryBudget times. Because the panicking batch was journaled before
+// processing, replay re-delivers it, so a deterministic fault (the
+// interesting kind: a detector bug tripped by a specific input) will
+// re-fire during replay and consume another attempt; a transient
 // fault recovers with state byte-identical to a run that never
 // panicked. When the budget is exhausted — or the checkpoint fails
 // validation — the shard degrades: it keeps the best reports it has
 // and runs every remaining access through a self-contained Eraser
-// lockset state machine that cannot panic, so the run always completes
-// with an accounted degradation instead of a lost analysis.
+// lockset state machine that cannot panic, so the run always
+// completes with an accounted degradation instead of a lost analysis.
+//
+// Buffer lifecycle: a supervised shard must keep routed batch buffers
+// alive while they sit in the journal (replay re-reads them), so it
+// recycles them to the router's freelist only when a checkpoint
+// truncates the journal — the unsupervised worker recycles
+// immediately after processing instead.
 package detector
 
 import (
 	"fmt"
 	"time"
 
-	"racedet/internal/rt/cache"
 	"racedet/internal/rt/event"
 	"racedet/internal/rt/journal"
-	"racedet/internal/rt/ownership"
 	"racedet/internal/rt/trie"
 )
 
@@ -50,16 +54,15 @@ type FaultInjector interface {
 	CorruptCheckpoint(shard int) bool
 }
 
-// workerSnapshot is the checkpointed deep copy of a shard's state: the
-// detector stack plus the report set and counters. The lockset
-// interner is deliberately not part of the snapshot — interning is
-// content-addressed and append-only, so entries added by a discarded
-// attempt can never change what a later Intern returns.
+// workerSnapshot is the checkpointed deep copy of a shard's state:
+// the trie slice plus the report set and the fault-hook event
+// counter. The cache and ownership layers live on the router and are
+// untouched by worker faults; the lockset interner is deliberately
+// not part of the snapshot either — interning is content-addressed
+// and append-only, so entries added by a discarded attempt can never
+// change what a later Intern returns.
 type workerSnapshot struct {
-	cache  *cache.Cache
-	owner  *ownership.Table
 	trie   history
-	stats  Stats
 	events uint64
 
 	reports     []shardReport
@@ -100,10 +103,7 @@ func cloneObjSet(m map[event.ObjID]struct{}) map[event.ObjID]struct{} {
 // snapshot deep-copies the worker's state for a checkpoint.
 func (w *worker) snapshot() workerSnapshot {
 	return workerSnapshot{
-		cache:       w.cache.Clone(),
-		owner:       w.owner.Clone(),
 		trie:        cloneHistory(w.trie),
-		stats:       w.stats,
 		events:      w.events,
 		reports:     append([]shardReport(nil), w.reports...),
 		reportedLoc: cloneLocSet(w.reportedLoc),
@@ -111,44 +111,50 @@ func (w *worker) snapshot() workerSnapshot {
 	}
 }
 
-// handleSupervised is the supervised worker's per-message protocol:
-// checkpoint when the journal is full, journal the message, process it
+// handleSupervised is the supervised worker's per-batch protocol:
+// checkpoint when the journal is full, journal the batch, process it
 // under a recover wrapper, and run recovery on panic. Once the shard
-// has degraded, messages flow straight to the Eraser path.
-func (w *worker) handleSupervised(msg shardMsg) {
+// has degraded, batches flow straight to the Eraser path (and are
+// recycled immediately — nothing journals them anymore).
+func (w *worker) handleSupervised(batch shardBatch) {
 	if w.degraded != nil {
-		w.degraded.handle(w, msg)
+		w.degraded.handle(w, batch)
+		w.recycle(batch)
 		return
 	}
 	if w.journal.Full() {
 		w.checkpoint()
 	}
-	w.journal.Append(msg)
-	if err := w.tryProcess(msg); err != nil {
+	w.journal.Append(batch)
+	if err := w.tryProcess(batch); err != nil {
 		w.recoverFrom(err)
 	}
 }
 
-// checkpoint snapshots the shard and truncates the journal. The fault
-// hook may mark the new checkpoint corrupt, which a later restore
-// detects (and degrades on) instead of silently replaying onto bad
-// state.
+// checkpoint snapshots the shard and truncates the journal. The
+// truncated buffers have been fully absorbed by the snapshot (the
+// trie and reports copy what they keep), so they are recycled to the
+// router's freelist here — the supervised half of the zero-allocation
+// steady state. The fault hook may mark the new checkpoint corrupt,
+// which a later restore detects (and degrades on) instead of silently
+// replaying onto bad state.
 func (w *worker) checkpoint() {
 	w.ckpt = journal.Capture(w.snapshot(), w.journal.Pos())
 	w.rec.Checkpoints++
 	if f := w.opts.Faults; f != nil && f.CorruptCheckpoint(w.idx) {
 		w.ckpt.Corrupt()
 	}
+	w.journal.Each(w.recycle)
 	w.journal.Truncate()
 }
 
-func (w *worker) tryProcess(msg shardMsg) (err error) {
+func (w *worker) tryProcess(batch shardBatch) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("detector shard %d: panic: %v", w.idx, r)
 		}
 	}()
-	w.process(msg)
+	w.process(batch)
 	return nil
 }
 
@@ -166,10 +172,7 @@ func (w *worker) restore() bool {
 		return false
 	}
 	s := w.ckpt.State
-	w.cache = s.cache.Clone()
-	w.owner = s.owner.Clone()
 	w.trie = cloneHistory(s.trie)
-	w.stats = s.stats
 	w.events = s.events
 	w.reports = append([]shardReport(nil), s.reports...)
 	w.reportedLoc = cloneLocSet(s.reportedLoc)
@@ -189,7 +192,7 @@ func (w *worker) tryReplay() (err error) {
 
 // backoffDelay is the exponential restart backoff: 1ms doubling per
 // attempt, capped at 100ms so a stuck shard cannot stall the run for
-// long (the router queue is bounded, so the backpressure policy
+// long (the router ring is bounded, so the backpressure policy
 // governs what happens upstream meanwhile).
 func backoffDelay(attempt int) time.Duration {
 	if attempt > 7 {
@@ -205,8 +208,8 @@ func backoffDelay(attempt int) time.Duration {
 // recoverFrom drives the restart loop after a processing panic. Each
 // attempt restores the checkpoint clone and replays the journal
 // suffix; success means the shard's state is exactly what an
-// undisturbed run would have — the panicking message included, since
-// it was journaled before processing. Budget exhaustion or a corrupt
+// undisturbed run would have — the panicking batch included, since it
+// was journaled before processing. Budget exhaustion or a corrupt
 // checkpoint degrades the shard instead of failing the run.
 func (w *worker) recoverFrom(cause error) {
 	for attempt := 1; ; attempt++ {
@@ -236,31 +239,40 @@ func (w *worker) recoverFrom(cause error) {
 // run. The shard keeps the most trustworthy reports available — the
 // checkpoint's when it is valid (the current set may include effects
 // of a poisoned partial attempt), the current best effort otherwise —
-// and then pushes the journal suffix through the Eraser machine so the
-// accesses since the checkpoint are still analyzed. The per-location
-// dedup map carries over, so a location already reported by the trie
-// is not re-reported by Eraser.
+// and then pushes the journal suffix through the Eraser machine so
+// the accesses since the checkpoint are still analyzed. The
+// per-location dedup map carries over, so a location already reported
+// by the trie is not re-reported by Eraser. The journaled buffers are
+// not recycled — the journal is simply abandoned (bounded by
+// JournalCap, a one-time cost on an already-degraded shard).
 func (w *worker) degrade(cause error) {
 	_ = cause // the run completes; Stats.Recovery carries the story
 	w.degraded = &degradedShard{locs: make(map[event.Loc]*eraserLoc)}
 	if w.ckpt.Valid() {
 		s := w.ckpt.State
-		w.stats = s.stats
 		w.reports = append([]shardReport(nil), s.reports...)
 		w.reportedLoc = cloneLocSet(s.reportedLoc)
 		w.reportedObj = cloneObjSet(s.reportedObj)
 	}
-	w.journal.Replay(func(m shardMsg) { w.degraded.handle(w, m) })
+	w.journal.Replay(func(b shardBatch) { w.degraded.handle(w, b) })
 }
 
 // eraserLoc is one location's Eraser state: Virgin → Exclusive →
 // Shared / Shared-Modified with candidate-lockset intersection, as in
 // internal/rt/eraser but over the router-materialized locksets the
-// shard messages already carry.
+// shard batches already carry. One deliberate deviation from classic
+// Eraser: the first access's lockset participates in the candidate
+// intersection (classic Eraser discards it to tolerate init
+// patterns). The stream a degraded shard sees has already been
+// deduplicated by the router's cache, so the redundant accesses that
+// would normally drain the candidate set may never arrive; folding
+// the first lockset in errs toward reporting — strictly more reports,
+// never fewer, which is the degraded mode's contract.
 type eraserLoc struct {
-	state     int8
-	firstT    event.ThreadID
-	candidate event.Lockset
+	state      int8
+	firstT     event.ThreadID
+	firstLocks event.Lockset
+	candidate  event.Lockset
 }
 
 const (
@@ -272,24 +284,18 @@ const (
 
 // degradedShard is the panic-free fallback detector for one shard. It
 // deliberately calls no fault hooks and allocates only maps and small
-// structs, so a degraded shard always drains its queue to completion.
+// structs, so a degraded shard always drains its ring to completion.
 type degradedShard struct {
 	locs map[event.Loc]*eraserLoc
 }
 
-func (g *degradedShard) handle(w *worker, msg shardMsg) {
-	// Lock-release and thread-finished messages only maintain the access
-	// caches, which the degraded path does not use.
-	if msg.kind != msgBatch {
-		return
-	}
-	for _, sa := range msg.batch {
+func (g *degradedShard) handle(w *worker, batch shardBatch) {
+	for _, sa := range batch {
 		g.access(w, sa)
 	}
 }
 
 func (g *degradedShard) access(w *worker, sa shardAccess) {
-	w.stats.Accesses++
 	w.rec.DegradedEvents++
 	a := sa.a
 	ls := g.locs[a.Loc]
@@ -303,11 +309,12 @@ func (g *degradedShard) access(w *worker, sa shardAccess) {
 	case eraserVirgin:
 		ls.state = eraserExclusive
 		ls.firstT = a.Thread
+		ls.firstLocks = held
 	case eraserExclusive:
 		if a.Thread == ls.firstT {
 			return
 		}
-		ls.candidate = held
+		ls.candidate = ls.firstLocks.Intersect(held)
 		if a.Kind == event.Write {
 			ls.state = eraserSharedModified
 		} else {

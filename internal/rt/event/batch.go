@@ -14,10 +14,14 @@
 // of once per access.
 package event
 
+import "sync"
+
 // BatchSink is implemented by sinks that can consume a run of
 // consecutive accesses by a single thread in one call. All accesses in
 // the batch share the thread and the lock environment (flushes are
-// forced on every monitor and lifecycle event).
+// forced on every monitor and lifecycle event). The batch slice is
+// only valid for the duration of the call: the producer truncates and
+// reuses (and eventually pool-recycles) the backing buffer.
 type BatchSink interface {
 	Sink
 	AccessBatch(batch []Access)
@@ -45,16 +49,43 @@ func (NullSink) AccessBatch(batch []Access) {}
 // is requested without an explicit size.
 const DefaultBatchSize = 128
 
+// accessBufPool recycles per-thread batch buffers across Batcher
+// lifetimes (one Batcher per interpreter run): Close returns every
+// buffer here, so in steady state batched runs allocate no buffers at
+// all.
+var accessBufPool = sync.Pool{New: func() any { return []Access(nil) }}
+
+func getAccessBuf(want int) []Access {
+	b := accessBufPool.Get().([]Access)
+	if cap(b) < want {
+		return make([]Access, 0, want)
+	}
+	return b[:0]
+}
+
+func putAccessBuf(b []Access) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = Access{} // do not pin a dead run's locksets or strings
+	}
+	accessBufPool.Put(b[:0])
+}
+
 // Batcher wraps a sink with per-thread access batching. It implements
 // Sink itself; the owner (the interpreter) must additionally call
-// Flush at context switches and when the run ends.
+// Flush at context switches and Close when the run ends.
 type Batcher struct {
-	sink  Sink
-	batch BatchSink // non-nil when sink is batch-aware
-	size  int
-	bufs  [][]Access // per thread, lazily sized; at most one non-empty
-	live  ThreadID   // thread owning the single non-empty buffer
-	any   bool       // some buffer is non-empty
+	sink      Sink
+	batch     BatchSink // non-nil when sink is batch-aware
+	size      int
+	bufs      [][]Access // per thread, pool-backed, lazily sized; at most one non-empty
+	live      ThreadID   // thread owning the single non-empty buffer
+	any       bool       // some buffer is non-empty
+	closed    bool       // Close ran: buffers recycled, late events dropped
+	lateDrops uint64     // accesses dropped because they arrived after Close
 }
 
 // NewBatcher wraps sink; size <= 0 selects DefaultBatchSize.
@@ -102,23 +133,45 @@ func (b *Batcher) Flush() {
 	}
 }
 
-// Close flushes any buffered accesses. Producers that end early — an
-// interpreter error, a cancelled run — must call it (or Flush) so the
-// tail of the access stream is not silently dropped. Idempotent; the
-// batcher remains usable afterwards.
+// Close flushes any buffered accesses, returns every per-thread
+// buffer to the package pool, and marks the batcher terminal.
+// Producers must call it when the run ends — including early ends (an
+// interpreter error, a cancelled run) — so the tail of the access
+// stream is not silently dropped. Idempotent. After Close the batcher
+// is inert: late Access/AccessBatch calls are dropped (counted by
+// LateDrops) rather than written into a buffer that another run may
+// already have obtained from the pool; lifecycle and monitor events
+// still pass through to the sink.
 func (b *Batcher) Close() {
+	if b.closed {
+		return
+	}
 	b.Flush()
+	b.closed = true
+	for i, buf := range b.bufs {
+		b.bufs[i] = nil
+		putAccessBuf(buf)
+	}
+	b.bufs = nil
 }
+
+// LateDrops reports how many accesses arrived after Close and were
+// dropped under the post-Close contract.
+func (b *Batcher) LateDrops() uint64 { return b.lateDrops }
 
 // Access implements Sink: append to t's buffer, flushing another
 // thread's pending run first so global order is preserved.
 func (b *Batcher) Access(a Access) {
+	if b.closed {
+		b.lateDrops++
+		return
+	}
 	if b.any && b.live != a.Thread {
 		b.Flush()
 	}
 	buf := b.buf(a.Thread)
 	if *buf == nil {
-		*buf = make([]Access, 0, b.size)
+		*buf = getAccessBuf(b.size)
 	}
 	*buf = append(*buf, a)
 	b.live = a.Thread
@@ -131,6 +184,10 @@ func (b *Batcher) Access(a Access) {
 // AccessBatch implements BatchSink (an already-batched producer short-
 // circuits through, after flushing pending accesses).
 func (b *Batcher) AccessBatch(batch []Access) {
+	if b.closed {
+		b.lateDrops += uint64(len(batch))
+		return
+	}
 	for _, a := range batch {
 		b.Access(a)
 	}

@@ -136,6 +136,84 @@ func TestBatcherPanicMidFlushNoRedelivery(t *testing.T) {
 	}
 }
 
+// TestBatcherPostCloseDrops pins the post-Close contract: Close is
+// terminal, and accesses arriving afterwards are dropped and counted
+// instead of delivered or buffered.
+func TestBatcherPostCloseDrops(t *testing.T) {
+	sink := &recordingSink{}
+	b := NewBatcher(sink, 8)
+	b.Access(acc(0, 0))
+	b.Close()
+	if got := len(sink.accesses); got != 1 {
+		t.Fatalf("Close delivered %d accesses, want 1", got)
+	}
+	b.Access(acc(0, 1))
+	b.AccessBatch([]Access{acc(0, 2), acc(1, 3)})
+	b.Flush()
+	b.Close()
+	if got := len(sink.accesses); got != 1 {
+		t.Fatalf("post-Close events leaked downstream: %d accesses, want 1", got)
+	}
+	if got := b.LateDrops(); got != 3 {
+		t.Fatalf("LateDrops = %d, want 3", got)
+	}
+}
+
+// TestBatcherCloseDoesNotScribbleRecycledBuffer is the aliasing test
+// for the pooled buffers: Close hands the first batcher's buffer to
+// the package pool, a second batcher picks it up, and a late Access on
+// the first batcher must not write into what is now the second
+// batcher's live buffer.
+func TestBatcherCloseDoesNotScribbleRecycledBuffer(t *testing.T) {
+	first := NewBatcher(&recordingSink{}, 8)
+	first.Access(acc(0, 0))
+	first.Close()
+
+	// Drain anything else in the pool so the second batcher gets the
+	// first one's buffer (same capacity class) with high probability;
+	// correctness must hold regardless.
+	second := NewBatcher(&recordingSink{}, 8)
+	second.Access(acc(0, 10))
+	second.Access(acc(0, 11))
+
+	first.Access(acc(0, 99)) // must be dropped, not appended anywhere
+
+	sink := &recordingSink{}
+	second.sink, second.batch = sink, sink
+	second.Flush()
+	if len(sink.accesses) != 2 {
+		t.Fatalf("second batcher delivered %d accesses, want 2", len(sink.accesses))
+	}
+	for i, want := range []int32{10, 11} {
+		if got := sink.accesses[i].Loc.Slot; got != want {
+			t.Fatalf("access %d slot = %d, want %d (recycled buffer scribbled)", i, got, want)
+		}
+	}
+	if first.LateDrops() != 1 {
+		t.Fatalf("first.LateDrops = %d, want 1", first.LateDrops())
+	}
+}
+
+// TestBatcherPoolReuse: a Close/NewBatcher cycle reuses the pooled
+// buffer rather than allocating a fresh one each run.
+func TestBatcherPoolReuse(t *testing.T) {
+	// Prime the pool with a buffer of the right capacity class.
+	b := NewBatcher(&recordingSink{}, 64)
+	b.Access(acc(0, 0))
+	b.Close()
+
+	allocs := testing.AllocsPerRun(20, func() {
+		nb := NewBatcher(NullSink{}, 64)
+		nb.Access(acc(0, 1))
+		nb.Close()
+	})
+	// NewBatcher allocates the Batcher itself and the bufs spine; the
+	// 64-entry access buffer (the dominant cost) must come from the pool.
+	if allocs > 4 {
+		t.Fatalf("%v allocs per run cycle: access buffers are not being pool-recycled", allocs)
+	}
+}
+
 // TestBatcherSizeTrigger: the buffer flushes exactly when it reaches
 // the configured size.
 func TestBatcherSizeTrigger(t *testing.T) {

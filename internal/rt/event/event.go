@@ -240,20 +240,27 @@ func (l Lockset) String() string {
 }
 
 // Access is an access event (m, t, L, a, s).
+//
+// Field order is chosen for cache density, not readability: the event
+// pipeline buffers Access values by the thousand (Batcher runs, shard
+// ring batches, journal suffixes), so the struct keeps the wide
+// pointer-bearing fields together and packs the narrow scalars into
+// one trailing word — with the int32 token.Pos fields this is 96
+// bytes per event instead of the previous layout's 104.
 type Access struct {
-	Loc    Loc
-	Thread ThreadID
-	Locks  Lockset
+	Loc   Loc       // 16 bytes (12 used)
+	Locks Lockset   // 24
+	Pos   token.Pos // 24
+	// FieldName is the human-readable location name ("Class.field" or
+	// "[]") used only in reports.
+	FieldName string // 16
+	Thread    ThreadID
 	// LockID is the interned identity of Locks when the producing
 	// detector back end interns locksets (LockID and Locks are then set
 	// together and Locks is the interner's immutable canonical slice).
 	// Zero-valued events carry the empty lockset, consistently.
 	LockID LocksetID
 	Kind   Kind
-	Pos    token.Pos
-	// FieldName is the human-readable location name ("Class.field" or
-	// "[]") used only in reports.
-	FieldName string
 }
 
 func (a Access) String() string {

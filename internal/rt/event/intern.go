@@ -22,11 +22,11 @@ const EmptyLocksetID LocksetID = 0
 // them. It is not safe for concurrent use; each detector back end (and
 // each shard worker) owns its own.
 type Interner struct {
-	sets    []Lockset             // id → canonical set; sets[0] = ∅
+	sets    []Lockset              // id → canonical set; sets[0] = ∅
 	buckets map[uint64][]LocksetID // content hash → candidate ids
-	subset  map[uint64]bool       // pack(a,b) → a ⊆ b
-	inter   map[uint64]bool       // pack(a,b) → a ∩ b ≠ ∅
-	scratch Lockset               // canonicalization buffer (reused)
+	subset  map[uint64]bool        // pack(a,b) → a ⊆ b
+	inter   map[uint64]bool        // pack(a,b) → a ∩ b ≠ ∅
+	scratch Lockset                // canonicalization buffer (reused)
 }
 
 // NewInterner returns an interner holding only the empty lockset.

@@ -83,6 +83,17 @@ func (l *Log[T]) Append(m T) {
 	l.stats.Appended++
 }
 
+// Each visits the journaled suffix in order without touching the
+// replay accounting. The owner uses it just before Truncate to
+// reclaim per-message resources (the detector recycles batch buffers
+// into its freelist once a checkpoint has absorbed them); Replay is
+// the recovery path, Each is the housekeeping path.
+func (l *Log[T]) Each(fn func(T)) {
+	for _, m := range l.entries {
+		fn(m)
+	}
+}
+
 // Truncate discards the journaled suffix after a checkpoint has
 // absorbed it.
 func (l *Log[T]) Truncate() {

@@ -232,7 +232,7 @@ func parsePos(s string) token.Pos {
 		line, _ = strconv.Atoi(parts[0])
 		col, _ = strconv.Atoi(parts[1])
 	}
-	return token.Pos{File: file, Line: line, Col: col}
+	return token.Pos{File: file, Line: int32(line), Col: int32(col)}
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,222 @@
+// Package spsc provides the bounded single-producer/single-consumer
+// ring buffer behind the sharded detector's router→worker queues.
+//
+// The design is the classic Lamport ring with two monotonically
+// increasing position counters: tail (next slot the producer writes)
+// and head (next slot the consumer reads), each owned exclusively by
+// one side and published through atomics. The counters live on
+// separate cache lines so the producer's tail stores never invalidate
+// the consumer's head line and vice versa. Parking is two-phase to
+// avoid lost wakeups: a side that finds the ring empty (consumer) or
+// full (producer) publishes a "sleeping" flag, re-checks the
+// condition, and only then blocks on a buffered signal channel; the
+// opposite side checks the flag after every position publish and
+// posts a token when it is set. Because both the condition re-check
+// and the flag check happen after sequentially consistent atomic
+// publishes, one of the two sides always observes the other's write.
+// Spurious wakeups are possible (the channel holds at most one stale
+// token) and harmless — both loops re-check their condition.
+//
+// The contract is strictly SPSC: exactly one goroutine may push and
+// exactly one may pop. Close belongs to the producer side; after
+// Close, Pop drains the remaining items and then reports completion.
+package spsc
+
+import "sync/atomic"
+
+// cacheLine is the assumed coherence granularity used to pad the
+// producer- and consumer-owned counters apart (64 bytes on every
+// platform this runs on; a wrong guess costs performance, not
+// correctness).
+const cacheLine = 64
+
+// Ring is a bounded SPSC queue of T with park/unpark blocking.
+// The zero value is not usable; call New.
+type Ring[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    [cacheLine]byte
+	head atomic.Uint64 // consumer position: next slot to pop
+	_    [cacheLine - 8]byte
+	tail atomic.Uint64 // producer position: next slot to push
+	_    [cacheLine - 8]byte
+
+	closed atomic.Bool
+
+	consumerParked atomic.Bool
+	producerParked atomic.Bool
+	wakeConsumer   chan struct{} // capacity 1
+	wakeProducer   chan struct{} // capacity 1
+}
+
+// New returns a ring holding at least capacity items (rounded up to a
+// power of two so slot indexing is a mask, not a modulo).
+func New[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring[T]{
+		buf:          make([]T, n),
+		mask:         uint64(n - 1),
+		wakeConsumer: make(chan struct{}, 1),
+		wakeProducer: make(chan struct{}, 1),
+	}
+}
+
+// Cap returns the ring capacity in items.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the current queue depth. It is exact from within either
+// the producer or the consumer goroutine; from anywhere else it is a
+// racy snapshot (good enough for high-water marks).
+func (r *Ring[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Full reports whether a push right now would block. Producer-side
+// calls are conservative: the consumer may free a slot concurrently,
+// so Full may report true for a push that would in fact succeed —
+// never the reverse.
+func (r *Ring[T]) Full() bool {
+	t := r.tail.Load()
+	return t-r.head.Load() >= uint64(len(r.buf))
+}
+
+// TryPush appends v without blocking; it reports false when the ring
+// is full. Producer goroutine only.
+func (r *Ring[T]) TryPush(v T) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	if r.consumerParked.Load() {
+		r.consumerParked.Store(false)
+		select {
+		case r.wakeConsumer <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// Push appends v, parking the producer only while the ring is full.
+// Producer goroutine only; must not be called after Close.
+func (r *Ring[T]) Push(v T) {
+	for {
+		if r.TryPush(v) {
+			return
+		}
+		// Publish intent to sleep, then re-check: either we see the
+		// consumer's head advance here, or the consumer sees the flag
+		// after advancing and posts a token.
+		r.producerParked.Store(true)
+		if !r.Full() {
+			r.producerParked.Store(false)
+			continue
+		}
+		<-r.wakeProducer
+	}
+}
+
+// TryPop removes the oldest item without blocking. ok is false when
+// the ring is currently empty (closed or not). Consumer goroutine
+// only.
+func (r *Ring[T]) TryPop() (v T, ok bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return v, false
+	}
+	slot := &r.buf[h&r.mask]
+	v = *slot
+	var zero T
+	*slot = zero // release the reference; the slot may sit idle for long
+	r.head.Store(h + 1)
+	if r.producerParked.Load() {
+		r.producerParked.Store(false)
+		select {
+		case r.wakeProducer <- struct{}{}:
+		default:
+		}
+	}
+	return v, true
+}
+
+// Pop removes the oldest item, parking the consumer while the ring is
+// empty. ok is false only when the ring is closed and fully drained —
+// the consumer's termination signal. Consumer goroutine only.
+func (r *Ring[T]) Pop() (v T, ok bool) {
+	for {
+		if v, ok = r.TryPop(); ok {
+			return v, true
+		}
+		if r.closed.Load() {
+			// Close happens after the producer's final push; one more
+			// poll after observing closed cannot miss a trailing item.
+			if v, ok = r.TryPop(); ok {
+				return v, true
+			}
+			return v, false
+		}
+		r.consumerParked.Store(true)
+		if r.head.Load() != r.tail.Load() || r.closed.Load() {
+			r.consumerParked.Store(false)
+			continue
+		}
+		<-r.wakeConsumer
+	}
+}
+
+// PopBatch fills dst with up to len(dst) items, publishing the head
+// advance once for the whole run — the consumer-side analogue of
+// batched publishing. It never blocks; n is 0 when the ring is empty.
+// Consumer goroutine only.
+func (r *Ring[T]) PopBatch(dst []T) (n int) {
+	h := r.head.Load()
+	avail := r.tail.Load() - h
+	if avail == 0 {
+		return 0
+	}
+	n = len(dst)
+	if uint64(n) > avail {
+		n = int(avail)
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		slot := &r.buf[(h+uint64(i))&r.mask]
+		dst[i] = *slot
+		*slot = zero
+	}
+	r.head.Store(h + uint64(n))
+	if r.producerParked.Load() {
+		r.producerParked.Store(false)
+		select {
+		case r.wakeProducer <- struct{}{}:
+		default:
+		}
+	}
+	return n
+}
+
+// Close marks the stream complete. Producer goroutine only; pushing
+// after Close is a contract violation. The consumer drains whatever
+// is still buffered and then sees Pop return ok == false.
+func (r *Ring[T]) Close() {
+	r.closed.Store(true)
+	if r.consumerParked.Load() {
+		r.consumerParked.Store(false)
+		select {
+		case r.wakeConsumer <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Closed reports whether Close has been called.
+func (r *Ring[T]) Closed() bool { return r.closed.Load() }

@@ -1,0 +1,257 @@
+package spsc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFIFOOrder pins the basic contract: a closed stream of N pushes
+// pops as exactly the same N values in order.
+func TestFIFOOrder(t *testing.T) {
+	r := New[int](8)
+	const n = 1000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			r.Push(i)
+		}
+		r.Close()
+	}()
+	for i := 0; i < n; i++ {
+		v, ok := r.Pop()
+		if !ok {
+			t.Fatalf("ring closed after %d of %d items", i, n)
+		}
+		if v != i {
+			t.Fatalf("item %d: got %d (reordered or duplicated)", i, v)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatalf("ring yielded an item past the end of the stream")
+	}
+	wg.Wait()
+}
+
+// TestWraparound forces the positions far past the buffer length on a
+// tiny ring so slot indexing exercises the mask on every lap.
+func TestWraparound(t *testing.T) {
+	r := New[uint64](2)
+	if r.Cap() != 2 {
+		t.Fatalf("cap = %d, want 2", r.Cap())
+	}
+	const n = 30_000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(0); i < n; i++ {
+			r.Push(i)
+		}
+		r.Close()
+	}()
+	var got uint64
+	for {
+		v, ok := r.Pop()
+		if !ok {
+			break
+		}
+		if v != got {
+			t.Fatalf("item %d: got %d", got, v)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("popped %d items, want %d", got, n)
+	}
+	<-done
+}
+
+// TestCapacityRounding pins the power-of-two rounding.
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{-1, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {7, 8}, {8, 8}, {9, 16},
+	} {
+		if got := New[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestTryPushFull checks the non-blocking producer path: a full ring
+// refuses the push and Full reports it, without disturbing contents.
+func TestTryPushFull(t *testing.T) {
+	r := New[int](2)
+	if !r.TryPush(1) || !r.TryPush(2) {
+		t.Fatalf("pushes into empty ring refused")
+	}
+	if !r.Full() {
+		t.Fatalf("ring with cap items is not Full")
+	}
+	if r.TryPush(3) {
+		t.Fatalf("TryPush succeeded on a full ring")
+	}
+	if v, ok := r.TryPop(); !ok || v != 1 {
+		t.Fatalf("TryPop = %d,%v want 1,true", v, ok)
+	}
+	if !r.TryPush(3) {
+		t.Fatalf("TryPush refused after a slot freed")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+}
+
+// TestSlowConsumerParksProducer injects a slow consumer so the
+// producer repeatedly finds the ring full and takes the park path;
+// every item must still arrive exactly once, in order. Run under
+// -race this doubles as the producer-park memory-ordering test.
+func TestSlowConsumerParksProducer(t *testing.T) {
+	r := New[int](2)
+	const n = 300
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			r.Push(i)
+		}
+		r.Close()
+	}()
+	for i := 0; i < n; i++ {
+		if i%16 == 0 {
+			time.Sleep(time.Millisecond) // let the producer fill and park
+		}
+		v, ok := r.Pop()
+		if !ok {
+			t.Fatalf("stream ended at %d of %d", i, n)
+		}
+		if v != i {
+			t.Fatalf("item %d: got %d", i, v)
+		}
+	}
+	<-done
+}
+
+// TestSlowProducerParksConsumer is the mirror image: a trickling
+// producer forces the consumer through the empty-ring park path.
+func TestSlowProducerParksConsumer(t *testing.T) {
+	r := New[int](8)
+	const n = 100
+	go func() {
+		for i := 0; i < n; i++ {
+			if i%8 == 0 {
+				time.Sleep(time.Millisecond) // let the consumer drain and park
+			}
+			r.Push(i)
+		}
+		r.Close()
+	}()
+	for i := 0; i < n; i++ {
+		v, ok := r.Pop()
+		if !ok {
+			t.Fatalf("stream ended at %d of %d", i, n)
+		}
+		if v != i {
+			t.Fatalf("item %d: got %d", i, v)
+		}
+	}
+}
+
+// TestPopBatch drains with the amortized consumer path and checks the
+// stream is intact across batch boundaries.
+func TestPopBatch(t *testing.T) {
+	r := New[int](16)
+	const n = 10_000
+	go func() {
+		for i := 0; i < n; i++ {
+			r.Push(i)
+		}
+		r.Close()
+	}()
+	buf := make([]int, 5)
+	next := 0
+	for {
+		k := r.PopBatch(buf)
+		if k == 0 {
+			if r.Closed() {
+				// Trailing items may have landed between the failed
+				// PopBatch and the Closed check.
+				if k = r.PopBatch(buf); k == 0 {
+					break
+				}
+			} else {
+				continue
+			}
+		}
+		for _, v := range buf[:k] {
+			if v != next {
+				t.Fatalf("item %d: got %d", next, v)
+			}
+			next++
+		}
+	}
+	if next != n {
+		t.Fatalf("popped %d items, want %d", next, n)
+	}
+}
+
+// TestCloseDrainsTail pins the shutdown contract: items pushed before
+// Close are all delivered before Pop reports completion, even when
+// the consumer only starts after Close.
+func TestCloseDrainsTail(t *testing.T) {
+	r := New[int](8)
+	for i := 0; i < 5; i++ {
+		r.Push(i)
+	}
+	r.Close()
+	for i := 0; i < 5; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop %d = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatalf("Pop returned an item after the drained tail")
+	}
+	if !r.Closed() {
+		t.Fatalf("Closed() false after Close")
+	}
+}
+
+// TestCloseWakesParkedConsumer ensures a consumer parked on an empty
+// ring observes Close promptly instead of sleeping forever.
+func TestCloseWakesParkedConsumer(t *testing.T) {
+	r := New[int](4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := r.Pop(); ok {
+			t.Error("Pop returned an item from an empty closed ring")
+		}
+	}()
+	time.Sleep(2 * time.Millisecond) // consumer is (very likely) parked
+	r.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("consumer still parked after Close (lost wakeup)")
+	}
+}
+
+// TestReferenceRelease checks that popped slots do not pin their
+// items: after a pop, the slot holds the zero value again. (Keeping
+// batch buffers alive through idle ring slots would defeat the
+// recycling the detector builds on top.)
+func TestReferenceRelease(t *testing.T) {
+	r := New[[]int](4)
+	r.Push([]int{1, 2, 3})
+	if v, ok := r.Pop(); !ok || len(v) != 3 {
+		t.Fatalf("Pop = %v,%v", v, ok)
+	}
+	for i := range r.buf {
+		if r.buf[i] != nil {
+			t.Fatalf("slot %d still references the popped slice", i)
+		}
+	}
+}

@@ -19,7 +19,7 @@ func locAcc(obj event.ObjID, t event.ThreadID, kind event.Kind, locks ...event.O
 func TestBoundedBehavesLikeUnboundedUnderBudget(t *testing.T) {
 	// With a generous budget the bounded detector must be bit-identical
 	// to the unbounded one: same verdicts, no degradation counters.
-	d1, d2 := New(), NewBounded(1 << 20)
+	d1, d2 := New(), NewBounded(1<<20)
 	events := []event.Access{
 		locAcc(1, 1, event.Write, 100),
 		locAcc(1, 2, event.Write, 200),
