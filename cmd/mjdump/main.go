@@ -28,6 +28,7 @@ func main() {
 		pointsTo = flag.Bool("pointsto", false, "dump may points-to sets of abstract objects")
 		raceSet  = flag.Bool("raceset", false, "dump the static datarace set and pruning stats")
 		icgDump  = flag.Bool("icg", false, "dump the interthread call graph analyses")
+		facts    = flag.Bool("facts", false, "dump the per-access-site keep/kill report of the static phase")
 		noOpt    = flag.Bool("noopt", false, "disable peeling and the static weaker-than elimination")
 	)
 	flag.Parse()
@@ -52,7 +53,7 @@ func main() {
 		for _, e := range errs {
 			fmt.Fprintln(os.Stderr, "mjdump:", e)
 		}
-		if !*dumpAST && !*dumpIR && !*pointsTo && !*raceSet && !*icgDump {
+		if !*dumpAST && !*dumpIR && !*pointsTo && !*raceSet && !*icgDump && !*facts {
 			return
 		}
 	}
@@ -92,6 +93,9 @@ func main() {
 			fn := pipe.Prog.Funcs[byName[name]]
 			fmt.Printf("fn %-30s mustThread=%v roots=%v\n", fn.Name, pipe.ICG.MustThreadOf(fn).Sorted(), pipe.ICG.ReachingRoots(fn))
 		}
+	}
+	if *facts {
+		fmt.Print(pipe.FactsReport())
 	}
 	if *raceSet {
 		if pipe.Static == nil {

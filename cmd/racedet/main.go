@@ -47,25 +47,26 @@ const (
 
 func main() {
 	var (
-		detName    = flag.String("detector", "trie", "runtime detector: trie, eraser, objectrace, hb")
-		noStatic   = flag.Bool("nostatic", false, "disable static datarace analysis (instrument everything)")
-		noDom      = flag.Bool("nodominators", false, "disable static weaker-than elimination and loop peeling")
-		noPeel     = flag.Bool("nopeeling", false, "disable loop peeling only")
-		noCache    = flag.Bool("nocache", false, "disable the runtime access cache")
-		noOwner    = flag.Bool("noownership", false, "disable the ownership model")
-		noPseudo   = flag.Bool("nopseudolocks", false, "disable join pseudolocks")
-		merged     = flag.Bool("fieldsmerged", false, "detect at object granularity")
-		reportAll  = flag.Bool("all", false, "report every racing access, not one per location")
-		seed       = flag.Int64("seed", 0, "scheduler seed (0 = fixed round-robin)")
-		quantum    = flag.Int("quantum", 0, "scheduler preemption quantum in instructions")
-		maxSteps   = flag.Uint64("maxsteps", 0, "instruction budget (0 = default 200M)")
-		quiet      = flag.Bool("q", false, "suppress program output")
-		showStats  = flag.Bool("stats", false, "print pipeline statistics")
-		recordPath = flag.String("record", "", "write the event log to this file for post-mortem analysis")
-		replayPath = flag.String("replay", "", "post-mortem: replay a recorded event log instead of running a program")
-		fullRace   = flag.Bool("fullrace", false, "with -replay: reconstruct every racing access pair (O(N^2))")
-		deadlocks  = flag.Bool("deadlock", false, "also run the lock-order potential-deadlock analysis")
-		immut      = flag.Bool("immutability", false, "also classify shared fields as observed-immutable or mutable")
+		detName     = flag.String("detector", "trie", "runtime detector: trie, eraser, objectrace, hb")
+		noStatic    = flag.Bool("nostatic", false, "disable static datarace analysis (instrument everything)")
+		noDom       = flag.Bool("nodominators", false, "disable static weaker-than elimination and loop peeling")
+		noPeel      = flag.Bool("nopeeling", false, "disable loop peeling only")
+		noInterproc = flag.Bool("nointerproc", false, "disable the interprocedural static strengthenings (must-lock dataflow, cross-call elimination)")
+		noCache     = flag.Bool("nocache", false, "disable the runtime access cache")
+		noOwner     = flag.Bool("noownership", false, "disable the ownership model")
+		noPseudo    = flag.Bool("nopseudolocks", false, "disable join pseudolocks")
+		merged      = flag.Bool("fieldsmerged", false, "detect at object granularity")
+		reportAll   = flag.Bool("all", false, "report every racing access, not one per location")
+		seed        = flag.Int64("seed", 0, "scheduler seed (0 = fixed round-robin)")
+		quantum     = flag.Int("quantum", 0, "scheduler preemption quantum in instructions")
+		maxSteps    = flag.Uint64("maxsteps", 0, "instruction budget (0 = default 200M)")
+		quiet       = flag.Bool("q", false, "suppress program output")
+		showStats   = flag.Bool("stats", false, "print pipeline statistics")
+		recordPath  = flag.String("record", "", "write the event log to this file for post-mortem analysis")
+		replayPath  = flag.String("replay", "", "post-mortem: replay a recorded event log instead of running a program")
+		fullRace    = flag.Bool("fullrace", false, "with -replay: reconstruct every racing access pair (O(N^2))")
+		deadlocks   = flag.Bool("deadlock", false, "also run the lock-order potential-deadlock analysis")
+		immut       = flag.Bool("immutability", false, "also classify shared fields as observed-immutable or mutable")
 
 		fuzzN       = flag.Int("fuzz", 0, "explore N scheduler seeds and classify races as stable or schedule-dependent")
 		workers     = flag.Int("workers", 0, "parallel workers for -fuzz (0 = one per CPU)")
@@ -82,6 +83,9 @@ func main() {
 		journalCap  = flag.Int("journal", 4096, "with -shards: per-shard event journal capacity for crash recovery (0 = no fault tolerance)")
 		retryBudget = flag.Int("retry-budget", 3, "with -shards and -journal: worker restart attempts before a shard degrades to the Eraser path")
 		inject      = flag.String("inject", "", `fault-injection spec for robustness testing, e.g. "panic:shard=1,event=100" (see docs/robustness.md)`)
+		factCache   = flag.String("factcache", "", "persist static-analysis results under this directory and reuse them for unchanged functions")
+		ptsWorkers  = flag.Int("pts-workers", 0, "parallel workers for the points-to solver (0 = serial; the result is identical)")
+		explain     = flag.Bool("explain-static", false, "print the per-access-site keep/kill report of the static phase and exit")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -156,6 +160,9 @@ func main() {
 		DisableStaticAnalysis:  *noStatic,
 		DisableWeakerThan:      *noDom,
 		DisablePeeling:         *noPeel,
+		DisableInterproc:       *noInterproc,
+		PointsToWorkers:        *ptsWorkers,
+		FactCacheDir:           *factCache,
 		DisableCache:           *noCache,
 		DisableOwnership:       *noOwner,
 		DisableJoinPseudoLocks: *noPseudo,
@@ -189,6 +196,15 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "racedet: unknown detector %q\n", *detName)
 		os.Exit(exitInternal)
+	}
+
+	if *explain {
+		c, err := racedet.Compile(file, string(src), opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(c.StaticReport())
+		exit(exitClean)
 	}
 
 	if *fuzzN > 0 {

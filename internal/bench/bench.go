@@ -136,6 +136,7 @@ func Table2Configs() []struct {
 		{"NoStatic", core.Full().NoStatic()},
 		{"NoDominators", core.Full().NoDominators()},
 		{"NoPeeling", core.Full().NoPeeling()},
+		{"NoInterproc", core.Full().NoInterproc()},
 		{"NoCache", core.Full().NoCache()},
 	}
 }

@@ -25,7 +25,7 @@ func TestTable2Output(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"Table 2", "Base", "Full", "NoStatic", "NoDominators", "NoPeeling", "NoCache", "DetWork"} {
+	for _, want := range []string{"Table 2", "Base", "Full", "NoStatic", "NoDominators", "NoPeeling", "NoInterproc", "NoCache", "DetWork"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table 2 output missing %q", want)
 		}
@@ -34,15 +34,15 @@ func TestTable2Output(t *testing.T) {
 	if strings.Contains(out, "elevator") || strings.Contains(out, "hedc") {
 		t.Error("Table 2 must exclude the interactive benchmarks")
 	}
-	// 3 benchmarks x 6 configs = 18 data rows.
+	// 3 benchmarks x 7 configs = 21 data rows.
 	rows := 0
 	for _, line := range strings.Split(out, "\n") {
 		if strings.HasPrefix(line, "mtrt") || strings.HasPrefix(line, "tsp") || strings.HasPrefix(line, "sor2") {
 			rows++
 		}
 	}
-	if rows != 18 {
-		t.Errorf("Table 2 data rows = %d, want 18", rows)
+	if rows != 21 {
+		t.Errorf("Table 2 data rows = %d, want 21", rows)
 	}
 }
 
@@ -87,7 +87,7 @@ func TestTable2BenchRowsConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 6 || rows[0].Config != "Base" {
+	if len(rows) != 7 || rows[0].Config != "Base" {
 		t.Fatalf("rows = %+v", rows)
 	}
 	base := rows[0]

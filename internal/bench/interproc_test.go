@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"racedet/internal/core"
+)
+
+// emitted returns the post-elimination trace-instruction budget of a
+// benchmark's compile.
+func emitted(t *testing.T, b Benchmark, cfg core.Config) int {
+	t.Helper()
+	pipe, err := core.Compile(b.Name+".mj", b.Source(), cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name, err)
+	}
+	return pipe.InstrStats.Inserted - pipe.InstrStats.Eliminated
+}
+
+// The interprocedural weaker-than elimination must be worth something
+// on the paper benchmarks: sor2 exercises the stable-field merge (the
+// grid matrix is assigned once in a constructor) and mtrt the
+// entry-coverage pass, so Full must emit strictly fewer trace
+// instructions than NoInterproc on both.
+func TestInterprocShrinksTraceBudget(t *testing.T) {
+	for _, name := range []string{"sor2", "mtrt"} {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := emitted(t, b, core.Full())
+		noip := emitted(t, b, core.Full().NoInterproc())
+		if full >= noip {
+			t.Errorf("%s: Full emits %d traces, NoInterproc %d; interproc must shrink the budget",
+				name, full, noip)
+		} else {
+			t.Logf("%s: Full %d traces vs NoInterproc %d", name, full, noip)
+		}
+	}
+}
+
+// Disabling the interprocedural analyses may only cost precision of
+// the *instrumentation budget*, never reports: on every benchmark the
+// racy-object sets of Full and NoInterproc are identical.
+func TestInterprocPreservesReports(t *testing.T) {
+	for _, b := range All() {
+		rf, err := b.Run(core.Full())
+		if err != nil {
+			t.Fatalf("%s full: %v", b.Name, err)
+		}
+		rn, err := b.Run(core.Full().NoInterproc())
+		if err != nil {
+			t.Fatalf("%s nointerproc: %v", b.Name, err)
+		}
+		of, on := objStrings(rf.RacyObjects), objStrings(rn.RacyObjects)
+		sort.Strings(of)
+		sort.Strings(on)
+		if fmt.Sprint(of) != fmt.Sprint(on) {
+			t.Errorf("%s: racy objects differ:\nfull:        %v\nnointerproc: %v", b.Name, of, on)
+		}
+	}
+}

@@ -33,6 +33,16 @@ type JSONResult struct {
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	RacyObjects int   `json:"racy_objects"`
 
+	// Static-phase outcome of the cell's compile (identical across
+	// reps): wall time of the analyses and the emitted-trace budget.
+	// TracesEmitted = TracesInserted - TracesEliminated is the count
+	// the NoInterproc-vs-Full comparison gates on.
+	StaticAnalysisNs int64 `json:"static_analysis_ns,omitempty"`
+	TracesInserted   int   `json:"traces_inserted,omitempty"`
+	TracesEliminated int   `json:"traces_eliminated,omitempty"`
+	TracesEmitted    int   `json:"traces_emitted,omitempty"`
+	ElimInterproc    int   `json:"elim_interproc,omitempty"`
+
 	// Fault-tolerance counters of the supervised sharded configuration
 	// (last run of the measurement; omitted when zero). Checkpoints and
 	// JournaledEvents are the insurance overhead; the rest should stay
@@ -138,6 +148,56 @@ func jsonConfigs(o JSONOptions) []struct {
 	)
 }
 
+// measureStaticAnalysis adds one "StaticAnalysis" pseudo-configuration
+// row per benchmark: ns/op of the whole compile phase (parse through
+// instrumentation) under the Full configuration, so the perf gate can
+// watch static-analysis wall time alongside the runtime columns.
+func measureStaticAnalysis(o JSONOptions) ([]JSONResult, error) {
+	var out []JSONResult
+	for _, b := range All() {
+		var ns, allocs, bytes []int64
+		var pipe *core.Pipeline
+		for rep := 0; rep < o.BenchReps; rep++ {
+			var compErr error
+			br := testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				for i := 0; i < tb.N; i++ {
+					p, err := core.Compile(b.Name+".mj", b.Source(), core.Full())
+					if err != nil {
+						compErr = err
+						tb.FailNow()
+					}
+					pipe = p
+				}
+			})
+			if compErr != nil {
+				return nil, fmt.Errorf("bench %s/StaticAnalysis: %w", b.Name, compErr)
+			}
+			ns = append(ns, br.NsPerOp())
+			allocs = append(allocs, br.AllocsPerOp())
+			bytes = append(bytes, br.AllocedBytesPerOp())
+		}
+		r := JSONResult{
+			Benchmark:        b.Name,
+			Config:           "StaticAnalysis",
+			NsPerOp:          median(ns),
+			AllocsPerOp:      median(allocs),
+			BytesPerOp:       median(bytes),
+			StaticAnalysisNs: pipe.StaticStats.AnalysisNs,
+			TracesInserted:   pipe.InstrStats.Inserted,
+			TracesEliminated: pipe.InstrStats.Eliminated,
+			TracesEmitted:    pipe.InstrStats.Inserted - pipe.InstrStats.Eliminated,
+			ElimInterproc:    pipe.StaticStats.ElimInterproc,
+		}
+		if o.BenchReps > 1 {
+			r.Reps = o.BenchReps
+			r.NsMin, r.NsMax = minMax(ns)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 // median returns the middle element of the samples (the lower middle
 // for even counts, so the result is always an observed value).
 func median(xs []int64) int64 {
@@ -229,20 +289,25 @@ func WriteJSON(w io.Writer, opts JSONOptions) error {
 	}
 	for _, cl := range cells {
 		r := JSONResult{
-			Benchmark:       cl.bench,
-			Config:          cl.cfgName,
-			Shards:          cl.cfg.Shards,
-			BatchSize:       cl.cfg.BatchSize,
-			NsPerOp:         median(cl.ns),
-			AllocsPerOp:     median(cl.allocs),
-			BytesPerOp:      median(cl.bytes),
-			RacyObjects:     cl.racy,
-			Checkpoints:     cl.rec.Checkpoints,
-			JournaledEvents: cl.rec.Journaled,
-			WorkerRestarts:  cl.rec.Restarts,
-			DegradedShards:  cl.rec.DegradedShards,
-			DroppedEvents:   cl.rec.DroppedEvents,
-			QueueHighWater:  cl.rec.QueueHighWater,
+			Benchmark:        cl.bench,
+			Config:           cl.cfgName,
+			Shards:           cl.cfg.Shards,
+			BatchSize:        cl.cfg.BatchSize,
+			NsPerOp:          median(cl.ns),
+			AllocsPerOp:      median(cl.allocs),
+			BytesPerOp:       median(cl.bytes),
+			RacyObjects:      cl.racy,
+			StaticAnalysisNs: cl.pipe.StaticStats.AnalysisNs,
+			TracesInserted:   cl.pipe.InstrStats.Inserted,
+			TracesEliminated: cl.pipe.InstrStats.Eliminated,
+			TracesEmitted:    cl.pipe.InstrStats.Inserted - cl.pipe.InstrStats.Eliminated,
+			ElimInterproc:    cl.pipe.StaticStats.ElimInterproc,
+			Checkpoints:      cl.rec.Checkpoints,
+			JournaledEvents:  cl.rec.Journaled,
+			WorkerRestarts:   cl.rec.Restarts,
+			DegradedShards:   cl.rec.DegradedShards,
+			DroppedEvents:    cl.rec.DroppedEvents,
+			QueueHighWater:   cl.rec.QueueHighWater,
 		}
 		if o.BenchReps > 1 {
 			r.Reps = o.BenchReps
@@ -250,6 +315,11 @@ func WriteJSON(w io.Writer, opts JSONOptions) error {
 		}
 		rep.Results = append(rep.Results, r)
 	}
+	static, err := measureStaticAnalysis(o)
+	if err != nil {
+		return err
+	}
+	rep.Results = append(rep.Results, static...)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

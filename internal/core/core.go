@@ -8,6 +8,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -34,6 +35,7 @@ import (
 	"racedet/internal/rt/objectrace"
 	"racedet/internal/rt/postmortem"
 	"racedet/internal/rt/vclock"
+	"racedet/internal/static/factcache"
 )
 
 // DetectorKind selects the runtime detector.
@@ -80,6 +82,21 @@ type Config struct {
 	Peeling bool
 	// Cache enables the §4 runtime optimizer (false = "NoCache").
 	Cache bool
+	// Interproc enables the interprocedural strengthenings of the
+	// static phase: the flow-sensitive must-held-lockset dataflow
+	// backing MustCommonSync, and the cross-call weaker-than
+	// elimination (relaxed barriers, stable fields, MustTrace
+	// summaries). False = "NoInterproc": exactly the per-function
+	// analysis, for the ablation column.
+	Interproc bool
+	// PtsWorkers > 0 runs the Andersen points-to solver on that many
+	// parallel workers (same fixed point, see pointsto.AnalyzeParallel);
+	// 0 keeps the serial solver.
+	PtsWorkers int
+	// FactCacheDir, when non-empty, persists per-function static
+	// analysis results keyed by content digests under this directory
+	// and reuses them for unchanged functions on later compiles.
+	FactCacheDir string
 	// Ownership enables the §7 ownership filter (false =
 	// "NoOwnership").
 	Ownership bool
@@ -192,6 +209,7 @@ func Full() Config {
 		Cache:       true,
 		Ownership:   true,
 		PseudoLocks: true,
+		Interproc:   true,
 		Detector:    DetTrie,
 	}
 }
@@ -217,6 +235,10 @@ func (c Config) NoPeeling() Config { c.Peeling = false; return c }
 // NoCache disables the runtime optimizer (Table 2 "NoCache").
 func (c Config) NoCache() Config { c.Cache = false; return c }
 
+// NoInterproc disables the interprocedural static strengthenings
+// (ablation column "NoInterproc": per-function analysis only).
+func (c Config) NoInterproc() Config { c.Interproc = false; return c }
+
 // NoOwnership disables the ownership filter (Table 3 "NoOwnership").
 func (c Config) NoOwnership() Config { c.Ownership = false; return c }
 
@@ -238,6 +260,18 @@ type StaticStats struct {
 	ThreadLocalPruned int
 	SameThreadPruned  int
 	CommonSyncPruned  int
+	// FlowSyncPruned is the subset of CommonSyncPruned proven only by
+	// the flow-sensitive must-held-lockset dataflow (0 without
+	// Config.Interproc).
+	FlowSyncPruned int
+	// ElimIntra/ElimPeel/ElimInterproc split InstrStats.Eliminated by
+	// what justified each kill (see instrument.ElimKind).
+	ElimIntra     int
+	ElimPeel      int
+	ElimInterproc int
+	// AnalysisNs is the wall time of the static phase: points-to, call
+	// graph, escape, race analysis, and trace insertion/elimination.
+	AnalysisNs int64
 }
 
 // Pipeline is a compiled program plus everything the runtime needs.
@@ -253,6 +287,13 @@ type Pipeline struct {
 	Pts    *pointsto.Result
 	ICG    *icfg.Graph
 	Esc    *escape.Result
+
+	// ElimReport details every weaker-than elimination (nil unless
+	// Config.Instrument && Config.Dominators).
+	ElimReport *instrument.Report
+	// CacheStats reports fact-cache hits/misses (zero value when
+	// Config.FactCacheDir is empty).
+	CacheStats factcache.Stats
 
 	InstrStats  instrument.Stats
 	StaticStats StaticStats
@@ -297,15 +338,46 @@ func Compile(file, src string, cfg Config) (*Pipeline, error) {
 	p.Lower = lower.Lower(sp)
 	p.Prog = p.Lower.Prog
 
+	// Fact cache: when the whole-program digest matches a prior
+	// compile, replay the traced-instruction sets and stats and skip
+	// every analysis below.
+	var cache *factcache.Cache
+	var progDigest string
+	if cfg.FactCacheDir != "" {
+		cache = factcache.Open(cfg.FactCacheDir, factcache.Fingerprint(
+			cfg.Instrument, cfg.Static, cfg.Dominators, cfg.Peeling, cfg.Interproc))
+		// The digest must cover the pre-instrumentation lowering: Store
+		// runs after InsertTraces has rewritten the IR.
+		progDigest = cache.ProgramDigest(p.Prog)
+		if ent, ok := cache.Lookup(progDigest); ok {
+			if err := p.applyCached(ent); err == nil {
+				p.CacheStats = cache.Stats
+				return p, nil
+			}
+			// A stale or corrupt entry falls through to a full compile.
+			cache.Stats.ProgramHit = false
+		}
+	}
+
+	analysisStart := time.Now()
+
 	// Whole-program analyses (needed for static race analysis; cheap
 	// enough to run always so tools can inspect them).
-	p.Pts = pointsto.Analyze(p.Prog)
+	if cfg.PtsWorkers > 0 {
+		p.Pts = pointsto.AnalyzeParallel(p.Prog, cfg.PtsWorkers)
+	} else {
+		p.Pts = pointsto.Analyze(p.Prog)
+	}
 	p.ICG = icfg.Build(p.Prog, p.Lower, p.Pts)
 	p.Esc = escape.Analyze(p.Prog, p.Pts)
 
 	var filter instrument.Filter
 	if cfg.Static {
-		p.Static = racestatic.Analyze(p.Prog, p.Pts, p.ICG, p.Esc)
+		var opt racestatic.Options
+		if cfg.Interproc {
+			opt.MustLock = icfg.BuildMustLock(p.ICG)
+		}
+		p.Static = racestatic.AnalyzeOpts(p.Prog, p.Pts, p.ICG, p.Esc, opt)
 		filter = p.Static.Filter()
 		p.StaticStats = StaticStats{
 			AccessSites:       len(p.Static.Sites),
@@ -314,20 +386,221 @@ func Compile(file, src string, cfg Config) (*Pipeline, error) {
 			ThreadLocalPruned: p.Static.PrunedThreadLocal,
 			SameThreadPruned:  p.Static.PrunedSameThread,
 			CommonSyncPruned:  p.Static.PrunedCommonSync,
+			FlowSyncPruned:    p.Static.PrunedCommonSyncFlow,
 		}
 	}
 
 	if cfg.Instrument {
+		var ip *instrument.Interproc
+		if cfg.Dominators && cfg.Interproc {
+			ip = instrument.BuildInterproc(p.Prog, p.Pts)
+		}
+
+		// Function-level cache: the latest entry for this configuration
+		// lets clean call-graph components replay their traced sets and
+		// skip the elimination sweep (see factcache.Dirty).
+		var dirty map[*ir.Func]bool
+		var semDigests map[*ir.Func]string
+		var priorByName map[string]factcache.FnEntry
+		var prior *factcache.Entry
+		if cache != nil {
+			prior, _ = cache.Latest()
+			semDigests = p.semDigests(filter)
+			stable := factcache.StableDigest(nil)
+			if ip != nil {
+				stable = factcache.StableDigest(ip.StableFields())
+			}
+			// Interprocedural facts couple a function's outcome to its
+			// whole call-graph component; without them elimination is
+			// strictly per-function, so a change dirties only itself.
+			var edges map[*ir.Func][]*ir.Func
+			if ip != nil {
+				edges = factcache.UndirectedCallGraph(p.Prog, func(in *ir.Instr) []*ir.Func {
+					return p.Pts.Callees[in]
+				})
+			}
+			dirty = factcache.Dirty(prior, stable, p.Prog.Funcs, semDigests, edges)
+			priorByName = make(map[string]factcache.FnEntry)
+			if prior != nil {
+				for _, fe := range prior.Fns {
+					priorByName[fe.Name] = fe
+				}
+			}
+		}
+
+		perFnInserted := make(map[string]int, len(p.Prog.Funcs))
 		for _, fn := range p.Prog.Funcs {
+			if dirty != nil && !dirty[fn] {
+				fe := priorByName[fn.Name]
+				if replay, ok := factcache.ReplayFilter(fn, fe.Traced); ok {
+					st := instrument.InsertTraces(fn, replay)
+					p.InstrStats.Accesses += st.Accesses
+					p.InstrStats.Inserted += fe.Inserted
+					p.InstrStats.Eliminated += fe.Eliminated
+					perFnInserted[fn.Name] = fe.Inserted
+					cache.Stats.FnHits++
+					continue
+				}
+				dirty[fn] = true // stale entry: recompute this function
+			}
 			st := instrument.InsertTraces(fn, filter)
 			p.InstrStats.Accesses += st.Accesses
 			p.InstrStats.Inserted += st.Inserted
-			if cfg.Dominators {
-				p.InstrStats.Eliminated += instrument.EliminateRedundant(fn)
+			perFnInserted[fn.Name] = st.Inserted
+			if cache != nil {
+				cache.Stats.FnMisses++
 			}
 		}
+
+		if cfg.Dominators {
+			var skip func(*ir.Func) bool
+			if dirty != nil {
+				skip = func(fn *ir.Func) bool { return !dirty[fn] }
+			}
+			n, rep := instrument.EliminateProgramWith(p.Prog, ip, skip)
+			p.InstrStats.Eliminated += n
+			// Clean functions' eliminations are replayed from the prior
+			// entry so the report stays complete.
+			if prior != nil {
+				for _, e := range prior.Elims {
+					if fn := p.Prog.FuncByName(e.Fn); fn != nil && !dirty[fn] {
+						rep.Elims = append(rep.Elims, e)
+					}
+				}
+				rep.Sort()
+			}
+			p.ElimReport = rep
+			p.StaticStats.ElimIntra, p.StaticStats.ElimPeel, p.StaticStats.ElimInterproc = rep.Counts()
+		}
+
+		if cache != nil {
+			cache.Store(progDigest, p.cacheEntry(semDigests, perFnInserted, ip))
+		}
+	}
+	p.StaticStats.AnalysisNs = time.Since(analysisStart).Nanoseconds()
+	if cache != nil {
+		p.CacheStats = cache.Stats
 	}
 	return p, nil
+}
+
+// semDigests computes every function's semantic digest: lowered IR
+// content, per-access race-set bits, resolved callees per call site,
+// and the thread-root bit (see factcache.SemDigest).
+func (p *Pipeline) semDigests(filter instrument.Filter) map[*ir.Func]string {
+	roots := make(map[*ir.Func]bool)
+	if main := p.Prog.FuncOf[p.Prog.Sem.Main]; main != nil {
+		roots[main] = true
+	}
+	for _, runs := range p.Pts.StartTargets {
+		for _, f := range runs {
+			roots[f] = true
+		}
+	}
+	out := make(map[*ir.Func]string, len(p.Prog.Funcs))
+	for _, fn := range p.Prog.Funcs {
+		var bits []bool
+		var callees []string
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.IsAccess() {
+					bits = append(bits, filter == nil || filter(in))
+				}
+				if in.Op == ir.OpCall {
+					names := make([]string, 0, len(p.Pts.Callees[in]))
+					for _, c := range p.Pts.Callees[in] {
+						names = append(names, c.Name)
+					}
+					callees = append(callees, strings.Join(names, "+"))
+				}
+			}
+		}
+		out[fn] = factcache.SemDigest(factcache.FnDigest(fn), bits, callees, roots[fn])
+	}
+	return out
+}
+
+// cacheEntry serializes the compile outcome for the fact cache.
+func (p *Pipeline) cacheEntry(semDigests map[*ir.Func]string, perFnInserted map[string]int,
+	ip *instrument.Interproc) *factcache.Entry {
+	e := &factcache.Entry{StableDigest: factcache.StableDigest(nil)}
+	if ip != nil {
+		e.StableDigest = factcache.StableDigest(ip.StableFields())
+	}
+	elimsByFn := make(map[string]int)
+	if p.ElimReport != nil {
+		e.Elims = p.ElimReport.Elims
+		for _, el := range p.ElimReport.Elims {
+			elimsByFn[el.Fn]++
+		}
+	}
+	for _, fn := range p.Prog.Funcs {
+		accesses := 0
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.IsAccess() {
+					accesses++
+				}
+			}
+		}
+		e.Fns = append(e.Fns, factcache.FnEntry{
+			Name:       fn.Name,
+			Digest:     semDigests[fn],
+			Traced:     factcache.TracedSet(fn),
+			Accesses:   accesses,
+			Inserted:   perFnInserted[fn.Name],
+			Eliminated: elimsByFn[fn.Name],
+		})
+	}
+	if p.Static != nil {
+		e.HintIndex = p.buildHintIndex()
+	}
+	if raw, err := json.Marshal(p.StaticStats); err == nil {
+		e.StaticStats = raw
+	}
+	return e
+}
+
+// applyCached replays a full program-level cache hit: trace sets,
+// static hints, elimination report, and stats, with no analysis run.
+// It validates everything before mutating the IR so a stale entry can
+// fall back to a cold compile.
+func (p *Pipeline) applyCached(e *factcache.Entry) error {
+	byName := make(map[string]factcache.FnEntry, len(e.Fns))
+	for _, fe := range e.Fns {
+		byName[fe.Name] = fe
+	}
+	filters := make([]instrument.Filter, len(p.Prog.Funcs))
+	for i, fn := range p.Prog.Funcs {
+		fe, ok := byName[fn.Name]
+		if !ok {
+			return fmt.Errorf("factcache: no entry for %s", fn.Name)
+		}
+		if p.Config.Instrument {
+			replay, ok := factcache.ReplayFilter(fn, fe.Traced)
+			if !ok {
+				return fmt.Errorf("factcache: stale trace set for %s", fn.Name)
+			}
+			filters[i] = replay
+		}
+	}
+	for i, fn := range p.Prog.Funcs {
+		fe := byName[fn.Name]
+		if p.Config.Instrument {
+			st := instrument.InsertTraces(fn, filters[i])
+			p.InstrStats.Accesses += st.Accesses
+			p.InstrStats.Inserted += fe.Inserted
+			p.InstrStats.Eliminated += fe.Eliminated
+		}
+	}
+	if len(e.StaticStats) > 0 {
+		if err := json.Unmarshal(e.StaticStats, &p.StaticStats); err != nil {
+			return err
+		}
+	}
+	p.ElimReport = &instrument.Report{Elims: e.Elims}
+	p.hintIndex = e.HintIndex
+	return nil
 }
 
 // RunResult is one execution's outcome.
@@ -548,33 +821,42 @@ func (p *Pipeline) RunConfig(cfg Config) (*RunResult, error) {
 // small set that pinpoints the other side of the bug in the source.
 func (p *Pipeline) staticHints(reports []detector.Report) [][]string {
 	hints := make([][]string, len(reports))
-	if p.Static == nil {
+	// Index the static pairs by each side's source position. The pairs
+	// are fixed after Compile, so the index is built once per Pipeline;
+	// a cache hit preloads it (applyCached) instead.
+	p.hintOnce.Do(func() {
+		if p.hintIndex == nil && p.Static != nil {
+			p.hintIndex = p.buildHintIndex()
+		}
+	})
+	if p.hintIndex == nil {
 		return hints
 	}
-	// Index the static pairs by each side's source position. The pairs
-	// are fixed after Compile, so the index is built once per Pipeline.
-	p.hintOnce.Do(func() {
-		partners := make(map[string][]string)
-		add := func(at, other racestatic.AccessSite) {
-			key := at.Instr.Pos.String()
-			val := fmt.Sprintf("%s (%s)", other.Instr.Pos, other.Fn.Name)
-			for _, existing := range partners[key] {
-				if existing == val {
-					return
-				}
-			}
-			partners[key] = append(partners[key], val)
-		}
-		for _, pair := range p.Static.Pairs {
-			add(pair[0], pair[1])
-			add(pair[1], pair[0])
-		}
-		p.hintIndex = partners
-	})
 	for i, r := range reports {
 		hints[i] = p.hintIndex[r.Access.Pos.String()]
 	}
 	return hints
+}
+
+// buildHintIndex maps each statically racy source position to its
+// may-race partners' positions.
+func (p *Pipeline) buildHintIndex() map[string][]string {
+	partners := make(map[string][]string)
+	add := func(at, other racestatic.AccessSite) {
+		key := at.Instr.Pos.String()
+		val := fmt.Sprintf("%s (%s)", other.Instr.Pos, other.Fn.Name)
+		for _, existing := range partners[key] {
+			if existing == val {
+				return
+			}
+		}
+		partners[key] = append(partners[key], val)
+	}
+	for _, pair := range p.Static.Pairs {
+		add(pair[0], pair[1])
+		add(pair[1], pair[0])
+	}
+	return partners
 }
 
 // RunSource compiles and runs in one step.

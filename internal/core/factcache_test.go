@@ -1,0 +1,194 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// A program with a real race (unsynchronized counter) plus enough
+// structure for the interprocedural machinery to matter.
+const cacheSrc = `
+class Counter {
+    int n;
+    void bump(int d) { n = n + d; }
+}
+class Worker extends Thread {
+    Counter c;
+    Worker(Counter c0) { c = c0; }
+    void run() {
+        for (int i = 0; i < 20; i++) { c.bump(1); }
+    }
+}
+class Main {
+    static void main() {
+        Counter c = new Counter();
+        Worker a = new Worker(c);
+        Worker b = new Worker(c);
+        a.start(); b.start();
+        a.join(); b.join();
+        print(c.n);
+    }
+}`
+
+// renderRun flattens the parts of a run that must be reproducible.
+func renderRun(t *testing.T, p *Pipeline) string {
+	t.Helper()
+	rr, err := p.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var b strings.Builder
+	for i, r := range rr.Reports {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+		for _, h := range rr.StaticHints[i] {
+			b.WriteString("  hint: " + h + "\n")
+		}
+	}
+	b.WriteString(rr.Output)
+	return b.String()
+}
+
+func renderFuncs(p *Pipeline) string {
+	var b strings.Builder
+	for _, fn := range p.Prog.Funcs {
+		b.WriteString(fn.String())
+	}
+	return b.String()
+}
+
+// A second compile of identical source replays everything from the
+// cache, and the warm run is byte-identical to the cold one.
+func TestFactCacheProgramHit(t *testing.T) {
+	cfg := Full()
+	cfg.FactCacheDir = t.TempDir()
+
+	cold, err := Compile("t.mj", cacheSrc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheStats.ProgramHit {
+		t.Fatal("first compile cannot hit")
+	}
+	warm, err := Compile("t.mj", cacheSrc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheStats.ProgramHit {
+		t.Fatal("second compile must be a program-level hit")
+	}
+	if got, want := renderFuncs(warm), renderFuncs(cold); got != want {
+		t.Errorf("instrumented IR differs between cold and warm compiles")
+	}
+	if warm.InstrStats != cold.InstrStats {
+		t.Errorf("InstrStats differ: warm %+v cold %+v", warm.InstrStats, cold.InstrStats)
+	}
+	ws, cs := warm.StaticStats, cold.StaticStats
+	ws.AnalysisNs, cs.AnalysisNs = 0, 0 // wall time is not reproducible
+	if ws != cs {
+		t.Errorf("StaticStats differ: warm %+v cold %+v", ws, cs)
+	}
+	if got, want := renderRun(t, warm), renderRun(t, cold); got != want {
+		t.Errorf("warm run differs from cold run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// Changing one function (same source positions, different constant)
+// reuses clean functions on the partial path. Without interprocedural
+// facts the dirty set is exactly the changed function.
+func TestFactCachePartialReuse(t *testing.T) {
+	cfg := Full().NoInterproc()
+	cfg.FactCacheDir = t.TempDir()
+
+	if _, err := Compile("t.mj", cacheSrc, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Same shape, same positions: only the loop bound changes.
+	src2 := strings.Replace(cacheSrc, "i < 20", "i < 21", 1)
+	warm, err := Compile("t.mj", src2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheStats.ProgramHit {
+		t.Fatal("modified program cannot be a program-level hit")
+	}
+	if warm.CacheStats.FnHits == 0 {
+		t.Errorf("no function-level hits: %+v", warm.CacheStats)
+	}
+	if warm.CacheStats.FnMisses == 0 {
+		t.Errorf("the changed function must miss: %+v", warm.CacheStats)
+	}
+
+	// The partial compile must match a cold compile of the new source.
+	cold, err := Compile("t.mj", src2, Full().NoInterproc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderFuncs(warm), renderFuncs(cold); got != want {
+		t.Errorf("partial-reuse IR differs from cold compile")
+	}
+	if warm.InstrStats != cold.InstrStats {
+		t.Errorf("InstrStats differ: warm %+v cold %+v", warm.InstrStats, cold.InstrStats)
+	}
+	if got, want := renderRun(t, warm), renderRun(t, cold); got != want {
+		t.Errorf("partial-reuse run differs from cold run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// With interprocedural facts on, a change dirties its whole call-graph
+// component; functions outside the component still replay.
+func TestFactCachePartialReuseInterproc(t *testing.T) {
+	// Island.poke is never called: it forms its own component.
+	src := cacheSrc + `
+class Island {
+    int x;
+    void poke() { x = x + 1; int y = x; }
+}`
+	cfg := Full()
+	cfg.FactCacheDir = t.TempDir()
+
+	if _, err := Compile("t.mj", src, cfg); err != nil {
+		t.Fatal(err)
+	}
+	src2 := strings.Replace(src, "i < 20", "i < 21", 1)
+	warm, err := Compile("t.mj", src2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheStats.ProgramHit {
+		t.Fatal("modified program cannot be a program-level hit")
+	}
+	if warm.CacheStats.FnHits == 0 {
+		t.Errorf("isolated component must replay: %+v", warm.CacheStats)
+	}
+	cold, err := Compile("t.mj", src2, Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderFuncs(warm), renderFuncs(cold); got != want {
+		t.Errorf("partial-reuse IR differs from cold compile")
+	}
+	if got, want := renderRun(t, warm), renderRun(t, cold); got != want {
+		t.Errorf("partial-reuse run differs from cold run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// Cache entries from one configuration are invisible to another, and a
+// cold compile with an unwritable directory still works.
+func TestFactCacheConfigIsolation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Full()
+	cfg.FactCacheDir = dir
+	if _, err := Compile("t.mj", cacheSrc, cfg); err != nil {
+		t.Fatal(err)
+	}
+	other := Full().NoPeeling()
+	other.FactCacheDir = dir
+	p, err := Compile("t.mj", cacheSrc, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CacheStats.ProgramHit {
+		t.Error("entry leaked across configurations")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"racedet/internal/instrument"
+	"racedet/internal/ir"
+	"racedet/internal/lang/token"
+	"racedet/internal/racestatic"
+)
+
+// FactsReport renders the per-access-site keep/kill decisions of the
+// static phase (mjdump -facts, racedet -explain-static): for every heap
+// access, which §5 condition killed its instrumentation — escape
+// analysis, MustSameThread, MustCommonSync — or, for accesses that
+// stayed in the race set, whether its trace survived the §6 weaker-than
+// elimination and which elimination (intraprocedural, loop peeling,
+// interprocedural) removed it.
+func (p *Pipeline) FactsReport() string {
+	var b strings.Builder
+	if p.Static == nil {
+		b.WriteString("static analysis disabled: every heap access is traced\n")
+		return b.String()
+	}
+
+	// An access is traced iff an OpTrace immediately follows it in the
+	// instrumented IR.
+	traced := make(map[*ir.Instr]bool)
+	for _, fn := range p.Prog.Funcs {
+		for _, blk := range fn.Blocks {
+			for i, in := range blk.Instrs {
+				if in.IsAccess() && i+1 < len(blk.Instrs) && blk.Instrs[i+1].Op == ir.OpTrace {
+					traced[in] = true
+				}
+			}
+		}
+	}
+	// Eliminations by (function, position): peeling clones positions,
+	// so a position can map to several entries.
+	type elimKey struct {
+		fn  string
+		pos token.Pos
+	}
+	elims := make(map[elimKey][]instrument.Elim)
+	if p.ElimReport != nil {
+		for _, e := range p.ElimReport.Elims {
+			k := elimKey{e.Fn, e.Pos}
+			elims[k] = append(elims[k], e)
+		}
+	}
+
+	sites := make([]racestatic.AccessSite, len(p.Static.Sites))
+	copy(sites, p.Static.Sites)
+	sort.SliceStable(sites, func(i, j int) bool {
+		a, b := sites[i], sites[j]
+		if a.Fn.Name != b.Fn.Name {
+			return a.Fn.Name < b.Fn.Name
+		}
+		if a.Instr.Pos.Line != b.Instr.Pos.Line {
+			return a.Instr.Pos.Line < b.Instr.Pos.Line
+		}
+		return a.Instr.Pos.Col < b.Instr.Pos.Col
+	})
+
+	var kept, killed, elimSites int
+	for _, s := range sites {
+		v := p.Static.Verdicts[s.Instr]
+		if v == nil {
+			continue
+		}
+		kind, isArray, _, field := s.Instr.AccessInfo()
+		name := "[]"
+		if field != nil {
+			name = field.QualifiedName()
+		}
+		if isArray {
+			name += "[]"
+		}
+		fmt.Fprintf(&b, "%-5s %-20s %s (%s)\n", kind, name, s.Instr.Pos, s.Fn.Name)
+
+		switch {
+		case v.ThreadLocal:
+			killed++
+			b.WriteString("      kill: thread-local (escape analysis, §5.4)\n")
+		case v.Racy > 0:
+			kept++
+			fmt.Fprintf(&b, "      keep: %d surviving may-race pair(s) of %d examined\n", v.Racy, v.Pairs)
+			switch {
+			case traced[s.Instr]:
+				b.WriteString("      trace: inserted\n")
+			case len(elims[elimKey{s.Fn.Name, s.Instr.Pos}]) > 0:
+				elimSites++
+				for _, e := range elims[elimKey{s.Fn.Name, s.Instr.Pos}] {
+					switch e.Kind {
+					case instrument.KindInterproc:
+						fmt.Fprintf(&b, "      trace: eliminated interprocedurally, covered in %s at %s\n", e.ByFn, e.ByPos)
+					case instrument.KindPeel:
+						fmt.Fprintf(&b, "      trace: eliminated by loop peeling, peeled copy at %s\n", e.ByPos)
+					default:
+						fmt.Fprintf(&b, "      trace: eliminated by weaker trace at %s\n", e.ByPos)
+					}
+				}
+			default:
+				// Peeling can clone an access: the original is traced
+				// under another instruction identity.
+				b.WriteString("      trace: none at this site\n")
+			}
+		case v.CommonSync > 0:
+			killed++
+			if v.FlowSync > 0 {
+				fmt.Fprintf(&b, "      kill: must-common-sync (%d pair(s), %d via must-lock dataflow)\n", v.CommonSync, v.FlowSync)
+			} else {
+				fmt.Fprintf(&b, "      kill: must-common-sync (%d pair(s))\n", v.CommonSync)
+			}
+		case v.SameThread > 0:
+			killed++
+			fmt.Fprintf(&b, "      kill: must-same-thread (%d pair(s))\n", v.SameThread)
+		default:
+			killed++
+			b.WriteString("      kill: no conflicting access pair\n")
+		}
+	}
+
+	fmt.Fprintf(&b, "sites: %d  kept: %d  killed: %d\n", len(sites), kept, killed)
+	if p.ElimReport != nil {
+		intra, peel, inter := p.ElimReport.Counts()
+		fmt.Fprintf(&b, "eliminations: intra=%d peel=%d interproc=%d\n", intra, peel, inter)
+	}
+	return b.String()
+}

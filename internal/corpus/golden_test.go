@@ -1,0 +1,65 @@
+package corpus
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"racedet/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden -facts files under testdata/golden/")
+
+// goldenPrograms are the corpus programs whose mjdump -facts output is
+// pinned byte-for-byte, one per §5/§6 kill condition. The condition
+// string must appear in the report — so the golden file cannot rot
+// into pinning a program where the condition stopped firing.
+var goldenPrograms = []struct {
+	name      string
+	condition string
+}{
+	{"unsafe_publish", "kill: must-same-thread"},
+	{"guarded_lazy_init", "kill: must-common-sync"},
+	{"fanin_accumulator", "eliminated interprocedurally"},
+}
+
+// TestGoldenFacts compares each pinned program's FactsReport (the
+// engine behind mjdump -facts and racedet -explain-static) against the
+// checked-in golden file. Regenerate with:
+//
+//	go test ./internal/corpus/ -run TestGoldenFacts -update
+func TestGoldenFacts(t *testing.T) {
+	for _, g := range goldenPrograms {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", g.name+".mj"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pipe, err := core.Compile(g.name+".mj", string(src), core.Full())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := pipe.FactsReport()
+			if !strings.Contains(got, g.condition) {
+				t.Errorf("report no longer shows %q — pick a different program for this condition:\n%s", g.condition, got)
+			}
+			path := filepath.Join("testdata", "golden", g.name+".facts")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if got != string(want) {
+				t.Errorf("-facts output changed (regenerate with -update if intended):\n--- golden ---\n%s\n--- got ---\n%s", want, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"racedet/internal/core"
+)
+
+// TestCorpusStaticDeterministic is the repeated-run equality sweep over
+// the static passes: compiling the same program three times must yield
+// byte-identical -facts reports (every map iteration in racestatic,
+// pointsto, and instrument is sorted before it reaches an output).
+func TestCorpusStaticDeterministic(t *testing.T) {
+	for _, e := range loadCorpus(t) {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			t.Parallel()
+			render := func() string {
+				pipe, err := core.Compile(e.name+".mj", e.src, core.Full())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return pipe.FactsReport()
+			}
+			first := render()
+			for i := 0; i < 2; i++ {
+				if got := render(); got != first {
+					t.Fatalf("FactsReport differs between identical compiles:\n--- first ---\n%s\n--- rerun ---\n%s", first, got)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusInterprocDifferential pins the §7.2 gamble for the new
+// interprocedural elimination: on every corpus program, under ten
+// seeds, Full and NoInterproc must report exactly the same racy
+// fields. The interprocedural weaker-than may only trim redundant
+// trace instructions — if NoInterproc ever caught a race Full misses,
+// the elimination would have widened the paper's known missed-race
+// set (the way unsafe_publish.mj documents for the intraprocedural
+// one), and this test is the alarm.
+func TestCorpusInterprocDifferential(t *testing.T) {
+	for _, e := range loadCorpus(t) {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 10; seed++ {
+				full, err := core.RunSource(e.name+".mj", e.src, core.Full().WithSeed(seed))
+				if err != nil || full.Err != nil {
+					t.Fatalf("seed %d full: %v/%v", seed, err, full.Err)
+				}
+				noip, err := core.RunSource(e.name+".mj", e.src, core.Full().NoInterproc().WithSeed(seed))
+				if err != nil || noip.Err != nil {
+					t.Fatalf("seed %d nointerproc: %v/%v", seed, err, noip.Err)
+				}
+				f := strings.Join(keys(racyFields(full)), ",")
+				n := strings.Join(keys(racyFields(noip)), ",")
+				if f != n {
+					t.Errorf("seed %d: interprocedural elimination changed the verdict: Full=[%s] NoInterproc=[%s]",
+						seed, f, n)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusFactCacheWarmIdentical is the corpus half of the fact
+// cache's contract: for every program and ten seeds, the plain run,
+// the cache-populating cold run, and the cache-replaying warm run
+// produce byte-identical race reports and program output.
+func TestCorpusFactCacheWarmIdentical(t *testing.T) {
+	for _, e := range loadCorpus(t) {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			cached := func(seed int64) core.Config {
+				cfg := core.Full().WithSeed(seed)
+				cfg.FactCacheDir = dir
+				return cfg
+			}
+			for seed := int64(0); seed < 10; seed++ {
+				plain, err := core.RunSource(e.name+".mj", e.src, core.Full().WithSeed(seed))
+				if err != nil || plain.Err != nil {
+					t.Fatalf("seed %d plain: %v/%v", seed, err, plain.Err)
+				}
+				want := renderReports(plain) + "\n" + plain.Output
+				// Seed 0 populates the cache; every later seed replays it.
+				res, err := core.RunSource(e.name+".mj", e.src, cached(seed))
+				if err != nil || res.Err != nil {
+					t.Fatalf("seed %d cached: %v/%v", seed, err, res.Err)
+				}
+				if got := renderReports(res) + "\n" + res.Output; got != want {
+					t.Errorf("seed %d: cached run diverges from plain:\n--- plain ---\n%s\n--- cached ---\n%s",
+						seed, want, got)
+				}
+			}
+			// The replay really is a replay: a fresh compile against the
+			// populated directory is a program-level hit.
+			pipe, err := core.Compile(e.name+".mj", e.src, cached(0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pipe.CacheStats.ProgramHit {
+				t.Errorf("warm compile missed the fact cache: %+v", pipe.CacheStats)
+			}
+		})
+	}
+}

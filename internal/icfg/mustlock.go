@@ -1,0 +1,210 @@
+// Must-held-lockset dataflow: a flow-sensitive strengthening of the
+// region-based SO analysis in this package. Where solveMustSync
+// reasons about lexical synchronized regions, BuildMustLock tracks the
+// set of abstract lock objects provably held immediately before every
+// instruction, with a context-insensitive call-edge summary: the locks
+// held at a function's entry are the intersection, over all of its
+// call sites, of the locks held at the call. Thread roots (main and
+// started run methods) enter with no locks — a start edge cuts the
+// lockset exactly as it cuts the SO dataflow.
+package icfg
+
+import (
+	"racedet/internal/ir"
+	"racedet/internal/pointsto"
+)
+
+// MustLock is the fixed point of the must-held-lockset dataflow.
+type MustLock struct {
+	g     *Graph
+	entry map[*ir.Func]pointsto.ObjSet
+	at    map[*ir.Instr]pointsto.ObjSet
+}
+
+// callSite is one call edge origin: the instruction and its function.
+type callSite struct {
+	fn *ir.Func
+	in *ir.Instr
+}
+
+// BuildMustLock runs the dataflow to its greatest fixed point.
+//
+// Transfer functions (per instruction, on the set ML of held locks):
+//
+//	monitorenter u   ML ∪= {MustPT(u)}        (nothing if u has no must object)
+//	monitorexit  u   ML −= MayPT(u)           (∅ if MayPT unknown: some lock was released)
+//	wait         u   ML −= MayPT(u)           (the monitor is released while waiting)
+//	call / start     identity                  (monitors are lexically scoped; a callee
+//	                                            cannot release a caller's lock, and wait
+//	                                            reacquires before returning)
+//
+// Block join is set intersection; the entry block of f starts from the
+// call-edge summary E(f) = ∩ over call sites of ML before the call,
+// with E = ∅ for thread roots and for functions without call sites.
+// Everything is initialized optimistically (⊤ = all abstract objects)
+// and only ever shrinks, so the iteration converges to the greatest
+// fixed point and the result is deterministic.
+func BuildMustLock(g *Graph) *MustLock {
+	m := &MustLock{
+		g:     g,
+		entry: make(map[*ir.Func]pointsto.ObjSet),
+		at:    make(map[*ir.Instr]pointsto.ObjSet),
+	}
+
+	all := pointsto.ObjSet{}
+	for _, o := range g.pts.Objects() {
+		all[o] = struct{}{}
+	}
+
+	sites := make(map[*ir.Func][]callSite)
+	for _, fn := range g.prog.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall {
+					continue
+				}
+				for _, callee := range g.pts.Callees[in] {
+					sites[callee] = append(sites[callee], callSite{fn, in})
+				}
+			}
+		}
+	}
+	rootFn := make(map[*ir.Func]bool)
+	for _, r := range g.roots {
+		rootFn[r.Fn] = true
+	}
+
+	for _, fn := range g.prog.Funcs {
+		if rootFn[fn] || len(sites[fn]) == 0 {
+			m.entry[fn] = pointsto.ObjSet{}
+		} else {
+			m.entry[fn] = all
+		}
+	}
+
+	// Outer fixpoint over entry summaries: flow every function, read
+	// off ML before each call, tighten callee entries, repeat.
+	mlAtCall := make(map[*ir.Instr]pointsto.ObjSet)
+	changed := true
+	for changed {
+		changed = false
+		for _, fn := range g.prog.Funcs {
+			m.flowFn(fn, all, func(in *ir.Instr, ml pointsto.ObjSet) {
+				if in.Op == ir.OpCall {
+					mlAtCall[in] = cloneSet(ml)
+				}
+			})
+		}
+		for _, fn := range g.prog.Funcs {
+			if rootFn[fn] || len(sites[fn]) == 0 {
+				continue
+			}
+			var e pointsto.ObjSet
+			for i, s := range sites[fn] {
+				if i == 0 {
+					e = cloneSet(mlAtCall[s.in])
+				} else {
+					e = intersect(e, mlAtCall[s.in])
+				}
+			}
+			if !sameSet(e, m.entry[fn]) {
+				m.entry[fn] = e
+				changed = true
+			}
+		}
+	}
+
+	// Final pass records the per-instruction before-states.
+	for _, fn := range g.prog.Funcs {
+		m.flowFn(fn, all, func(in *ir.Instr, ml pointsto.ObjSet) {
+			m.at[in] = cloneSet(ml)
+		})
+	}
+	return m
+}
+
+// flowFn runs the intraprocedural block fixpoint for one function from
+// its current entry summary and replays the stable solution through
+// record with the ML state holding immediately before each instruction.
+func (m *MustLock) flowFn(fn *ir.Func, all pointsto.ObjSet, record func(*ir.Instr, pointsto.ObjSet)) {
+	out := make(map[*ir.Block]pointsto.ObjSet, len(fn.Blocks))
+	for _, b := range fn.Blocks {
+		out[b] = all
+	}
+	blockIn := func(b *ir.Block) pointsto.ObjSet {
+		if b == fn.Entry {
+			return cloneSet(m.entry[fn])
+		}
+		var in pointsto.ObjSet
+		for i, p := range b.Preds {
+			if i == 0 {
+				in = cloneSet(out[p])
+			} else {
+				in = intersect(in, out[p])
+			}
+		}
+		if in == nil {
+			in = pointsto.ObjSet{}
+		}
+		return in
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range fn.Blocks {
+			ml := blockIn(b)
+			for _, in := range b.Instrs {
+				m.transfer(fn, in, ml)
+			}
+			if !sameSet(ml, out[b]) {
+				out[b] = ml
+				changed = true
+			}
+		}
+	}
+	for _, b := range fn.Blocks {
+		ml := blockIn(b)
+		for _, in := range b.Instrs {
+			record(in, ml)
+			m.transfer(fn, in, ml)
+		}
+	}
+}
+
+// transfer applies one instruction's effect to ml in place.
+func (m *MustLock) transfer(fn *ir.Func, in *ir.Instr, ml pointsto.ObjSet) {
+	switch in.Op {
+	case ir.OpMonEnter:
+		if o := m.g.pts.MustPts(fn, in.Src[0]); o != nil {
+			ml[o] = struct{}{}
+		}
+	case ir.OpMonExit, ir.OpWait:
+		vp := m.g.pts.VarPts(fn, in.Src[0])
+		if len(vp) == 0 {
+			for o := range ml {
+				delete(ml, o)
+			}
+			return
+		}
+		for o := range vp {
+			delete(ml, o)
+		}
+	}
+}
+
+// At returns the locks provably held immediately before in executes.
+func (m *MustLock) At(in *ir.Instr) pointsto.ObjSet {
+	if s := m.at[in]; s != nil {
+		return s
+	}
+	return pointsto.ObjSet{}
+}
+
+// Entry returns the call-edge summary E(fn): locks provably held at
+// every entry to fn.
+func (m *MustLock) Entry(fn *ir.Func) pointsto.ObjSet {
+	if s := m.entry[fn]; s != nil {
+		return s
+	}
+	return pointsto.ObjSet{}
+}

@@ -1,0 +1,120 @@
+package icfg
+
+import (
+	"testing"
+)
+
+func TestMustLockCallerCoversCallee(t *testing.T) {
+	prog, g := build(t, `
+class Shared { int a; int b; }
+class W extends Thread {
+    Shared s;
+    W(Shared s0) { s = s0; }
+    void run() {
+        synchronized (s) { helper(); }
+        helper2();
+    }
+    void helper() { s.a = 1; }
+    void helper2() { s.b = 2; }
+}
+class M {
+    static void main() {
+        Shared s = new Shared();
+        W w = new W(s);
+        w.start();
+        w.join();
+    }
+}`)
+	ml := BuildMustLock(g)
+
+	// helper's only call site is inside the synchronized block, so the
+	// entry summary carries the Shared lock into the callee access.
+	helper := prog.FuncByName("W.helper")
+	if s := ml.Entry(helper); len(s) != 1 {
+		t.Errorf("Entry(helper) = %v, want the Shared object", s.Sorted())
+	}
+	writeA := accessIn(t, helper, isPut("a"))
+	if s := ml.At(writeA); len(s) != 1 {
+		t.Errorf("At(s.a write) = %v, want the Shared object", s.Sorted())
+	}
+
+	// helper2 is called after the block: no locks at entry.
+	helper2 := prog.FuncByName("W.helper2")
+	writeB := accessIn(t, helper2, isPut("b"))
+	if s := ml.At(writeB); len(s) != 0 {
+		t.Errorf("At(s.b write) = %v, want empty", s.Sorted())
+	}
+
+	// Thread roots enter lock-free.
+	run := prog.FuncByName("W.run")
+	if s := ml.Entry(run); len(s) != 0 {
+		t.Errorf("Entry(run) = %v, want empty (thread root)", s.Sorted())
+	}
+}
+
+func TestMustLockTwoContextsIntersect(t *testing.T) {
+	prog, g := build(t, `
+class Shared { int c; }
+class A {
+    Shared s;
+    void locked() { synchronized (s) { helper(); } }
+    void unlocked() { helper(); }
+    void helper() { s.c = 1; }
+}
+class M {
+    static void main() {
+        A a = new A();
+        a.s = new Shared();
+        a.locked();
+        a.unlocked();
+    }
+}`)
+	ml := BuildMustLock(g)
+	helper := prog.FuncByName("A.helper")
+	// One caller holds the lock, one does not: the summary is empty.
+	if s := ml.Entry(helper); len(s) != 0 {
+		t.Errorf("Entry(helper) = %v, want empty (unlocked caller)", s.Sorted())
+	}
+}
+
+func TestMustLockWaitReleases(t *testing.T) {
+	prog, g := build(t, `
+class Shared { int a; int b; }
+class W extends Thread {
+    Shared s;
+    W(Shared s0) { s = s0; }
+    void run() {
+        synchronized (s) {
+            s.a = 1;
+            s.wait();
+            s.b = 2;
+        }
+    }
+}
+class M {
+    static void main() {
+        Shared s = new Shared();
+        W w = new W(s);
+        synchronized (s) { s.notify(); }
+        w.start();
+        w.join();
+    }
+}`)
+	ml := BuildMustLock(g)
+	run := prog.FuncByName("W.run")
+	writeA := accessIn(t, run, isPut("a"))
+	if s := ml.At(writeA); len(s) != 1 {
+		t.Errorf("At(pre-wait write) = %v, want the Shared object", s.Sorted())
+	}
+	// wait releases the monitor; the must set is cleared conservatively
+	// even though the monitor is reacquired before the access runs.
+	writeB := accessIn(t, run, isPut("b"))
+	if s := ml.At(writeB); len(s) != 0 {
+		t.Errorf("At(post-wait write) = %v, want empty (conservative across wait)", s.Sorted())
+	}
+	// The region-based SO analysis still covers the post-wait access —
+	// must-lock complements it, the consumer unions both.
+	if s := g.MustSyncOf(run, writeB); len(s) != 1 {
+		t.Errorf("MustSync(post-wait write) = %v, want the region lock", s.Sorted())
+	}
+}

@@ -7,7 +7,6 @@ package instrument
 
 import (
 	"racedet/internal/ir"
-	"racedet/internal/ssa"
 )
 
 // Stats reports what instrumentation did to one function or program.
@@ -92,160 +91,15 @@ type Options struct {
 // closes the lock-reentry corner the lexical outer() check leaves open
 // (strictly more conservative than the paper).
 //
+// This is the single-function intraprocedural form; EliminateProgram
+// runs the same engine over a whole program, optionally with the
+// interprocedural strengthenings of interproc.go.
+//
 // It returns the number of traces removed.
 func EliminateRedundant(f *ir.Func) int {
-	dom := ssa.BuildDomTree(f)
-	ov := ssa.Build(f, dom)
-	gvn := ssa.BuildGVN(ov)
-	reach := blockReachability(f)
-
-	type tracePoint struct {
-		in    *ir.Instr
-		block *ir.Block
-		pos   int
-	}
-	var traces []tracePoint
-	for _, b := range dom.RPO() {
-		for i, in := range b.Instrs {
-			if in.Op == ir.OpTrace {
-				traces = append(traces, tracePoint{in, b, i})
-			}
-		}
-	}
-
-	// barrier[b][i] = true if instruction i of block b is a call-like
-	// or monitor instruction ("barrier" for Exec).
-	isBarrier := func(in *ir.Instr) bool {
-		return in.IsCallLike() || in.Op == ir.OpMonEnter || in.Op == ir.OpMonExit
-	}
-	// blockHasBarrier over the whole block.
-	blockBarrier := make([]bool, len(f.Blocks))
-	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			if isBarrier(in) {
-				blockBarrier[b.ID] = true
-				break
-			}
-		}
-	}
-	rangeBarrier := func(b *ir.Block, from, to int) bool { // [from, to)
-		for i := from; i < to && i < len(b.Instrs); i++ {
-			if isBarrier(b.Instrs[i]) {
-				return true
-			}
-		}
-		return false
-	}
-
-	// exec reports Exec(Si, Sj).
-	exec := func(si, sj tracePoint) bool {
-		if !dom.DominatesInstr(si.block, si.pos, sj.block, sj.pos) {
-			return false
-		}
-		if si.block == sj.block {
-			// Also handle the loop case: if the block is in a cycle
-			// with itself, a path can leave after Sj and come back
-			// before Si; the direct segment is what matters for the
-			// most recent Si execution.
-			return !rangeBarrier(si.block, si.pos+1, sj.pos)
-		}
-		// Tail of Si's block and head of Sj's block must be clean.
-		if rangeBarrier(si.block, si.pos+1, len(si.block.Instrs)) {
-			return false
-		}
-		if rangeBarrier(sj.block, 0, sj.pos) {
-			return false
-		}
-		// Every block strictly between (reachable from Si's block and
-		// reaching Sj's block) must be clean. This over-approximates
-		// paths (it tolerates passes through cycles), erring safe.
-		for _, b := range f.Blocks {
-			if b == si.block || b == sj.block {
-				continue
-			}
-			if reach.reaches(si.block, b) && reach.reaches(b, sj.block) && blockBarrier[b.ID] {
-				return false
-			}
-		}
-		// If the two blocks sit on a common cycle, a path may traverse
-		// the full blocks; require them clean too.
-		if reach.reaches(sj.block, si.block) {
-			if blockBarrier[si.block.ID] || blockBarrier[sj.block.ID] {
-				return false
-			}
-		}
-		return true
-	}
-
-	sameLocation := func(si, sj tracePoint) bool {
-		a, b := si.in, sj.in
-		if a.IsArrayTrace != b.IsArrayTrace {
-			return false
-		}
-		if a.IsArrayTrace {
-			// The detector treats a whole array as one location, so
-			// matching array references suffices (the paper compares
-			// index value numbers because its trace models f as the
-			// index; under the one-location-per-array model reference
-			// equality is the right condition).
-			va := gvn.OperandVN(a, 0)
-			vb := gvn.OperandVN(b, 0)
-			return va != ssa.NoVN && va == vb
-		}
-		if a.Field != b.Field {
-			return false
-		}
-		if a.Field.Static {
-			return true // class-qualified: same field ⇒ same location
-		}
-		va := gvn.OperandVN(a, 0)
-		vb := gvn.OperandVN(b, 0)
-		return va != ssa.NoVN && va == vb
-	}
-
-	// Traces are collected in RPO order, so any dominating S_i appears
-	// before S_j in the slice. Scanning only i < j guarantees the
-	// eliminator's own fate was already decided, so every elimination
-	// is justified by a trace that survives (weaker-than is used
-	// pointwise, never through an eliminated intermediary).
-	eliminated := make(map[*ir.Instr]bool)
-	for j, sj := range traces {
-		for i := 0; i < j; i++ {
-			si := traces[i]
-			if eliminated[si.in] {
-				continue
-			}
-			// a_i ⊑ a_j
-			if !(si.in.Access == sj.in.Access || si.in.Access == ir.Write) {
-				continue
-			}
-			if !outer(si.in.SyncRegions, sj.in.SyncRegions) {
-				continue
-			}
-			if !sameLocation(si, sj) {
-				continue
-			}
-			if !exec(si, sj) {
-				continue
-			}
-			eliminated[sj.in] = true
-			break
-		}
-	}
-
-	if len(eliminated) == 0 {
-		return 0
-	}
-	for _, b := range f.Blocks {
-		out := b.Instrs[:0]
-		for _, in := range b.Instrs {
-			if !eliminated[in] {
-				out = append(out, in)
-			}
-		}
-		b.Instrs = out
-	}
-	return len(eliminated)
+	c := newElimCtx(f, nil)
+	c.pairLoop(nil)
+	return c.removeEliminated()
 }
 
 // outer implements outer(S_i, S_j): S_j is at the same synchronized

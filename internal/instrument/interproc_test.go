@@ -1,0 +1,323 @@
+package instrument
+
+import (
+	"fmt"
+	"testing"
+
+	"racedet/internal/ir"
+	"racedet/internal/lang/parser"
+	"racedet/internal/lang/sem"
+	"racedet/internal/lower"
+	"racedet/internal/pointsto"
+)
+
+// buildProgram parses, lowers, runs points-to, and instruments every
+// function with traces (no static filter).
+func buildProgram(t *testing.T, src string) (*ir.Program, *pointsto.Result) {
+	t.Helper()
+	prog, err := parser.Parse("t.mj", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sem.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	low := lower.Lower(sp)
+	pts := pointsto.Analyze(low.Prog)
+	for _, fn := range low.Prog.Funcs {
+		InsertTraces(fn, nil)
+	}
+	return low.Prog, pts
+}
+
+func tracesNamed(fn *ir.Func, name string) int {
+	return fn.CountInstrs(func(in *ir.Instr) bool {
+		return in.Op == ir.OpTrace && in.TraceName == name
+	})
+}
+
+// A call to a transitively sync-free callee is no longer an Exec
+// barrier, so the second access to the same object is eliminated.
+func TestSyncFreeCallNotABarrier(t *testing.T) {
+	src := `
+class A { int f; }
+class B {
+    void m(A other) {
+        other.f = 1;
+        helper();
+        int x = other.f;
+    }
+    void helper() { int y = 3; }
+}
+class M { static void main() { B b = new B(); A a = new A(); b.m(a); } }`
+
+	prog, pts := buildProgram(t, src)
+	n, rep := EliminateProgram(prog, pts, true)
+	if n == 0 {
+		t.Fatal("no eliminations")
+	}
+	m := prog.FuncByName("B.m")
+	if got := tracesNamed(m, "A.f"); got != 1 {
+		t.Errorf("B.m A.f traces = %d, want 1 (read covered across sync-free call)", got)
+	}
+	_, _, interproc := rep.Counts()
+	if interproc == 0 {
+		t.Errorf("report has no interproc eliminations: %+v", rep.Elims)
+	}
+
+	// Without the interprocedural extension the call is a barrier.
+	prog2, pts2 := buildProgram(t, src)
+	EliminateProgram(prog2, pts2, false)
+	if got := tracesNamed(prog2.FuncByName("B.m"), "A.f"); got != 2 {
+		t.Errorf("NoInterproc B.m A.f traces = %d, want 2", got)
+	}
+}
+
+// Loads of an init-only field off the same receiver share a value
+// number, so accesses through repeated loads merge.
+func TestStableFieldLoadsMerge(t *testing.T) {
+	src := `
+class A { int f; }
+class B {
+    A a;
+    B() { a = new A(); }
+    void m() {
+        a.f = 1;
+        int x = a.f;
+    }
+}
+class M { static void main() { B b = new B(); b.m(); } }`
+
+	prog, pts := buildProgram(t, src)
+	EliminateProgram(prog, pts, true)
+	if got := tracesNamed(prog.FuncByName("B.m"), "A.f"); got != 1 {
+		t.Errorf("B.m A.f traces = %d, want 1 (stable-field loads merged)", got)
+	}
+
+	// Plain GVN gives the two loads of B.a fresh numbers: both A.f
+	// traces survive.
+	prog2, pts2 := buildProgram(t, src)
+	EliminateProgram(prog2, pts2, false)
+	if got := tracesNamed(prog2.FuncByName("B.m"), "A.f"); got != 2 {
+		t.Errorf("NoInterproc B.m A.f traces = %d, want 2", got)
+	}
+}
+
+// A field written outside a constructor is not stable: the merge must
+// not fire.
+func TestMutableFieldLoadsDoNotMerge(t *testing.T) {
+	src := `
+class A { int f; }
+class B {
+    A a;
+    B() { a = new A(); }
+    void swap(A n) { a = n; }
+    void m() {
+        a.f = 1;
+        int x = a.f;
+    }
+}
+class M { static void main() { B b = new B(); b.swap(new A()); b.m(); } }`
+
+	prog, pts := buildProgram(t, src)
+	EliminateProgram(prog, pts, true)
+	if got := tracesNamed(prog.FuncByName("B.m"), "A.f"); got != 2 {
+		t.Errorf("B.m A.f traces = %d, want 2 (B.a is mutable)", got)
+	}
+}
+
+// Entry coverage: a callee access to a parameter location is covered
+// when every call site traces the argument first.
+func TestEntryCoverageEliminatesCalleeTrace(t *testing.T) {
+	src := `
+class A { int f; }
+class B {
+    void m(A s) {
+        s.f = 1;
+        helper(s);
+    }
+    void helper(A s) { int x = s.f; }
+}
+class M { static void main() { B b = new B(); A a = new A(); b.m(a); } }`
+
+	prog, pts := buildProgram(t, src)
+	_, rep := EliminateProgram(prog, pts, true)
+	helper := prog.FuncByName("B.helper")
+	if got := tracesNamed(helper, "A.f"); got != 0 {
+		t.Errorf("B.helper A.f traces = %d, want 0 (entry-covered)", got)
+	}
+	// The cover in the caller must survive (it is pinned).
+	if got := tracesNamed(prog.FuncByName("B.m"), "A.f"); got != 1 {
+		t.Errorf("B.m A.f traces = %d, want 1 (cover survives)", got)
+	}
+	found := false
+	for _, e := range rep.Elims {
+		if e.Fn == "B.helper" && e.Kind == KindInterproc && e.ByFn == "B.m" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no interproc elim recorded for B.helper: %+v", rep.Elims)
+	}
+
+	prog2, pts2 := buildProgram(t, src)
+	EliminateProgram(prog2, pts2, false)
+	if got := tracesNamed(prog2.FuncByName("B.helper"), "A.f"); got != 1 {
+		t.Errorf("NoInterproc B.helper A.f traces = %d, want 1", got)
+	}
+}
+
+// Entry coverage must not fire when one call site lacks a cover.
+func TestEntryCoverageNeedsEverySite(t *testing.T) {
+	src := `
+class A { int f; }
+class B {
+    void m(A s) {
+        s.f = 1;
+        helper(s);
+    }
+    void bare(A s) { helper(s); }
+    void helper(A s) { int x = s.f; }
+}
+class M {
+    static void main() {
+        B b = new B(); A a = new A();
+        b.m(a); b.bare(a);
+    }
+}`
+
+	prog, pts := buildProgram(t, src)
+	EliminateProgram(prog, pts, true)
+	if got := tracesNamed(prog.FuncByName("B.helper"), "A.f"); got != 1 {
+		t.Errorf("B.helper A.f traces = %d, want 1 (B.bare site has no cover)", got)
+	}
+}
+
+// A callee MustTrace fact acts as a virtual trace point after the
+// call, eliminating later caller traces of the same argument.
+func TestCalleeFactEliminatesCallerTrace(t *testing.T) {
+	src := `
+class A { int f; }
+class B {
+    void m(A s) {
+        helper(s);
+        int x = s.f;
+    }
+    void helper(A s) { s.f = 2; }
+}
+class M { static void main() { B b = new B(); A a = new A(); b.m(a); } }`
+
+	prog, pts := buildProgram(t, src)
+	_, rep := EliminateProgram(prog, pts, true)
+	if got := tracesNamed(prog.FuncByName("B.m"), "A.f"); got != 0 {
+		t.Errorf("B.m A.f traces = %d, want 0 (covered by callee fact)", got)
+	}
+	// The fact's source in the callee survives.
+	if got := tracesNamed(prog.FuncByName("B.helper"), "A.f"); got != 1 {
+		t.Errorf("B.helper A.f traces = %d, want 1", got)
+	}
+	found := false
+	for _, e := range rep.Elims {
+		if e.Fn == "B.m" && e.Kind == KindInterproc && e.ByFn == "B.helper" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no fact-sourced elim recorded for B.m: %+v", rep.Elims)
+	}
+}
+
+// A callee that synchronizes keeps the call a barrier and is itself
+// ineligible for entry coverage.
+func TestSynchronizedCalleeStaysBarrier(t *testing.T) {
+	src := `
+class A { int f; }
+class B {
+    void m(A other) {
+        other.f = 1;
+        locked(other);
+        int x = other.f;
+    }
+    void locked(A o) { synchronized (o) { o.f = 3; } }
+}
+class M { static void main() { B b = new B(); A a = new A(); b.m(a); } }`
+
+	prog, pts := buildProgram(t, src)
+	EliminateProgram(prog, pts, true)
+	if got := tracesNamed(prog.FuncByName("B.m"), "A.f"); got != 2 {
+		t.Errorf("B.m A.f traces = %d, want 2 (locked call is a barrier)", got)
+	}
+	if got := tracesNamed(prog.FuncByName("B.locked"), "A.f"); got != 1 {
+		t.Errorf("B.locked A.f traces = %d, want 1 (not sync-free)", got)
+	}
+}
+
+// With interproc off, EliminateProgram must match the per-function
+// EliminateRedundant sweep exactly.
+func TestEliminateProgramMatchesPerFunction(t *testing.T) {
+	src := `
+class A { int f; int g; }
+class B {
+    void m(A s) {
+        s.f = 1;
+        int x = s.f;
+        helper(s);
+        s.g = x;
+        int y = s.g;
+    }
+    void helper(A s) { s.f = 2; }
+}
+class M { static void main() { B b = new B(); A a = new A(); b.m(a); } }`
+
+	prog, pts := buildProgram(t, src)
+	nProg, _ := EliminateProgram(prog, pts, false)
+
+	prog2, _ := buildProgram(t, src)
+	nFn := 0
+	for _, fn := range prog2.Funcs {
+		nFn += EliminateRedundant(fn)
+	}
+	if nProg != nFn {
+		t.Errorf("EliminateProgram = %d, per-function sweep = %d", nProg, nFn)
+	}
+	for _, fn := range prog.Funcs {
+		if got, want := traceCount(fn), traceCount(prog2.FuncByName(fn.Name)); got != want {
+			t.Errorf("%s: %d traces vs %d per-function", fn.Name, got, want)
+		}
+	}
+}
+
+// The elimination report is deterministic across rebuilds.
+func TestReportDeterministic(t *testing.T) {
+	src := `
+class A { int f; int g; }
+class B {
+    void m(A s) {
+        s.f = 1;
+        helper(s);
+        int x = s.f;
+        s.g = x;
+        int y = s.g;
+    }
+    void helper(A s) { s.f = 2; int z = s.g; }
+}
+class M { static void main() { B b = new B(); A a = new A(); b.m(a); } }`
+
+	render := func() string {
+		prog, pts := buildProgram(t, src)
+		_, rep := EliminateProgram(prog, pts, true)
+		out := ""
+		for _, e := range rep.Elims {
+			out += fmt.Sprintf("%s %s %s %s %s %s %s\n",
+				e.Fn, e.Name, e.Access, e.Pos, e.Kind, e.ByFn, e.ByPos)
+		}
+		return out
+	}
+	first := render()
+	for i := 0; i < 3; i++ {
+		if got := render(); got != first {
+			t.Fatalf("report differs between runs:\n%s\nvs\n%s", first, got)
+		}
+	}
+}

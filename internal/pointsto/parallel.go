@@ -1,0 +1,653 @@
+package pointsto
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"racedet/internal/ir"
+	"racedet/internal/lang/sem"
+)
+
+// AnalyzeParallel computes the same fixed point as Analyze with a
+// parallel worklist solver: the constraint system is lowered onto a
+// dense node graph (one node per register, per function return, and
+// per abstract-object field slot), copy-edge cycles are collapsed
+// offline with Tarjan's SCC algorithm, and propagation is
+// difference-based — each round only ships the objects a node gained
+// since it was last processed. Rounds are bulk-synchronous: workers
+// own nodes by id modulo the worker count, write cross-shard effects
+// into per-(sender, receiver) outboxes, and apply them after a
+// barrier, so no node state is ever touched by two goroutines without
+// an intervening barrier. Inclusion constraints have a unique least
+// fixed point, so the result is identical to the serial solver's
+// regardless of scheduling; the call-graph slices are ordered by
+// finish() exactly as in the serial path.
+func AnalyzeParallel(prog *ir.Program, workers int) *Result {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	r := &Result{
+		prog:         prog,
+		siteObj:      make(map[*ir.Instr]*AbsObj),
+		classOb:      make(map[*sem.Class]*AbsObj),
+		varPts:       make(map[varKey]ObjSet),
+		fieldPts:     make(map[fieldKey]ObjSet),
+		retPts:       make(map[*ir.Func]ObjSet),
+		Callees:      make(map[*ir.Instr][]*ir.Func),
+		StartTargets: make(map[*ir.Instr][]*ir.Func),
+		singleFn:     make(map[*ir.Func]bool),
+		loopy:        make(map[*ir.Block]bool),
+	}
+	r.collectObjects()
+	r.markLoops()
+	newPSolver(r, workers).run()
+	r.finish()
+	return r
+}
+
+// bitset is a fixed-capacity set of abstract-object ids.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ids appends the set members to out in ascending order.
+func (b bitset) ids(out []int32) []int32 {
+	for wi, w := range b {
+		for w != 0 {
+			bit := w & -w
+			out = append(out, int32(wi*64+popTrailing(w)))
+			w &^= bit
+		}
+	}
+	return out
+}
+
+// popTrailing returns the index of the lowest set bit of w (w != 0).
+func popTrailing(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}
+
+// ptrigger is a complex constraint watching one node: a field access
+// whose base set grew, or a virtual call / thread start whose receiver
+// set grew.
+type ptrigger struct {
+	fn *ir.Func
+	in *ir.Instr
+}
+
+// psolver carries the dense constraint graph between build, collapse,
+// and the BSP propagation rounds.
+type psolver struct {
+	r       *Result
+	workers int
+
+	nobj  int
+	nodes int
+
+	varBase   map[*ir.Func]int32
+	retID     map[*ir.Func]int32
+	slotIdx   map[int]int
+	nslots    int
+	fieldBase int32
+
+	rep []int32 // SCC representative of each node (identity outside cycles)
+
+	cur, pend []bitset
+	succ      [][]int32
+	succSet   []map[int32]struct{}
+	trigs     [][]ptrigger
+
+	staticEdges [][2]int32
+	seeds       [][2]int32 // (node, objID)
+	trigBuild   [][]ptrigger
+}
+
+func newPSolver(r *Result, workers int) *psolver {
+	p := &psolver{r: r, workers: workers, nobj: len(r.objs)}
+	p.layout()
+	p.buildConstraints()
+	p.collapse()
+	return p
+}
+
+// layout assigns dense node ids: registers and a return node per
+// function in program order, then one node per (object, slot) pair for
+// every field slot mentioned anywhere in the program. Eager allocation
+// over-approximates the slots any given object can host, but unused
+// nodes stay empty and cost one bitset each.
+func (p *psolver) layout() {
+	p.varBase = make(map[*ir.Func]int32)
+	p.retID = make(map[*ir.Func]int32)
+	next := int32(0)
+	for _, fn := range p.r.prog.Funcs {
+		p.varBase[fn] = next
+		next += int32(fn.NumRegs)
+		p.retID[fn] = next
+		next++
+	}
+	slotSet := map[int]bool{}
+	for _, fn := range p.r.prog.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpGetField, ir.OpPutField:
+					slotSet[in.Field.Index] = true
+				case ir.OpGetStatic, ir.OpPutStatic:
+					slotSet[StaticSlotKey(in.Field)] = true
+				case ir.OpArrayLoad, ir.OpArrayStore:
+					slotSet[ArrayElemSlot] = true
+				}
+			}
+		}
+	}
+	slots := make([]int, 0, len(slotSet))
+	for s := range slotSet {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	p.slotIdx = make(map[int]int, len(slots))
+	for i, s := range slots {
+		p.slotIdx[s] = i
+	}
+	p.nslots = len(slots)
+	p.fieldBase = next
+	next += int32(p.nobj * p.nslots)
+	p.nodes = int(next)
+}
+
+func (p *psolver) varNode(fn *ir.Func, reg int) int32 { return p.varBase[fn] + int32(reg) }
+
+func (p *psolver) fieldNode(objID, slot int) int32 {
+	return p.fieldBase + int32(objID*p.nslots+p.slotIdx[slot])
+}
+
+func (p *psolver) edge(src, dst int32) {
+	p.staticEdges = append(p.staticEdges, [2]int32{src, dst})
+}
+
+func (p *psolver) addTrig(node int32, fn *ir.Func, in *ir.Instr) {
+	p.trigBuild[node] = append(p.trigBuild[node], ptrigger{fn, in})
+}
+
+// buildConstraints walks the program once, splitting every instruction
+// into seeds (allocation sites), static copy edges (moves, statics,
+// returns, non-virtual calls), and triggers (field accesses, virtual
+// calls, thread starts — constraints that depend on a points-to set).
+func (p *psolver) buildConstraints() {
+	p.trigBuild = make([][]ptrigger, p.nodes)
+	r := p.r
+	for _, fn := range r.prog.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpNew, ir.OpNewArray:
+					p.seeds = append(p.seeds, [2]int32{p.varNode(fn, in.Dst), int32(r.siteObj[in].ID)})
+				case ir.OpClassRef:
+					p.seeds = append(p.seeds, [2]int32{p.varNode(fn, in.Dst), int32(r.classOb[in.Class].ID)})
+				case ir.OpMove:
+					p.edge(p.varNode(fn, in.Src[0]), p.varNode(fn, in.Dst))
+				case ir.OpGetField, ir.OpPutField, ir.OpArrayLoad, ir.OpArrayStore:
+					p.addTrig(p.varNode(fn, in.Src[0]), fn, in)
+				case ir.OpGetStatic:
+					co := r.classOb[in.Field.Class]
+					p.edge(p.fieldNode(co.ID, StaticSlotKey(in.Field)), p.varNode(fn, in.Dst))
+				case ir.OpPutStatic:
+					co := r.classOb[in.Field.Class]
+					p.edge(p.varNode(fn, in.Src[0]), p.fieldNode(co.ID, StaticSlotKey(in.Field)))
+				case ir.OpCall:
+					r.Callees[in] = nil
+					if !in.Virtual {
+						if f := r.prog.FuncOf[in.Callee]; f != nil {
+							r.Callees[in] = []*ir.Func{f}
+							p.linkEdges(fn, in, f)
+						}
+					} else {
+						p.addTrig(p.varNode(fn, in.Src[0]), fn, in)
+					}
+				case ir.OpStart:
+					r.StartTargets[in] = nil
+					p.addTrig(p.varNode(fn, in.Src[0]), fn, in)
+				case ir.OpReturn:
+					if len(in.Src) > 0 {
+						p.edge(p.varNode(fn, in.Src[0]), p.retID[fn])
+					}
+				}
+			}
+		}
+	}
+}
+
+// linkEdges adds the argument and return copy edges of one call edge.
+func (p *psolver) linkEdges(fn *ir.Func, in *ir.Instr, callee *ir.Func) {
+	n := callee.NumParams
+	if len(in.Src) < n {
+		n = len(in.Src)
+	}
+	for i := 0; i < n; i++ {
+		p.edge(p.varNode(fn, in.Src[i]), p.varNode(callee, i))
+	}
+	if in.HasDst() {
+		p.edge(p.retID[callee], p.varNode(fn, in.Dst))
+	}
+}
+
+// collapse runs Tarjan over the static copy edges, remaps every edge,
+// trigger, and seed onto SCC representatives, and allocates the
+// per-representative solver state. Edges discovered during solving
+// (from triggers) are representative-mapped at emission but never
+// merge nodes; members of a copy cycle provably converge to equal
+// sets, so reading a member through its representative is exact.
+func (p *psolver) collapse() {
+	adj := make([][]int32, p.nodes)
+	for _, e := range p.staticEdges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	p.rep = tarjanReps(p.nodes, adj)
+
+	p.succ = make([][]int32, p.nodes)
+	p.succSet = make([]map[int32]struct{}, p.nodes)
+	p.trigs = make([][]ptrigger, p.nodes)
+	p.cur = make([]bitset, p.nodes)
+	p.pend = make([]bitset, p.nodes)
+	for i := 0; i < p.nodes; i++ {
+		if p.rep[i] != int32(i) {
+			continue
+		}
+		p.succSet[i] = make(map[int32]struct{})
+		p.cur[i] = newBitset(p.nobj)
+		p.pend[i] = newBitset(p.nobj)
+	}
+	for _, e := range p.staticEdges {
+		s, d := p.rep[e[0]], p.rep[e[1]]
+		if s == d {
+			continue
+		}
+		if _, ok := p.succSet[s][d]; ok {
+			continue
+		}
+		p.succSet[s][d] = struct{}{}
+		p.succ[s] = append(p.succ[s], d)
+	}
+	for n, ts := range p.trigBuild {
+		if len(ts) == 0 {
+			continue
+		}
+		rn := p.rep[n]
+		p.trigs[rn] = append(p.trigs[rn], ts...)
+	}
+	p.trigBuild = nil
+	for _, s := range p.seeds {
+		rn := p.rep[s[0]]
+		oid := int(s[1])
+		if !p.cur[rn].has(oid) {
+			p.cur[rn].set(oid)
+			p.pend[rn].set(oid)
+		}
+	}
+}
+
+// tarjanReps computes SCC representatives (iterative Tarjan; the
+// representative is the DFS root of each component).
+func tarjanReps(n int, adj [][]int32) []int32 {
+	rep := make([]int32, n)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onstack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int32
+	var next int32
+	type frame struct {
+		v  int32
+		ei int
+	}
+	var dfs []frame
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		dfs = append(dfs[:0], frame{int32(root), 0})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onstack[root] = true
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			v := f.v
+			if f.ei < len(adj[v]) {
+				w := adj[v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onstack[w] = true
+					dfs = append(dfs, frame{w, 0})
+				} else if onstack[w] && low[v] > index[w] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				pv := dfs[len(dfs)-1].v
+				if low[pv] > low[v] {
+					low[pv] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onstack[w] = false
+					rep[w] = v
+					if w == v {
+						break
+					}
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// pupdate ships newly discovered objects to a node; pedge requests a
+// new copy edge discovered by a trigger.
+type pupdate struct {
+	dst  int32
+	objs []int32
+}
+
+type pedge struct {
+	src, dst int32
+}
+
+// run iterates BSP rounds to the fixed point. Each round: (A) every
+// worker drains the pending deltas of its nodes, writing propagations
+// and trigger effects into outboxes; (B1) edge requests are applied by
+// the owner of the edge's source, seeding the new successor with the
+// source's current set; (B2) object updates are applied by the owner
+// of the target, growing cur and pend. The loop ends when a round
+// grows nothing.
+func (p *psolver) run() {
+	w := p.workers
+	outU := make([][][]pupdate, w)
+	outE := make([][][]pedge, w)
+	for i := 0; i < w; i++ {
+		outU[i] = make([][]pupdate, w)
+		outE[i] = make([][]pedge, w)
+	}
+	calleeAcc := make([]map[*ir.Instr][]*ir.Func, w)
+	startAcc := make([]map[*ir.Instr][]*ir.Func, w)
+	for i := 0; i < w; i++ {
+		calleeAcc[i] = make(map[*ir.Instr][]*ir.Func)
+		startAcc[i] = make(map[*ir.Instr][]*ir.Func)
+	}
+	active := make([]bool, w)
+
+	owner := func(n int32) int { return int(n) % w }
+	parallel := func(f func(me int)) {
+		var wg sync.WaitGroup
+		for me := 0; me < w; me++ {
+			wg.Add(1)
+			go func(me int) {
+				defer wg.Done()
+				f(me)
+			}(me)
+		}
+		wg.Wait()
+	}
+
+	for {
+		// Phase A: drain deltas, emit propagations and trigger effects.
+		parallel(func(me int) {
+			emitObj := func(dst, oid int32) {
+				outU[me][owner(dst)] = append(outU[me][owner(dst)], pupdate{dst, []int32{oid}})
+			}
+			emitEdge := func(src, dst int32) {
+				outE[me][owner(src)] = append(outE[me][owner(src)], pedge{src, dst})
+			}
+			for n := int32(me); int(n) < p.nodes; n += int32(w) {
+				if p.rep[n] != n || p.pend[n].empty() {
+					continue
+				}
+				ids := p.pend[n].ids(nil)
+				p.pend[n].clear()
+				for _, s := range p.succ[n] {
+					outU[me][owner(s)] = append(outU[me][owner(s)], pupdate{s, ids})
+				}
+				for _, t := range p.trigs[n] {
+					p.fire(t, ids, emitObj, emitEdge, calleeAcc[me], startAcc[me])
+				}
+			}
+		})
+
+		// Phase B1: install new edges (owner of the edge source), and
+		// seed each fresh successor with the source's current set.
+		parallel(func(me int) {
+			for from := 0; from < w; from++ {
+				for _, e := range outE[from][me] {
+					if e.src == e.dst {
+						continue
+					}
+					if _, ok := p.succSet[e.src][e.dst]; ok {
+						continue
+					}
+					p.succSet[e.src][e.dst] = struct{}{}
+					p.succ[e.src] = append(p.succ[e.src], e.dst)
+					if ids := p.cur[e.src].ids(nil); len(ids) > 0 {
+						outU[me][owner(e.dst)] = append(outU[me][owner(e.dst)], pupdate{e.dst, ids})
+					}
+				}
+				outE[from][me] = outE[from][me][:0]
+			}
+		})
+
+		// Phase B2: apply object updates (owner of the target).
+		parallel(func(me int) {
+			act := false
+			for from := 0; from < w; from++ {
+				for _, u := range outU[from][me] {
+					cur, pd := p.cur[u.dst], p.pend[u.dst]
+					for _, oid := range u.objs {
+						if !cur.has(int(oid)) {
+							cur.set(int(oid))
+							pd.set(int(oid))
+							act = true
+						}
+					}
+				}
+				outU[from][me] = outU[from][me][:0]
+			}
+			active[me] = act
+		})
+
+		anyAct := false
+		for _, a := range active {
+			anyAct = anyAct || a
+		}
+		if !anyAct {
+			break
+		}
+	}
+
+	p.publish(calleeAcc, startAcc)
+}
+
+// fire evaluates one trigger against the freshly added objects.
+func (p *psolver) fire(t ptrigger, ids []int32, emitObj func(dst, oid int32), emitEdge func(src, dst int32), callees, starts map[*ir.Instr][]*ir.Func) {
+	r := p.r
+	in, fn := t.in, t.fn
+	switch in.Op {
+	case ir.OpGetField:
+		dst := p.rep[p.varNode(fn, in.Dst)]
+		for _, oid := range ids {
+			emitEdge(p.rep[p.fieldNode(int(oid), in.Field.Index)], dst)
+		}
+	case ir.OpPutField:
+		val := p.rep[p.varNode(fn, in.Src[1])]
+		for _, oid := range ids {
+			emitEdge(val, p.rep[p.fieldNode(int(oid), in.Field.Index)])
+		}
+	case ir.OpArrayLoad:
+		dst := p.rep[p.varNode(fn, in.Dst)]
+		for _, oid := range ids {
+			emitEdge(p.rep[p.fieldNode(int(oid), ArrayElemSlot)], dst)
+		}
+	case ir.OpArrayStore:
+		val := p.rep[p.varNode(fn, in.Src[2])]
+		for _, oid := range ids {
+			emitEdge(val, p.rep[p.fieldNode(int(oid), ArrayElemSlot)])
+		}
+	case ir.OpCall:
+		for _, oid := range ids {
+			o := r.objs[oid]
+			if o.Class == nil {
+				continue
+			}
+			m := o.Class.ResolveOverride(in.Callee.Name)
+			if m == nil || m.Builtin != sem.NotBuiltin {
+				continue
+			}
+			f := r.prog.FuncOf[m]
+			if f == nil {
+				continue
+			}
+			addTarget(callees, in, f)
+			n := f.NumParams
+			if len(in.Src) < n {
+				n = len(in.Src)
+			}
+			for i := 0; i < n; i++ {
+				emitEdge(p.rep[p.varNode(fn, in.Src[i])], p.rep[p.varNode(f, i)])
+			}
+			if in.HasDst() {
+				emitEdge(p.rep[p.retID[f]], p.rep[p.varNode(fn, in.Dst)])
+			}
+		}
+	case ir.OpStart:
+		for _, oid := range ids {
+			o := r.objs[oid]
+			if o.Class == nil || !o.Class.IsThread() {
+				continue
+			}
+			m := o.Class.ResolveOverride("run")
+			if m == nil || m.Builtin != sem.NotBuiltin {
+				continue
+			}
+			f := r.prog.FuncOf[m]
+			if f == nil {
+				continue
+			}
+			addTarget(starts, in, f)
+			if f.Method.Class != nil {
+				// The thread object itself flows to run's receiver.
+				emitObj(p.rep[p.varNode(f, 0)], oid)
+			}
+		}
+	}
+}
+
+func addTarget(m map[*ir.Instr][]*ir.Func, in *ir.Instr, f *ir.Func) {
+	for _, x := range m[in] {
+		if x == f {
+			return
+		}
+	}
+	m[in] = append(m[in], f)
+}
+
+// publish converts the dense fixed point back into the Result maps,
+// creating entries only for non-empty sets (matching the lazy serial
+// solver), and merges the per-worker call-graph accumulators.
+func (p *psolver) publish(calleeAcc, startAcc []map[*ir.Instr][]*ir.Func) {
+	r := p.r
+	for _, fn := range r.prog.Funcs {
+		for reg := 0; reg < fn.NumRegs; reg++ {
+			if s := p.toSet(p.rep[p.varNode(fn, reg)]); len(s) > 0 {
+				r.varPts[varKey{fn, reg}] = s
+			}
+		}
+		if s := p.toSet(p.rep[p.retID[fn]]); len(s) > 0 {
+			r.retPts[fn] = s
+		}
+	}
+	for _, o := range r.objs {
+		for slot := range p.slotIdx {
+			if s := p.toSet(p.rep[p.fieldNode(o.ID, slot)]); len(s) > 0 {
+				r.fieldPts[fieldKey{o, slot}] = s
+			}
+		}
+	}
+	// Merge in program order so the pre-sort slice order is stable;
+	// finish() then orders every slice by name exactly as the serial
+	// path does.
+	for _, fn := range r.prog.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpCall:
+					for _, acc := range calleeAcc {
+						for _, f := range acc[in] {
+							addCallee(r.Callees, in, f)
+						}
+					}
+				case ir.OpStart:
+					for _, acc := range startAcc {
+						for _, f := range acc[in] {
+							addCallee(r.StartTargets, in, f)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func addCallee(m map[*ir.Instr][]*ir.Func, in *ir.Instr, f *ir.Func) {
+	for _, x := range m[in] {
+		if x == f {
+			return
+		}
+	}
+	m[in] = append(m[in], f)
+}
+
+func (p *psolver) toSet(node int32) ObjSet {
+	s := p.cur[node]
+	if s == nil || s.empty() {
+		return nil
+	}
+	out := ObjSet{}
+	for _, oid := range s.ids(nil) {
+		out[p.r.objs[oid]] = struct{}{}
+	}
+	return out
+}

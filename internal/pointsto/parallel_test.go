@@ -1,0 +1,78 @@
+package pointsto_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"racedet/internal/lang/parser"
+	"racedet/internal/lang/sem"
+	"racedet/internal/lower"
+	"racedet/internal/pointsto"
+)
+
+// loadPrograms compiles every corpus and benchmark program to IR.
+func loadPrograms(t *testing.T) map[string]*lower.Result {
+	t.Helper()
+	out := map[string]*lower.Result{}
+	for _, dir := range []string{"../corpus/testdata", "../bench/testdata"} {
+		paths, err := filepath.Glob(filepath.Join(dir, "*.mj"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range paths {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := parser.Parse(filepath.Base(path), string(src))
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			sp, err := sem.Check(prog)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			out[filepath.Base(path)] = lower.Lower(sp)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no test programs found")
+	}
+	return out
+}
+
+// TestParallelMatchesSerial checks the acceptance criterion that the
+// parallel solver computes the identical fixed point — points-to sets
+// and call graph — on every corpus and benchmark program, across
+// worker counts including degenerate ones.
+func TestParallelMatchesSerial(t *testing.T) {
+	progs := loadPrograms(t)
+	for name, lr := range progs {
+		want := pointsto.Analyze(lr.Prog).Dump()
+		if want == "" {
+			t.Fatalf("%s: empty serial dump", name)
+		}
+		for _, workers := range []int{1, 2, 3, 8} {
+			got := pointsto.AnalyzeParallel(lr.Prog, workers).Dump()
+			if got != want {
+				t.Errorf("%s: parallel(workers=%d) differs from serial\nserial:\n%s\nparallel:\n%s",
+					name, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestParallelDeterministic re-runs the parallel solver and requires a
+// byte-identical dump: scheduling must not leak into the result.
+func TestParallelDeterministic(t *testing.T) {
+	progs := loadPrograms(t)
+	for name, lr := range progs {
+		first := pointsto.AnalyzeParallel(lr.Prog, 4).Dump()
+		for i := 0; i < 3; i++ {
+			if got := pointsto.AnalyzeParallel(lr.Prog, 4).Dump(); got != first {
+				t.Errorf("%s: parallel dump differs between runs", name)
+			}
+		}
+	}
+}

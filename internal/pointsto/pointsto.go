@@ -9,6 +9,7 @@ package pointsto
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"racedet/internal/ir"
 	"racedet/internal/lang/sem"
@@ -201,9 +202,33 @@ func Analyze(prog *ir.Program) *Result {
 	r.collectObjects()
 	r.markLoops()
 	r.solve()
+	r.finish()
+	return r
+}
+
+// finish runs the post-fixpoint phases shared by the serial and
+// parallel solvers.
+func (r *Result) finish() {
+	r.sortCallGraph()
 	r.computeSingleInstance()
 	r.markSingleObjects()
-	return r
+}
+
+// sortCallGraph orders every resolved callee slice by function name.
+// resolveCall and resolveStart accumulate targets in points-to-set
+// iteration order (a Go map), so without this the call-graph slices —
+// and everything downstream that prints or digests them — would vary
+// between runs.
+func (r *Result) sortCallGraph() {
+	byName := func(fs []*ir.Func) {
+		sort.Slice(fs, func(i, j int) bool { return fs[i].Name < fs[j].Name })
+	}
+	for _, fs := range r.Callees {
+		byName(fs)
+	}
+	for _, fs := range r.StartTargets {
+		byName(fs)
+	}
 }
 
 func (r *Result) newObj(o *AbsObj) *AbsObj {
@@ -553,6 +578,70 @@ func (r *Result) computeSingleInstance() {
 			}
 		}
 	}
+}
+
+// Dump renders the entire fixed point deterministically — every
+// non-empty variable, field, and return points-to set plus the
+// resolved call graph, in program and ID order — so two Results can be
+// compared byte-for-byte (the serial-vs-parallel solver tests) and the
+// fact cache can digest analysis summaries stably.
+func (r *Result) Dump() string {
+	var sb strings.Builder
+	set := func(s ObjSet) string {
+		parts := make([]string, 0, len(s))
+		for _, o := range s.Sorted() {
+			parts = append(parts, o.String())
+		}
+		return strings.Join(parts, ", ")
+	}
+	for _, fn := range r.prog.Funcs {
+		for reg := 0; reg < fn.NumRegs; reg++ {
+			if s := r.varPts[varKey{fn, reg}]; len(s) > 0 {
+				fmt.Fprintf(&sb, "var %s r%d = {%s}\n", fn.Name, reg, set(s))
+			}
+		}
+		if s := r.retPts[fn]; len(s) > 0 {
+			fmt.Fprintf(&sb, "ret %s = {%s}\n", fn.Name, set(s))
+		}
+	}
+	fks := make([]fieldKey, 0, len(r.fieldPts))
+	for k := range r.fieldPts {
+		fks = append(fks, k)
+	}
+	sort.Slice(fks, func(i, j int) bool {
+		if fks[i].obj.ID != fks[j].obj.ID {
+			return fks[i].obj.ID < fks[j].obj.ID
+		}
+		return fks[i].slot < fks[j].slot
+	})
+	for _, k := range fks {
+		if s := r.fieldPts[k]; len(s) > 0 {
+			fmt.Fprintf(&sb, "field %s.%d = {%s}\n", k.obj, k.slot, set(s))
+		}
+	}
+	for _, fn := range r.prog.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				var fs []*ir.Func
+				var tag string
+				switch in.Op {
+				case ir.OpCall:
+					fs, tag = r.Callees[in], "call"
+				case ir.OpStart:
+					fs, tag = r.StartTargets[in], "start"
+				default:
+					continue
+				}
+				names := make([]string, 0, len(fs))
+				for _, f := range fs {
+					names = append(names, f.Name)
+				}
+				sort.Strings(names)
+				fmt.Fprintf(&sb, "%s %s b%d = [%s]\n", tag, fn.Name, b.ID, strings.Join(names, ", "))
+			}
+		}
+	}
+	return sb.String()
 }
 
 // markSingleObjects stamps SingleInstance on abstract objects whose

@@ -46,11 +46,39 @@ type Result struct {
 	// Sites lists every heap access site seen.
 	Sites []AccessSite
 
+	// Verdicts explains, per access site, which §5 condition kept or
+	// killed its instrumentation (the -explain-static report).
+	Verdicts map[*ir.Instr]*SiteVerdict
+
 	// PrunedThreadLocal counts accesses discarded by escape analysis;
 	// PrunedSameThread and PrunedCommonSync count pair-level proofs.
-	PrunedThreadLocal int
-	PrunedSameThread  int
-	PrunedCommonSync  int
+	// PrunedCommonSyncFlow is the subset of the CommonSync proofs that
+	// needed the flow-sensitive must-lock dataflow (zero without it).
+	PrunedThreadLocal    int
+	PrunedSameThread     int
+	PrunedCommonSync     int
+	PrunedCommonSyncFlow int
+}
+
+// SiteVerdict counts, for one access site, how its candidate pairs
+// were resolved. A site stays instrumented iff Racy > 0.
+type SiteVerdict struct {
+	ThreadLocal bool // discarded up front by escape analysis (§5.4)
+	Pairs       int  // conflict-group pairs examined (excluding read/read)
+	NoConflict  int  // pairs dismissed by AccMayConflict
+	SameThread  int  // pairs proven MustSameThread
+	CommonSync  int  // pairs proven MustCommonSync (either form)
+	FlowSync    int  // CommonSync proofs that needed the must-lock dataflow
+	Racy        int  // surviving may-race pairs
+}
+
+// Options selects the optional strengthenings of the §5 conditions.
+type Options struct {
+	// MustLock, when non-nil, strengthens MustCommonSync with the
+	// flow-sensitive must-held-lockset dataflow of icfg.BuildMustLock
+	// (locks held across call boundaries); nil reproduces the
+	// region-based check alone.
+	MustLock *icfg.MustLock
 }
 
 // Filter adapts the race set to the instrumentation phase.
@@ -58,9 +86,18 @@ func (r *Result) Filter() func(*ir.Instr) bool {
 	return func(in *ir.Instr) bool { return r.InRaceSet[in] }
 }
 
-// Analyze computes the static datarace set.
+// Analyze computes the static datarace set with the baseline §5
+// conditions (no interprocedural strengthening).
 func Analyze(prog *ir.Program, pts *pointsto.Result, g *icfg.Graph, esc *escape.Result) *Result {
-	r := &Result{InRaceSet: make(map[*ir.Instr]bool)}
+	return AnalyzeOpts(prog, pts, g, esc, Options{})
+}
+
+// AnalyzeOpts computes the static datarace set.
+func AnalyzeOpts(prog *ir.Program, pts *pointsto.Result, g *icfg.Graph, esc *escape.Result, opt Options) *Result {
+	r := &Result{
+		InRaceSet: make(map[*ir.Instr]bool),
+		Verdicts:  make(map[*ir.Instr]*SiteVerdict),
+	}
 
 	// Collect candidate sites, pruning thread-local/thread-specific
 	// accesses immediately (§5.4).
@@ -73,8 +110,10 @@ func Analyze(prog *ir.Program, pts *pointsto.Result, g *icfg.Graph, esc *escape.
 				}
 				site := AccessSite{Fn: fn, Block: b, Instr: in}
 				r.Sites = append(r.Sites, site)
+				r.Verdicts[in] = &SiteVerdict{}
 				if esc.ThreadLocalAccess(fn, in) {
 					r.PrunedThreadLocal++
+					r.Verdicts[in].ThreadLocal = true
 					continue
 				}
 				sites = append(sites, site)
@@ -106,18 +145,35 @@ func Analyze(prog *ir.Program, pts *pointsto.Result, g *icfg.Graph, esc *escape.
 				if xKind != ir.Write && yKind != ir.Write {
 					continue // two reads never race
 				}
+				tally := func(f func(*SiteVerdict)) {
+					f(r.Verdicts[x.Instr])
+					if y.Instr != x.Instr {
+						f(r.Verdicts[y.Instr])
+					}
+				}
+				tally(func(v *SiteVerdict) { v.Pairs++ })
 				if !accMayConflict(pts, x, y) {
+					tally(func(v *SiteVerdict) { v.NoConflict++ })
 					continue
 				}
 				if mustSameThread(g, x, y) {
 					r.PrunedSameThread++
+					tally(func(v *SiteVerdict) { v.SameThread++ })
 					continue
 				}
 				if mustCommonSync(g, x, y) {
 					r.PrunedCommonSync++
+					tally(func(v *SiteVerdict) { v.CommonSync++ })
+					continue
+				}
+				if opt.MustLock != nil && mustCommonSyncFlow(opt.MustLock, g, x, y) {
+					r.PrunedCommonSync++
+					r.PrunedCommonSyncFlow++
+					tally(func(v *SiteVerdict) { v.CommonSync++; v.FlowSync++ })
 					continue
 				}
 				r.Pairs = append(r.Pairs, [2]AccessSite{x, y})
+				tally(func(v *SiteVerdict) { v.Racy++ })
 				inPairs[x.Instr] = true
 				inPairs[y.Instr] = true
 			}
@@ -159,7 +215,25 @@ func mustSameThread(g *icfg.Graph, x, y AccessSite) bool {
 	return g.MustThreadOf(x.Fn).Intersects(g.MustThreadOf(y.Fn))
 }
 
-// mustCommonSync implements Equation 4.
+// mustCommonSync implements Equation 4 with the region-based SO sets.
 func mustCommonSync(g *icfg.Graph, x, y AccessSite) bool {
 	return g.MustSyncOf(x.Fn, x.Instr).Intersects(g.MustSyncOf(y.Fn, y.Instr))
+}
+
+// mustCommonSyncFlow is Equation 4 over the union of the region-based
+// SO sets and the flow-sensitive must-held locksets, which can prove a
+// common lock across call boundaries (a callee access covered by a
+// caller's monitor).
+func mustCommonSyncFlow(ml *icfg.MustLock, g *icfg.Graph, x, y AccessSite) bool {
+	held := func(s AccessSite) pointsto.ObjSet {
+		out := pointsto.ObjSet{}
+		for o := range g.MustSyncOf(s.Fn, s.Instr) {
+			out[o] = struct{}{}
+		}
+		for o := range ml.At(s.Instr) {
+			out[o] = struct{}{}
+		}
+		return out
+	}
+	return held(x).Intersects(held(y))
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"racedet/internal/ir"
+	"racedet/internal/lang/sem"
 )
 
 // VN is a value number: SSA definitions with the same VN are known to
@@ -22,18 +23,33 @@ const NoVN VN = -1
 // recognized, which Move propagation and hashing of pure expressions
 // provide.
 type ValueNumbering struct {
-	ov  *Overlay
-	vn  map[DefID]VN
-	nxt VN
-	exp map[string]VN // hash-cons table for pure expressions
+	ov     *Overlay
+	vn     map[DefID]VN
+	nxt    VN
+	exp    map[string]VN // hash-cons table for pure expressions
+	stable func(*sem.Field) bool
 }
 
 // BuildGVN computes value numbers for the overlay.
 func BuildGVN(ov *Overlay) *ValueNumbering {
+	return BuildGVNStable(ov, nil)
+}
+
+// BuildGVNStable is BuildGVN extended with stable-field load merging:
+// a getfield of a field for which stable returns true is numbered by
+// hashing the field and the receiver's value number, so two loads of
+// the same init-only field off the same receiver share a number. The
+// caller vouches that every write to a stable field targets `this`
+// inside a constructor — under the constructor-publication
+// happens-before assumption the §5.4 escape pruning already makes,
+// such a field has one value for the object's published lifetime, so
+// merging loads is sound. A nil stable is BuildGVN exactly.
+func BuildGVNStable(ov *Overlay, stable func(*sem.Field) bool) *ValueNumbering {
 	g := &ValueNumbering{
-		ov:  ov,
-		vn:  make(map[DefID]VN),
-		exp: make(map[string]VN),
+		ov:     ov,
+		vn:     make(map[DefID]VN),
+		exp:    make(map[string]VN),
+		stable: stable,
 	}
 	// Parameters are definitions too: each gets its own fresh number.
 	for _, pd := range ov.ParamDef {
@@ -136,6 +152,16 @@ func (g *ValueNumbering) numberInstr(id DefID, in *ir.Instr) {
 		} else if _, ok := g.vn[id]; !ok {
 			g.assign(id, g.fresh())
 		}
+	case ir.OpGetField:
+		if g.stable != nil && g.stable(in.Field) {
+			if recv := g.useVN(in, 0); recv != NoVN {
+				g.assign(id, g.hash(fmt.Sprintf("gf:%s:%d", in.Field.QualifiedName(), recv)))
+				return
+			}
+		}
+		if _, ok := g.vn[id]; !ok {
+			g.assign(id, g.fresh())
+		}
 	case ir.OpArrayLen:
 		a := g.useVN(in, 0)
 		if a != NoVN {
@@ -178,6 +204,19 @@ func (g *ValueNumbering) useVN(in *ir.Instr, idx int) VN {
 // or NoVN if unknown. This is what the weaker-than elimination calls
 // to compare valnum(o_i) with valnum(o_j).
 func (g *ValueNumbering) OperandVN(in *ir.Instr, idx int) VN { return g.useVN(in, idx) }
+
+// ParamVN returns the value number of parameter i's entry definition
+// (register i at function entry), or NoVN if out of range.
+func (g *ValueNumbering) ParamVN(i int) VN {
+	if i < 0 || i >= len(g.ov.ParamDef) {
+		return NoVN
+	}
+	v, ok := g.vn[g.ov.ParamDef[i]]
+	if !ok {
+		return NoVN
+	}
+	return v
+}
 
 // DefVN returns the value number of the definition made by in.
 func (g *ValueNumbering) DefVN(in *ir.Instr) VN {

@@ -75,6 +75,11 @@ type Options struct {
 	DisableWeakerThan bool
 	// DisablePeeling skips only the §6.3 loop peeling ("NoPeeling").
 	DisablePeeling bool
+	// DisableInterproc skips the interprocedural strengthenings of the
+	// static phase — the flow-sensitive must-held-lockset dataflow and
+	// the cross-call weaker-than elimination — leaving exactly the
+	// per-function analysis ("NoInterproc").
+	DisableInterproc bool
 	// DisableCache skips the §4 runtime optimizer ("NoCache").
 	DisableCache bool
 	// DisableOwnership skips the §7 ownership filter ("NoOwnership").
@@ -97,6 +102,15 @@ type Options struct {
 	// field as observed-immutable (written only before publication) or
 	// mutable-shared (§10 future work).
 	AnalyzeImmutability bool
+
+	// PointsToWorkers > 0 runs the Andersen points-to solver on that
+	// many parallel workers; the fixed point is identical to the
+	// serial solver's (0 = serial).
+	PointsToWorkers int
+	// FactCacheDir, when non-empty, persists static-analysis results
+	// keyed by content digests under this directory; recompiles of
+	// unchanged functions replay them instead of re-analyzing.
+	FactCacheDir string
 
 	// Seed perturbs the deterministic scheduler (0 = fixed
 	// round-robin quantum). Any seed detects the same lockset races on
@@ -189,6 +203,9 @@ func (o Options) config() core.Config {
 	if o.DisablePeeling {
 		cfg = cfg.NoPeeling()
 	}
+	cfg.Interproc = !o.DisableInterproc
+	cfg.PtsWorkers = o.PointsToWorkers
+	cfg.FactCacheDir = o.FactCacheDir
 	cfg.Cache = !o.DisableCache
 	cfg.Ownership = !o.DisableOwnership
 	cfg.PseudoLocks = !o.DisableJoinPseudoLocks
@@ -408,6 +425,14 @@ func Compile(file, src string, opts Options) (*Compiled, error) {
 		return nil, err
 	}
 	return &Compiled{pipe: pipe}, nil
+}
+
+// StaticReport renders the per-access-site keep/kill decisions of the
+// static phase (the racedet -explain-static report): for each heap
+// access, which §5 condition killed its instrumentation, or which §6
+// weaker-than elimination removed its trace.
+func (c *Compiled) StaticReport() string {
+	return c.pipe.FactsReport()
 }
 
 // Run executes the compiled program once.
