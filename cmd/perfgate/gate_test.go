@@ -28,9 +28,12 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 		cell("mtrt", "FullSharded4Batched64", 1000), // improvement
 		cell("mtrt", "Empty", 900),                  // 9x, but not gated
 	)
-	rows, violations := compare(base, cur, gateConfigs, 0.25)
+	rows, violations, warnings := compare(base, cur, gateConfigs, 0.25)
 	if len(violations) != 0 {
 		t.Fatalf("unexpected violations: %v", violations)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("unexpected warnings: %v", warnings)
 	}
 	if got := countGated(rows); got != 2 {
 		t.Errorf("countGated = %d, want 2", got)
@@ -40,7 +43,7 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 func TestGateFailsOnRegression(t *testing.T) {
 	base := report(cell("tsp", "Full", 1000), cell("tsp", "FullSharded4Batched64", 1000))
 	cur := report(cell("tsp", "Full", 1300), cell("tsp", "FullSharded4Batched64", 990))
-	_, violations := compare(base, cur, gateConfigs, 0.25)
+	_, violations, _ := compare(base, cur, gateConfigs, 0.25)
 	if len(violations) != 1 {
 		t.Fatalf("violations = %v, want exactly one (tsp/Full)", violations)
 	}
@@ -52,21 +55,78 @@ func TestGateFailsOnRegression(t *testing.T) {
 func TestGateFailsOnMissingGatedCell(t *testing.T) {
 	base := report(cell("sor", "Full", 1000), cell("sor", "FullSharded4Batched64", 1000))
 	cur := report(cell("sor", "Full", 1000)) // sharded cell absent
-	_, violations := compare(base, cur, gateConfigs, 0.25)
+	_, violations, _ := compare(base, cur, gateConfigs, 0.25)
 	if len(violations) != 1 || !strings.Contains(violations[0], "missing") {
 		t.Fatalf("violations = %v, want one missing-cell violation", violations)
 	}
 }
 
-func TestGateIgnoresExtraCurrentCells(t *testing.T) {
-	base := report(cell("hedc", "Full", 1000))
-	cur := report(cell("hedc", "Full", 1000), cell("hedc", "FullSharded8Batched64", 9999))
-	rows, violations := compare(base, cur, gateConfigs, 0.25)
+func TestGateWarnsOnExtraCurrentCells(t *testing.T) {
+	base := report(cell("hedc", "Full", 1000), cell("hedc", "FullSharded4Batched64", 1000))
+	cur := report(
+		cell("hedc", "Full", 1000),
+		cell("hedc", "FullSharded4Batched64", 1000),
+		cell("hedc", "FullSharded8Batched64", 9999),
+	)
+	rows, violations, warnings := compare(base, cur, gateConfigs, 0.25)
+	if len(violations) != 0 {
+		t.Fatalf("unexpected violations: %v", violations)
+	}
+	if len(rows) != 2 {
+		t.Errorf("rows = %d, want 2 (current-only cells are not compared)", len(rows))
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "hedc/FullSharded8Batched64") {
+		t.Errorf("warnings = %v, want one naming the current-only cell", warnings)
+	}
+}
+
+func TestGateWarnsOnUnmeasuredBaselineCell(t *testing.T) {
+	// A baseline edited or truncated by hand can carry cells without a
+	// measurement; those must be skipped with a warning, never produce
+	// an infinite ratio or a panic.
+	base := report(
+		cell("moldyn", "Full", 0), // missing ns/op key in the JSON
+		cell("moldyn", "FullSharded4Batched64", 1000),
+	)
+	cur := report(
+		cell("moldyn", "Full", 1200),
+		cell("moldyn", "FullSharded4Batched64", 1000),
+	)
+	rows, violations, warnings := compare(base, cur, gateConfigs, 0.25)
 	if len(violations) != 0 {
 		t.Fatalf("unexpected violations: %v", violations)
 	}
 	if len(rows) != 1 {
-		t.Errorf("rows = %d, want 1 (extra current-only cells ignored)", len(rows))
+		t.Errorf("rows = %d, want 1 (unmeasured baseline cell skipped)", len(rows))
+	}
+	found := false
+	for _, w := range warnings {
+		if strings.Contains(w, "moldyn/Full") && strings.Contains(w, "no measurement") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("warnings = %v, want one about moldyn/Full's missing measurement", warnings)
+	}
+}
+
+func TestGateWarnsOnUncoveredGatedConfig(t *testing.T) {
+	// The baseline has zero usable cells for a gated config (here the
+	// sharded one): the gate cannot protect it and must say so.
+	base := report(cell("crypt", "Full", 1000), cell("crypt", "FullSharded4Batched64", 0))
+	cur := report(cell("crypt", "Full", 1000))
+	_, violations, warnings := compare(base, cur, gateConfigs, 0.25)
+	if len(violations) != 0 {
+		t.Fatalf("unexpected violations: %v", violations)
+	}
+	found := false
+	for _, w := range warnings {
+		if strings.Contains(w, `"FullSharded4Batched64"`) && strings.Contains(w, "cannot protect") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("warnings = %v, want one about the uncovered gated config", warnings)
 	}
 }
 

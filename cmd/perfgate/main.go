@@ -65,8 +65,11 @@ func main() {
 		}
 	}
 
-	rows, violations := compare(base, cur, gated, *threshold)
+	rows, violations, warnings := compare(base, cur, gated, *threshold)
 	printRows(os.Stdout, rows)
+	for _, w := range warnings {
+		fmt.Fprintf(os.Stderr, "perfgate: warning: %s\n", w)
+	}
 	if len(violations) > 0 {
 		fmt.Fprintf(os.Stderr, "perfgate: %d regression(s) beyond %.0f%%:\n", len(violations), *threshold*100)
 		for _, v := range violations {

@@ -235,13 +235,15 @@ func main() {
 	}
 
 	res, err := racedet.Detect(file, string(src), opts)
+	var runtimeErr *racedet.RuntimeError
 	if err != nil {
-		var re *racedet.RuntimeError
-		if errors.As(err, &re) {
-			fmt.Fprintln(os.Stderr, "racedet: execution failed:", re)
-			exit(exitRuntime)
+		// A runtime failure (deadlock, watchdog, livelock, step budget)
+		// still carries a partial result: the races observed before the
+		// run was cut short. Print the report below, then exit 2.
+		if !errors.As(err, &runtimeErr) || res == nil {
+			fatal(err)
 		}
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "racedet: execution failed:", runtimeErr)
 	}
 
 	if *schedOut != "" {
@@ -282,6 +284,10 @@ func main() {
 		}
 	}
 	n := res.RacyObjects
+	if runtimeErr != nil {
+		fmt.Fprintf(os.Stderr, "racedet: partial report: dataraces on %d object(s) before the run was cut short\n", n)
+		exit(exitRuntime)
+	}
 	switch {
 	case n == 0 && len(res.BaselineReports) == 0:
 		fmt.Fprintln(os.Stderr, "racedet: no dataraces detected")

@@ -314,3 +314,31 @@ class Main {
 		t.Errorf("missing watchdog diagnostic:\n%s", out)
 	}
 }
+
+// TestCLIWatchdogPartialReport: a program that races and then hangs
+// must still print the races it produced before the watchdog fired —
+// an aborted analysis keeps its partial verdicts — and then exit 2.
+func TestCLIWatchdogPartialReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	prog := writeProg(t, strings.Replace(racyProg,
+		"print(x.f);",
+		"print(x.f); while (true) { x.f = x.f + 1; }", 1))
+
+	out, err := exec.Command(bin, "-q", "-timeout", "100ms", prog).CombinedOutput()
+	text := string(out)
+	if code := exitCode(t, err, out); code != 2 {
+		t.Fatalf("exit %d, want 2\n%s", code, text)
+	}
+	if !strings.Contains(text, "datarace on Data.f") {
+		t.Errorf("partial race report lost on watchdog abort:\n%s", text)
+	}
+	if !strings.Contains(text, "partial report") {
+		t.Errorf("missing partial-report summary line:\n%s", text)
+	}
+	if !strings.Contains(text, "watchdog") {
+		t.Errorf("missing watchdog diagnostic:\n%s", text)
+	}
+}

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"racedet/internal/service"
+)
+
+// buildDaemon compiles the racedetd binary once per test.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "racedetd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+const racyProg = `
+class Data { int f; }
+class Worker extends Thread {
+    Data d;
+    Worker(Data d0) { d = d0; }
+    void run() { d.f = d.f + 1; }
+}
+class Main {
+    static void main() {
+        Data x = new Data();
+        x.f = 0;
+        Worker a = new Worker(x);
+        Worker b = new Worker(x);
+        a.start(); b.start(); a.join(); b.join();
+        print(x.f);
+    }
+}`
+
+var cleanProg = strings.Replace(racyProg,
+	"void run() { d.f = d.f + 1; }",
+	"void run() { synchronized (d) { d.f = d.f + 1; } }", 1)
+
+// daemon is one running racedetd subprocess under test.
+type daemon struct {
+	cmd      *exec.Cmd
+	client   *service.Client
+	readDone chan struct{}
+
+	mu     sync.Mutex
+	stdout bytes.Buffer
+}
+
+// startDaemon launches racedetd with port 0 and returns once the
+// daemon printed its resolved listen address.
+func startDaemon(t *testing.T, bin string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-listen", "127.0.0.1:0"}, extra...)
+	d := &daemon{cmd: exec.Command(bin, args...)}
+	pipe, err := d.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Stderr = nil
+	if err := d.cmd.Start(); err != nil {
+		t.Fatalf("starting racedetd: %v", err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+
+	sc := bufio.NewScanner(pipe)
+	if !sc.Scan() {
+		d.cmd.Wait()
+		t.Fatalf("racedetd exited before announcing its address")
+	}
+	line := sc.Text()
+	const prefix = "racedetd listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("first stdout line = %q, want %q...", line, prefix)
+	}
+	d.client = &service.Client{Base: strings.TrimPrefix(line, prefix)}
+	d.readDone = make(chan struct{})
+	go func() {
+		defer close(d.readDone)
+		for sc.Scan() {
+			d.mu.Lock()
+			d.stdout.WriteString(sc.Text() + "\n")
+			d.mu.Unlock()
+		}
+	}()
+	return d
+}
+
+func (d *daemon) tail() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stdout.String()
+}
+
+// waitExit waits for the daemon to exit and returns its exit code.
+func (d *daemon) waitExit(t *testing.T, within time.Duration) int {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		// Drain stdout to EOF before Wait: Wait closes the pipe and
+		// would race the reader out of the final drain-summary line.
+		<-d.readDone
+		done <- d.cmd.Wait()
+	}()
+	select {
+	case <-done:
+		return d.cmd.ProcessState.ExitCode()
+	case <-time.After(within):
+		d.cmd.Process.Kill()
+		t.Fatalf("racedetd did not exit within %v", within)
+		return -1
+	}
+}
+
+// waitMetric polls /metrics until pred is satisfied.
+func (d *daemon) waitMetric(t *testing.T, name string, pred func(int64) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m, err := d.client.Metrics()
+		if err == nil && pred(m[name]) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metric %s never satisfied predicate (last: %v, err %v)", name, m[name], err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDaemonEndToEnd is the CI smoke: start the daemon, run two
+// concurrent jobs with a session fault injected into the first
+// admitted one, scrape /metrics, then SIGTERM for a clean drain.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin,
+		"-inject", "session-panic:job=1,times=1",
+		"-retry-backoff", "1ms", "-q")
+
+	if err := d.client.Health(); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	jobs := []service.JobRequest{
+		{File: "racy.mj", Source: racyProg},
+		{File: "clean.mj", Source: cleanProg},
+	}
+	results := make([]*service.JobResult, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, req := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = d.client.Analyze(req)
+		}()
+	}
+	wg.Wait()
+
+	retries := 0
+	for i, req := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("job %s: %v", req.File, errs[i])
+		}
+		if results[i].Degraded || results[i].CompileError != "" || results[i].RuntimeError != "" {
+			t.Errorf("job %s not clean: %+v", req.File, results[i])
+		}
+		racy := len(results[i].Races) > 0
+		if want := req.File == "racy.mj"; racy != want {
+			t.Errorf("job %s racy=%v, want %v", req.File, racy, want)
+		}
+		retries += results[i].Retries
+	}
+	if retries != 1 {
+		t.Errorf("total retries = %d, want 1 (the injected panic)", retries)
+	}
+
+	m, err := d.client.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m["jobs_admitted"] != 2 || m["jobs_completed"] != 2 {
+		t.Errorf("admitted=%d completed=%d, want 2/2", m["jobs_admitted"], m["jobs_completed"])
+	}
+	if m["session_panics"] != 1 {
+		t.Errorf("session_panics = %d, want 1", m["session_panics"])
+	}
+	if m["races_reported"] == 0 {
+		t.Error("races_reported = 0")
+	}
+
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	if code := d.waitExit(t, 10*time.Second); code != 0 {
+		t.Fatalf("clean drain exit = %d, want 0\n%s", code, d.tail())
+	}
+	if !strings.Contains(d.tail(), "clean=true") {
+		t.Errorf("drain summary missing:\n%s", d.tail())
+	}
+}
+
+// TestDaemonDrainDeadline proves a stuck job cannot hold shutdown
+// hostage: the drain deadline expires, the job is counted aborted,
+// and the daemon exits 2.
+func TestDaemonDrainDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin,
+		"-inject", "slow-client:job=*,delay=5s",
+		"-drain-timeout", "100ms", "-q")
+
+	go d.client.Analyze(service.JobRequest{File: "stuck.mj", Source: cleanProg})
+	d.waitMetric(t, "sessions_active", func(v int64) bool { return v >= 1 })
+
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	if code := d.waitExit(t, 10*time.Second); code != 2 {
+		t.Fatalf("deadline drain exit = %d, want 2\n%s", code, d.tail())
+	}
+	out := d.tail()
+	if !strings.Contains(out, "clean=false") || !strings.Contains(out, "aborted=1") {
+		t.Errorf("drain summary should count the aborted job:\n%s", out)
+	}
+}
+
+// TestDaemonDoubleSignal: a second SIGTERM during the drain forces an
+// immediate exit with the distinct code 4.
+func TestDaemonDoubleSignal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin,
+		"-inject", "slow-client:job=*,delay=10s",
+		"-drain-timeout", "30s", "-q")
+
+	go d.client.Analyze(service.JobRequest{File: "stuck.mj", Source: cleanProg})
+	d.waitMetric(t, "sessions_active", func(v int64) bool { return v >= 1 })
+
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	time.Sleep(100 * time.Millisecond) // let the drain start
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	if code := d.waitExit(t, 10*time.Second); code != 4 {
+		t.Fatalf("double-signal exit = %d, want 4\n%s", code, d.tail())
+	}
+}

@@ -637,6 +637,10 @@ type RunResult struct {
 
 	InstrStats  instrument.Stats
 	StaticStats StaticStats
+	// FactCache reports what the digest-keyed fact cache did for this
+	// run's compile (zero value when Config.FactCacheDir is empty).
+	// Long-running services aggregate it into their hit-rate metrics.
+	FactCache factcache.Stats
 
 	Output   string
 	Duration time.Duration
@@ -770,6 +774,7 @@ func (p *Pipeline) RunConfig(cfg Config) (*RunResult, error) {
 		Interp:      res,
 		InstrStats:  p.InstrStats,
 		StaticStats: p.StaticStats,
+		FactCache:   p.CacheStats,
 		Output:      out.String(),
 		Duration:    dur,
 		Err:         err,

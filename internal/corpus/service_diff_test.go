@@ -1,0 +1,107 @@
+package corpus
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"racedet"
+	"racedet/internal/faultinject"
+	"racedet/internal/service"
+)
+
+// TestCorpusFaultedDaemonMatchesOneShot is the service-level recovery
+// differential: on every corpus program, under ten seeds, a daemon
+// session whose first two attempts are killed by injected panics must
+// produce verdicts identical to a clean one-shot racedet run — and a
+// concurrent sibling session of the same program must be completely
+// unaffected. Retried recovery is allowed to be visible in counters,
+// never in verdicts.
+func TestCorpusFaultedDaemonMatchesOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full corpus through daemon sessions")
+	}
+	for _, e := range loadCorpus(t) {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 10; seed++ {
+				want, err := racedet.Detect(e.name+".mj", e.src, racedet.Options{Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d one-shot: %v", seed, err)
+				}
+
+				// Whichever of the two concurrent sessions is admitted
+				// first eats both injected panics; the other runs clean.
+				plan, err := faultinject.Parse("session-panic:job=1,times=2")
+				if err != nil {
+					t.Fatal(err)
+				}
+				srv := service.New(service.Options{
+					MaxSessions:  2,
+					RetryBudget:  3,
+					RetryBackoff: time.Millisecond,
+					Faults:       plan,
+				})
+				ts := httptest.NewServer(srv.Handler())
+				client := &service.Client{Base: ts.URL}
+
+				results := make([]*service.JobResult, 2)
+				errs := make([]error, 2)
+				var wg sync.WaitGroup
+				for i := range results {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						results[i], errs[i] = client.Analyze(service.JobRequest{
+							File:   e.name + ".mj",
+							Source: e.src,
+							Seed:   seed,
+						})
+					}()
+				}
+				wg.Wait()
+				ts.Close()
+
+				retries := 0
+				for i, res := range results {
+					if errs[i] != nil {
+						t.Fatalf("seed %d session %d: %v", seed, i, errs[i])
+					}
+					if res.Degraded {
+						t.Fatalf("seed %d session %d degraded with retry budget 3: %+v", seed, i, res)
+					}
+					if res.CompileError != "" || res.RuntimeError != "" {
+						t.Fatalf("seed %d session %d failed: %+v", seed, i, res)
+					}
+					if !reflect.DeepEqual(res.Races, want.Races) {
+						t.Errorf("seed %d session %d: races diverge from one-shot:\n--- one-shot ---\n%+v\n--- daemon ---\n%+v",
+							seed, i, want.Races, res.Races)
+					}
+					if res.Output != want.Output {
+						t.Errorf("seed %d session %d: output diverges: got %q want %q",
+							seed, i, res.Output, want.Output)
+					}
+					if res.RacyObjects != want.RacyObjects {
+						t.Errorf("seed %d session %d: racy objects = %d, want %d",
+							seed, i, res.RacyObjects, want.RacyObjects)
+					}
+					retries += res.Retries
+				}
+				if retries != 2 {
+					t.Errorf("seed %d: total retries = %d, want 2 (both injected panics contained)", seed, retries)
+				}
+				m := srv.Metrics()
+				if m.SessionPanics != 2 {
+					t.Errorf("seed %d: session_panics = %d, want 2", seed, m.SessionPanics)
+				}
+				if m.JobsCompleted != 2 || m.Terminal() != m.JobsAdmitted {
+					t.Errorf("seed %d: completed=%d terminal=%d admitted=%d",
+						seed, m.JobsCompleted, m.Terminal(), m.JobsAdmitted)
+				}
+			}
+		})
+	}
+}

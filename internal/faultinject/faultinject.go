@@ -18,6 +18,19 @@
 //	corrupt-checkpoint:shard=S   mark shard S's next checkpoint corrupt
 //
 // shard=* (or shard=any) matches every shard.
+//
+// Session-level faults target the racedetd daemon (internal/service)
+// instead of the sharded back end; job indices count admitted jobs
+// from 1 and job=* matches every job:
+//
+//	session-panic:job=J[,times=T]  panic inside job J's session runner
+//	                               (T firings, default 1; the service
+//	                               retries and eventually degrades)
+//	client-disconnect:job=J        drop job J's client mid-request; the
+//	                               session must still complete
+//	slow-client:job=J,delay=D      stall job J's request body by D
+//	admission-full:times=T         report the admission queue full T
+//	                               times (load-shed with retry-after)
 package faultinject
 
 import (
@@ -29,8 +42,12 @@ import (
 	"time"
 )
 
-// anyShard is the wildcard shard selector.
-const anyShard = -1
+// anyShard is the wildcard shard selector; anyJob likewise for the
+// session-level faults.
+const (
+	anyShard = -1
+	anyJob   = 0
+)
 
 type panicFault struct {
 	shard int
@@ -54,16 +71,45 @@ type corruptFault struct {
 	done  atomic.Bool
 }
 
+// Session-level fault types (racedetd daemon; see internal/service).
+
+type sessionPanicFault struct {
+	job  uint64 // anyJob = every job
+	left atomic.Int64
+}
+
+type disconnectFault struct {
+	job  uint64
+	done atomic.Bool
+}
+
+type slowClientFault struct {
+	job   uint64
+	delay time.Duration
+}
+
+type admissionFault struct {
+	left atomic.Int64
+}
+
 // Plan is a deterministic set of faults; safe for concurrent use.
 type Plan struct {
 	panics   []*panicFault
 	slows    []*slowFault
 	qfulls   []*queueFault
 	corrupts []*corruptFault
-	fired    atomic.Uint64
+
+	sessPanics  []*sessionPanicFault
+	disconnects []*disconnectFault
+	slowClients []*slowClientFault
+	admissions  []*admissionFault
+
+	fired atomic.Uint64
 }
 
 func match(sel, shard int) bool { return sel == anyShard || sel == shard }
+
+func matchJob(sel, job uint64) bool { return sel == anyJob || sel == job }
 
 // WorkerEvent implements the worker-side hook: it panics when a panic
 // fault matches (one-shot, so a journaled replay of the same event
@@ -107,6 +153,56 @@ func (p *Plan) CorruptCheckpoint(shard int) bool {
 	return false
 }
 
+// SessionEvent implements the daemon's session hook: it panics while a
+// matching session-panic fault has firings left. The service runs every
+// session under a recover barrier, so the panic is contained, counted,
+// retried, and eventually degraded — exactly the path the differential
+// tests exercise.
+func (p *Plan) SessionEvent(job uint64) {
+	for _, f := range p.sessPanics {
+		if matchJob(f.job, job) && f.left.Add(-1) >= 0 {
+			p.fired.Add(1)
+			panic(fmt.Sprintf("faultinject: injected session panic on job %d", job))
+		}
+	}
+}
+
+// ClientDisconnect reports whether the client of the given job should
+// be treated as having dropped the connection mid-request (one-shot).
+func (p *Plan) ClientDisconnect(job uint64) bool {
+	for _, f := range p.disconnects {
+		if matchJob(f.job, job) && f.done.CompareAndSwap(false, true) {
+			p.fired.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// SlowClient returns how long the given job's request handling should
+// stall to simulate a slow client (0 = no matching fault).
+func (p *Plan) SlowClient(job uint64) time.Duration {
+	for _, f := range p.slowClients {
+		if matchJob(f.job, job) {
+			p.fired.Add(1)
+			return f.delay
+		}
+	}
+	return 0
+}
+
+// AdmissionFull implements the daemon's admission hook: true while an
+// admission-full fault has firings left, forcing the load-shed path.
+func (p *Plan) AdmissionFull() bool {
+	for _, f := range p.admissions {
+		if f.left.Add(-1) >= 0 {
+			p.fired.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
 // Fired returns how many injections have triggered so far. Tests use
 // it to assert the plan actually disturbed the run (a panic planned
 // past the end of the stream never fires).
@@ -115,7 +211,14 @@ func (p *Plan) Fired() uint64 { return p.fired.Load() }
 // Empty reports whether the plan contains no faults at all.
 func (p *Plan) Empty() bool {
 	return len(p.panics) == 0 && len(p.slows) == 0 &&
-		len(p.qfulls) == 0 && len(p.corrupts) == 0
+		len(p.qfulls) == 0 && len(p.corrupts) == 0 && !p.HasSessionFaults()
+}
+
+// HasSessionFaults reports whether the plan contains daemon-level
+// faults (which the sharded back end's hooks never consult).
+func (p *Plan) HasSessionFaults() bool {
+	return len(p.sessPanics) > 0 || len(p.disconnects) > 0 ||
+		len(p.slowClients) > 0 || len(p.admissions) > 0
 }
 
 // PanicPlan returns a plan with a single worker panic at a seed-chosen
@@ -150,6 +253,51 @@ func Parse(spec string) (*Plan, error) {
 		args, err := parseArgs(argstr)
 		if err != nil {
 			return nil, fmt.Errorf("fault %q: %w", part, err)
+		}
+		// Session-level kinds take job=, not shard=.
+		switch kind {
+		case "session-panic":
+			job, err := args.job()
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: %w", part, err)
+			}
+			times := uint64(1)
+			if _, ok := args["times"]; ok {
+				if times, err = args.uintArg("times"); err != nil {
+					return nil, fmt.Errorf("fault %q: %w", part, err)
+				}
+			}
+			f := &sessionPanicFault{job: job}
+			f.left.Store(int64(times))
+			p.sessPanics = append(p.sessPanics, f)
+			continue
+		case "client-disconnect":
+			job, err := args.job()
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: %w", part, err)
+			}
+			p.disconnects = append(p.disconnects, &disconnectFault{job: job})
+			continue
+		case "slow-client":
+			job, err := args.job()
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: %w", part, err)
+			}
+			d, err := time.ParseDuration(args["delay"])
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: bad delay: %w", part, err)
+			}
+			p.slowClients = append(p.slowClients, &slowClientFault{job: job, delay: d})
+			continue
+		case "admission-full":
+			times, err := args.uintArg("times")
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: %w", part, err)
+			}
+			f := &admissionFault{}
+			f.left.Store(int64(times))
+			p.admissions = append(p.admissions, f)
+			continue
 		}
 		shard, err := args.shard()
 		if err != nil {
@@ -204,6 +352,20 @@ func parseArgs(s string) (faultArgs, error) {
 		args[k] = v
 	}
 	return args, nil
+}
+
+// job parses the job= selector of session-level faults: a 1-based
+// admitted-job index, or * / any for every job.
+func (a faultArgs) job() (uint64, error) {
+	v, ok := a["job"]
+	if !ok || v == "*" || v == "any" {
+		return anyJob, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil || n == 0 {
+		return 0, fmt.Errorf("bad job %q (want positive index, * or any)", v)
+	}
+	return n, nil
 }
 
 func (a faultArgs) shard() (int, error) {

@@ -133,3 +133,106 @@ func TestPanicPlanDeterministic(t *testing.T) {
 		t.Error("20 seeds all chose the same shard; plan is not spreading")
 	}
 }
+
+func TestSessionPanicBudget(t *testing.T) {
+	p, err := Parse("session-panic:job=2,times=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Empty() {
+		t.Error("plan with session faults reported Empty")
+	}
+	if !p.HasSessionFaults() {
+		t.Error("HasSessionFaults() = false")
+	}
+	p.SessionEvent(1) // wrong job: must not fire
+	fires := 0
+	for i := 0; i < 4; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					fires++
+				}
+			}()
+			p.SessionEvent(2)
+		}()
+	}
+	if fires != 2 {
+		t.Errorf("session panic fired %d times, want 2", fires)
+	}
+	if p.Fired() != 2 {
+		t.Errorf("Fired() = %d, want 2", p.Fired())
+	}
+}
+
+func TestSessionPanicWildcardDefaultsOnce(t *testing.T) {
+	p, err := Parse("session-panic:job=*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fires := 0
+	for job := uint64(1); job <= 3; job++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					fires++
+				}
+			}()
+			p.SessionEvent(job)
+		}()
+	}
+	if fires != 1 {
+		t.Errorf("wildcard session panic fired %d times, want 1 (default times)", fires)
+	}
+}
+
+func TestClientDisconnectOneShot(t *testing.T) {
+	p, err := Parse("client-disconnect:job=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ClientDisconnect(1) {
+		t.Error("wrong job disconnected")
+	}
+	if !p.ClientDisconnect(3) {
+		t.Error("expected disconnect")
+	}
+	if p.ClientDisconnect(3) {
+		t.Error("one-shot disconnect fired twice")
+	}
+}
+
+func TestSlowClientAndAdmission(t *testing.T) {
+	p, err := Parse("slow-client:job=1,delay=5ms;admission-full:times=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.SlowClient(2); d != 0 {
+		t.Errorf("wrong job slowed: %v", d)
+	}
+	if d := p.SlowClient(1); d != 5*time.Millisecond {
+		t.Errorf("SlowClient = %v, want 5ms", d)
+	}
+	if !p.AdmissionFull() {
+		t.Error("expected one admission-full firing")
+	}
+	if p.AdmissionFull() {
+		t.Error("admission budget exhausted but still firing")
+	}
+}
+
+func TestSessionSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"session-panic:job=0",
+		"session-panic:job=-1",
+		"session-panic:job=1,times=0",
+		"slow-client:job=1",
+		"slow-client:job=1,delay=banana",
+		"admission-full:",
+		"client-disconnect:job=x",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// startJobs submits n jobs concurrently and returns a wait function
+// that collects their client-side errors.
+func startJobs(c *Client, n int, src string) func() []error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = c.Analyze(JobRequest{File: "drain.mj", Source: src})
+		}()
+	}
+	return func() []error { wg.Wait(); return errs }
+}
+
+// waitActive polls until n sessions hold slots (i.e. are admitted and
+// running), failing the test on timeout.
+func waitActive(t *testing.T, s *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().SessionsActive < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d sessions active, want %d", s.Metrics().SessionsActive, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestDrainWaitsForInflightJobs(t *testing.T) {
+	// Three in-flight jobs, each stalled 300ms by the injected slow
+	// client; drain must wait for all of them and report clean with
+	// zero silent drops: admitted == terminal, all completed.
+	s, c, stop := newTestServer(t, Options{
+		MaxSessions: 3,
+		Faults:      mustPlan(t, "slow-client:job=*,delay=300ms"),
+	})
+	defer stop()
+
+	wait := startJobs(c, 3, cleanProg)
+	waitActive(t, s, 3)
+
+	rep := s.Drain(10 * time.Second)
+	if !rep.Clean {
+		t.Fatalf("drain not clean: %+v", rep)
+	}
+	if len(rep.Aborted) != 0 {
+		t.Errorf("clean drain lists aborted jobs: %+v", rep.Aborted)
+	}
+	for i, err := range wait() {
+		if err != nil {
+			t.Errorf("in-flight job %d lost at drain: %v", i+1, err)
+		}
+	}
+
+	m := s.Metrics()
+	if !m.Draining {
+		t.Error("draining gauge not set")
+	}
+	if m.JobsAdmitted != 3 || m.JobsCompleted != 3 {
+		t.Errorf("admitted=%d completed=%d, want 3/3", m.JobsAdmitted, m.JobsCompleted)
+	}
+	if m.Terminal() != m.JobsAdmitted {
+		t.Errorf("terminal=%d admitted=%d: a job was dropped silently", m.Terminal(), m.JobsAdmitted)
+	}
+	for _, j := range s.Jobs() {
+		if j.State != StateCompleted {
+			t.Errorf("journal %+v, want completed", j)
+		}
+	}
+}
+
+func TestDrainRejectsNewJobs(t *testing.T) {
+	s, c, stop := newTestServer(t, Options{})
+	defer stop()
+
+	if rep := s.Drain(time.Second); !rep.Clean {
+		t.Fatalf("idle drain not clean: %+v", rep)
+	}
+	if err := c.Health(); err == nil {
+		t.Error("healthz should report draining")
+	}
+	// httptest's listener is still up (Drain only closes servers
+	// registered via Serve), so the handler's draining rejection is
+	// observable directly.
+	if _, err := c.Analyze(JobRequest{File: "late.mj", Source: cleanProg}); err == nil {
+		t.Error("post-drain job should be rejected")
+	} else if u, ok := err.(*Unavailable); !ok || u.Reason != "draining" {
+		t.Errorf("rejection = %v, want draining Unavailable", err)
+	}
+	if m := s.Metrics(); m.JobsRejectedDraining != 1 {
+		t.Errorf("jobs_rejected_draining = %d, want 1", m.JobsRejectedDraining)
+	}
+}
+
+func TestDrainDeadlineCountsAbortedJobs(t *testing.T) {
+	// Two jobs stalled for 2s against a 100ms drain deadline: the drain
+	// is unclean and both jobs are journaled + counted aborted — never
+	// silently dropped.
+	s, c, stop := newTestServer(t, Options{
+		MaxSessions: 2,
+		Faults:      mustPlan(t, "slow-client:job=*,delay=2s"),
+	})
+	defer stop()
+
+	wait := startJobs(c, 2, cleanProg)
+	waitActive(t, s, 2)
+
+	rep := s.Drain(100 * time.Millisecond)
+	if rep.Clean {
+		t.Fatal("drain should miss its deadline")
+	}
+	if len(rep.Aborted) != 2 {
+		t.Fatalf("aborted = %+v, want both jobs", rep.Aborted)
+	}
+	m := s.Metrics()
+	if m.JobsAbortedAtDrain != 2 {
+		t.Errorf("jobs_aborted_at_drain = %d, want 2", m.JobsAbortedAtDrain)
+	}
+	if m.Terminal() != m.JobsAdmitted {
+		t.Errorf("terminal=%d admitted=%d after unclean drain", m.Terminal(), m.JobsAdmitted)
+	}
+	for _, j := range s.Jobs() {
+		if j.State != StateAborted {
+			t.Errorf("journal %+v, want aborted-at-drain", j)
+		}
+	}
+
+	// The stalled sessions eventually finish; aborted jobs must NOT be
+	// double-counted as completed (the terminal invariant is exact).
+	wait()
+	m = s.Metrics()
+	if m.JobsCompleted != 0 {
+		t.Errorf("jobs_completed = %d after abort, want 0 (no double counting)", m.JobsCompleted)
+	}
+	if m.Terminal() != m.JobsAdmitted {
+		t.Errorf("terminal=%d admitted=%d after late finishers", m.Terminal(), m.JobsAdmitted)
+	}
+}
+
+func TestDrainUnblocksQueuedJobs(t *testing.T) {
+	// A job waiting in the admission queue when drain starts must be
+	// released with a draining rejection, not left hanging forever.
+	s, c, stop := newTestServer(t, Options{
+		MaxSessions: 1,
+		QueueDepth:  4,
+		Faults:      mustPlan(t, "slow-client:job=1,delay=500ms"),
+	})
+	defer stop()
+
+	first := startJobs(c, 1, cleanProg)
+	waitActive(t, s, 1)
+
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := c.Analyze(JobRequest{File: "queued.mj", Source: cleanProg})
+		queuedErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().QueueWaiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second job never queued")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	rep := s.Drain(10 * time.Second)
+	if !rep.Clean {
+		t.Fatalf("drain not clean: %+v", rep)
+	}
+	select {
+	case err := <-queuedErr:
+		if _, ok := err.(*Unavailable); !ok {
+			t.Errorf("queued job error = %v, want *Unavailable", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued job still hanging after drain")
+	}
+	for _, err := range first() {
+		if err != nil {
+			t.Errorf("in-flight job: %v", err)
+		}
+	}
+	m := s.Metrics()
+	if m.JobsAdmitted != 1 || m.JobsCompleted != 1 {
+		t.Errorf("admitted=%d completed=%d, want 1/1", m.JobsAdmitted, m.JobsCompleted)
+	}
+}
+
+func TestDrainIdempotent(t *testing.T) {
+	s, _, stop := newTestServer(t, Options{})
+	defer stop()
+	if rep := s.Drain(time.Second); !rep.Clean {
+		t.Fatalf("first drain: %+v", rep)
+	}
+	// Second drain is a no-op and must not hang or double-count.
+	if rep := s.Drain(time.Second); !rep.Clean || len(rep.Aborted) != 0 {
+		t.Fatalf("second drain: %+v", rep)
+	}
+}

@@ -1,0 +1,208 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// metrics is the daemon's live counter set. Every field is atomic so
+// session goroutines, the admission path, and the /metrics scraper
+// never contend on a lock; Snapshot() gives tests and the exporter a
+// consistent-enough view (individual counters are exact, cross-counter
+// sums can be mid-transition only while jobs are still in flight).
+type metrics struct {
+	// Admission.
+	jobsAdmitted         atomic.Uint64 // sessions that got a slot
+	jobsShed             atomic.Uint64 // load-shed with Retry-After (queue full)
+	jobsRejectedDraining atomic.Uint64 // refused because the daemon is draining
+
+	// Terminal job states. Every admitted job ends in exactly one of
+	// these (or jobsAbortedAtDrain); the drain tests assert the sum.
+	jobsCompleted      atomic.Uint64 // clean analysis (racy or not)
+	jobsFailed         atomic.Uint64 // compile error, bad request, runtime failure
+	jobsDegraded       atomic.Uint64 // retry budget exhausted, Eraser-only verdict
+	jobsAbortedAtDrain atomic.Uint64 // still running when the drain deadline hit
+
+	// Session robustness.
+	sessionPanics  atomic.Uint64 // contained panics inside session runners
+	sessionRetries atomic.Uint64 // retry attempts after contained panics
+	watchdogFires  atomic.Uint64 // per-job wall-clock watchdog expiries
+	livelockFires  atomic.Uint64 // per-job livelock detections
+
+	// Client behavior.
+	clientDisconnects atomic.Uint64 // jobs whose client vanished mid-request
+	slowClientStalls  atomic.Uint64 // injected slow-client stalls honored
+
+	// Queueing gauges.
+	sessionsActive atomic.Int64
+	sessionsPeak   atomic.Int64
+	queueWaiting   atomic.Int64
+	queueHighWater atomic.Int64
+
+	// Detection outcomes.
+	racesReported atomic.Uint64
+
+	// Shared fact cache (aggregated across sessions).
+	factProgramHits atomic.Uint64
+	factFnHits      atomic.Uint64
+	factFnMisses    atomic.Uint64
+
+	// Sharded back-end recovery, aggregated across all sessions' runs.
+	workerRestarts     atomic.Uint64
+	eventsReplayed     atomic.Uint64
+	checkpoints        atomic.Uint64
+	degradedShards     atomic.Uint64
+	droppedEvents      atomic.Uint64
+	backpressureStalls atomic.Uint64
+
+	draining atomic.Bool
+}
+
+// maxInt64 raises a gauge's high-water mark without locking.
+func maxInt64(g *atomic.Int64, v int64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Snapshot is a point-in-time copy of the daemon's counters, exposed
+// for tests and the /metrics endpoint. Field names match the exported
+// metric names (snake_case, racedetd_ prefix).
+type Snapshot struct {
+	JobsAdmitted         uint64
+	JobsShed             uint64
+	JobsRejectedDraining uint64
+	JobsCompleted        uint64
+	JobsFailed           uint64
+	JobsDegraded         uint64
+	JobsAbortedAtDrain   uint64
+
+	SessionPanics  uint64
+	SessionRetries uint64
+	WatchdogFires  uint64
+	LivelockFires  uint64
+
+	ClientDisconnects uint64
+	SlowClientStalls  uint64
+
+	SessionsActive int64
+	SessionsPeak   int64
+	QueueWaiting   int64
+	QueueHighWater int64
+
+	RacesReported uint64
+
+	FactProgramHits uint64
+	FactFnHits      uint64
+	FactFnMisses    uint64
+
+	WorkerRestarts     uint64
+	EventsReplayed     uint64
+	Checkpoints        uint64
+	DegradedShards     uint64
+	DroppedEvents      uint64
+	BackpressureStalls uint64
+
+	Draining bool
+}
+
+// Terminal is the number of admitted jobs that reached a terminal
+// state. A drained daemon must satisfy Terminal == JobsAdmitted: no
+// admitted job may ever be dropped without a counted outcome.
+func (s Snapshot) Terminal() uint64 {
+	return s.JobsCompleted + s.JobsFailed + s.JobsDegraded + s.JobsAbortedAtDrain
+}
+
+func (m *metrics) snapshot() Snapshot {
+	return Snapshot{
+		JobsAdmitted:         m.jobsAdmitted.Load(),
+		JobsShed:             m.jobsShed.Load(),
+		JobsRejectedDraining: m.jobsRejectedDraining.Load(),
+		JobsCompleted:        m.jobsCompleted.Load(),
+		JobsFailed:           m.jobsFailed.Load(),
+		JobsDegraded:         m.jobsDegraded.Load(),
+		JobsAbortedAtDrain:   m.jobsAbortedAtDrain.Load(),
+		SessionPanics:        m.sessionPanics.Load(),
+		SessionRetries:       m.sessionRetries.Load(),
+		WatchdogFires:        m.watchdogFires.Load(),
+		LivelockFires:        m.livelockFires.Load(),
+		ClientDisconnects:    m.clientDisconnects.Load(),
+		SlowClientStalls:     m.slowClientStalls.Load(),
+		SessionsActive:       m.sessionsActive.Load(),
+		SessionsPeak:         m.sessionsPeak.Load(),
+		QueueWaiting:         m.queueWaiting.Load(),
+		QueueHighWater:       m.queueHighWater.Load(),
+		RacesReported:        m.racesReported.Load(),
+		FactProgramHits:      m.factProgramHits.Load(),
+		FactFnHits:           m.factFnHits.Load(),
+		FactFnMisses:         m.factFnMisses.Load(),
+		WorkerRestarts:       m.workerRestarts.Load(),
+		EventsReplayed:       m.eventsReplayed.Load(),
+		Checkpoints:          m.checkpoints.Load(),
+		DegradedShards:       m.degradedShards.Load(),
+		DroppedEvents:        m.droppedEvents.Load(),
+		BackpressureStalls:   m.backpressureStalls.Load(),
+		Draining:             m.draining.Load(),
+	}
+}
+
+// WriteTo renders the snapshot in the Prometheus text exposition
+// style: one "racedetd_<name> <value>" line per counter, sorted by
+// name so scrapes are byte-stable for a stable counter state.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	b := func(v bool) uint64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	lines := map[string]int64{
+		"jobs_admitted":          int64(s.JobsAdmitted),
+		"jobs_shed":              int64(s.JobsShed),
+		"jobs_rejected_draining": int64(s.JobsRejectedDraining),
+		"jobs_completed":         int64(s.JobsCompleted),
+		"jobs_failed":            int64(s.JobsFailed),
+		"jobs_degraded":          int64(s.JobsDegraded),
+		"jobs_aborted_at_drain":  int64(s.JobsAbortedAtDrain),
+		"session_panics":         int64(s.SessionPanics),
+		"session_retries":        int64(s.SessionRetries),
+		"watchdog_fires":         int64(s.WatchdogFires),
+		"livelock_fires":         int64(s.LivelockFires),
+		"client_disconnects":     int64(s.ClientDisconnects),
+		"slow_client_stalls":     int64(s.SlowClientStalls),
+		"sessions_active":        s.SessionsActive,
+		"sessions_peak":          s.SessionsPeak,
+		"queue_waiting":          s.QueueWaiting,
+		"queue_high_water":       s.QueueHighWater,
+		"races_reported":         int64(s.RacesReported),
+		"factcache_program_hits": int64(s.FactProgramHits),
+		"factcache_fn_hits":      int64(s.FactFnHits),
+		"factcache_fn_misses":    int64(s.FactFnMisses),
+		"worker_restarts":        int64(s.WorkerRestarts),
+		"events_replayed":        int64(s.EventsReplayed),
+		"checkpoints":            int64(s.Checkpoints),
+		"degraded_shards":        int64(s.DegradedShards),
+		"dropped_events":         int64(s.DroppedEvents),
+		"backpressure_stalls":    int64(s.BackpressureStalls),
+		"draining":               int64(b(s.Draining)),
+	}
+	names := make([]string, 0, len(lines))
+	for n := range lines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var total int64
+	for _, n := range names {
+		nn, err := fmt.Fprintf(w, "racedetd_%s %d\n", n, lines[n])
+		total += int64(nn)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,235 @@
+// Session execution: one admitted job = one isolated detector session.
+// The session runner is the daemon's panic barrier — everything from
+// compile to report conversion runs behind recover, with retries and
+// the Eraser degradation as the last resort.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"racedet"
+)
+
+// JobRequest is the wire format of one compile+analyze job. Only the
+// fields a tenant legitimately varies per job are exposed; the
+// operator-owned robustness knobs (watchdogs, retry budgets, journal
+// capacity, fact cache) come from the daemon's Options.
+type JobRequest struct {
+	// File names the program in diagnostics; Source is the MJ text.
+	File   string `json:"file"`
+	Source string `json:"source"`
+
+	// Seed perturbs the deterministic scheduler (0 = fixed
+	// round-robin), exactly as racedet -seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Detector selects the runtime algorithm: "trie" (default),
+	// "eraser", "objectrace", "hb".
+	Detector string `json:"detector,omitempty"`
+	// Shards/Batch override the daemon's per-session back-end defaults
+	// when > 0; Shards < 0 forces the serial back end for this job.
+	Shards int `json:"shards,omitempty"`
+	Batch  int `json:"batch,omitempty"`
+	// NoStatic disables the static race analysis for this job
+	// (instrument everything), as racedet -nostatic.
+	NoStatic bool `json:"nostatic,omitempty"`
+}
+
+// JobResult is the wire format of a finished job. Exactly one of the
+// three outcomes holds:
+//
+//   - clean analysis: CompileError and RuntimeError empty, Degraded
+//     false; Races/BaselineReports carry the verdicts (possibly none).
+//   - failed analysis: CompileError or RuntimeError set; RuntimeError
+//     jobs still carry the partial races observed before the failure.
+//   - degraded analysis: Degraded true with DegradedReason; the
+//     verdicts come from the self-contained Eraser pass after the
+//     session's retry budget was exhausted (counted, never silent).
+type JobResult struct {
+	Job uint64 `json:"job"`
+
+	Races           []racedet.Race `json:"races,omitempty"`
+	RacyObjects     int            `json:"racy_objects"`
+	BaselineReports []string       `json:"baseline_reports,omitempty"`
+	Output          string         `json:"output,omitempty"`
+
+	// Retries counts contained session panics that were retried;
+	// Degraded marks a verdict produced by the Eraser fallback after
+	// the retry budget ran out.
+	Retries        int    `json:"retries,omitempty"`
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+
+	// CompileError is a parse/typecheck failure; RuntimeError is an
+	// execution failure (deadlock, watchdog, livelock, step budget,
+	// panic) with its kind as prefix.
+	CompileError string `json:"compile_error,omitempty"`
+	RuntimeError string `json:"runtime_error,omitempty"`
+
+	// Stats carries the per-stage counters of the winning run (zero
+	// value for compile failures).
+	Stats      racedet.Stats `json:"stats"`
+	DurationNs int64         `json:"duration_ns"`
+}
+
+// jobOptions merges the daemon's per-session defaults with the job's
+// own knobs into the one-shot API's Options.
+func (s *Server) jobOptions(req JobRequest) racedet.Options {
+	o := racedet.Options{
+		Seed:                  req.Seed,
+		DisableStaticAnalysis: req.NoStatic,
+		Timeout:               s.opts.JobTimeout,
+		LivelockWindow:        s.opts.LivelockWindow,
+		FactCacheDir:          s.opts.FactCacheDir,
+		Shards:                s.opts.Shards,
+		BatchSize:             s.opts.BatchSize,
+	}
+	switch {
+	case req.Shards > 0:
+		o.Shards = req.Shards
+	case req.Shards < 0:
+		o.Shards = 0
+	}
+	if req.Batch > 0 {
+		o.BatchSize = req.Batch
+	}
+	if o.Shards >= 1 {
+		o.JournalCap = s.opts.JournalCap
+		o.RetryBudget = s.opts.ShardRetryBudget
+	}
+	o.Detector, _ = detectorFor(req.Detector) // validated at admission
+	return o
+}
+
+// runSession executes one job with full containment: panics anywhere
+// in the session (compile, interpretation, detection, conversion) are
+// recovered and retried with exponential backoff until the budget runs
+// out, after which the job degrades to the Eraser-only pass. The same
+// seed and options make every retry attempt detection-equivalent to a
+// clean one-shot run, so a recovered session's verdicts are identical
+// to racedet's.
+func (s *Server) runSession(job uint64, req JobRequest) JobResult {
+	opts := s.jobOptions(req)
+
+	var lastPanic string
+	for attempt := 0; attempt <= s.opts.RetryBudget; attempt++ {
+		if attempt > 0 {
+			s.m.sessionRetries.Add(1)
+			// Exponential backoff, capped so an injected panic storm in
+			// tests cannot stall a slot for long.
+			d := s.opts.RetryBackoff << (attempt - 1)
+			if max := 500 * time.Millisecond; d > max {
+				d = max
+			}
+			time.Sleep(d)
+		}
+		res, err, panicked := s.attempt(job, req, opts, true)
+		if panicked {
+			s.m.sessionPanics.Add(1)
+			lastPanic = res.DegradedReason
+			s.logf("job %d: contained session panic (attempt %d/%d): %s",
+				job, attempt+1, s.opts.RetryBudget+1, lastPanic)
+			continue
+		}
+		return s.finishResult(res, err, attempt)
+	}
+
+	// Budget exhausted: degrade to the self-contained Eraser lockset
+	// pass — a simpler, panic-independent detector — so the tenant
+	// still gets an explicit verdict instead of a lost analysis.
+	eopts := opts
+	eopts.Detector = racedet.Eraser
+	eopts.Shards = 0
+	eopts.BatchSize = 0
+	eopts.JournalCap = 0
+	eopts.FactCacheDir = "" // the degraded pass must not depend on shared state
+	res, err, panicked := s.attempt(job, req, eopts, false)
+	if panicked {
+		// Even the degraded pass crashed: a structured failure, still
+		// counted and journaled.
+		return JobResult{
+			Degraded:       true,
+			DegradedReason: lastPanic,
+			Retries:        s.opts.RetryBudget,
+			RuntimeError:   "panic: degraded Eraser pass failed too: " + res.DegradedReason,
+		}
+	}
+	out := s.finishResult(res, err, s.opts.RetryBudget)
+	out.Degraded = true
+	out.DegradedReason = lastPanic
+	return out
+}
+
+// attempt is the panic barrier around one detection run. withFaults
+// arms the injected session fault for this job (the degraded pass runs
+// without it: injection tests the recovery path, not the fallback).
+// On a panic the returned result carries the panic text in
+// DegradedReason and panicked is true.
+func (s *Server) attempt(job uint64, req JobRequest, opts racedet.Options, withFaults bool) (res jobOutcome, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = jobOutcome{}
+			res.DegradedReason = fmt.Sprint(r)
+			err = nil
+			panicked = true
+		}
+	}()
+	if withFaults && s.opts.Faults != nil {
+		s.opts.Faults.SessionEvent(job)
+	}
+	r, derr := racedet.Detect(req.File, req.Source, opts)
+	return jobOutcome{Result: r}, derr, false
+}
+
+// jobOutcome pairs a detection result with the panic text slot the
+// recover path needs (a named return must be assignable in deferred
+// code).
+type jobOutcome struct {
+	Result         *racedet.Result
+	DegradedReason string
+}
+
+// finishResult converts a completed (non-panicking) attempt into the
+// wire result and feeds the daemon-wide metrics.
+func (s *Server) finishResult(out jobOutcome, err error, retries int) JobResult {
+	jr := JobResult{Retries: retries}
+	if err != nil {
+		var re *racedet.RuntimeError
+		if errors.As(err, &re) {
+			jr.RuntimeError = re.Kind + ": " + re.Msg
+			switch re.Kind {
+			case "watchdog":
+				s.m.watchdogFires.Add(1)
+			case "livelock":
+				s.m.livelockFires.Add(1)
+			}
+		} else {
+			jr.CompileError = err.Error()
+		}
+	}
+	res := out.Result
+	if res == nil {
+		return jr
+	}
+	jr.Races = res.Races
+	jr.RacyObjects = res.RacyObjects
+	jr.BaselineReports = res.BaselineReports
+	jr.Output = res.Output
+	jr.Stats = res.Stats
+	jr.DurationNs = int64(res.Duration)
+
+	s.m.racesReported.Add(uint64(len(res.Races) + len(res.BaselineReports)))
+	if res.Stats.FactCacheProgramHit {
+		s.m.factProgramHits.Add(1)
+	}
+	s.m.factFnHits.Add(uint64(res.Stats.FactCacheFnHits))
+	s.m.factFnMisses.Add(uint64(res.Stats.FactCacheFnMisses))
+	s.m.workerRestarts.Add(res.Stats.WorkerRestarts)
+	s.m.eventsReplayed.Add(res.Stats.EventsReplayed)
+	s.m.checkpoints.Add(res.Stats.Checkpoints)
+	s.m.degradedShards.Add(uint64(res.Stats.DegradedShards))
+	s.m.droppedEvents.Add(res.Stats.DroppedEvents)
+	s.m.backpressureStalls.Add(res.Stats.BackpressureStalls)
+	return jr
+}

@@ -316,7 +316,19 @@ type Stats struct {
 	DegradedShards int
 	DegradedEvents uint64
 	DroppedEvents  uint64
-	QueueHighWater int
+	// BackpressureStalls counts blocking sends that found a shard
+	// queue full (router stalls); long-running services watch it to
+	// size their queues.
+	BackpressureStalls uint64
+	QueueHighWater     int
+
+	// Fact-cache outcome of this run's compile (all zero when
+	// Options.FactCacheDir was empty). FactCacheProgramHit means the
+	// whole static phase was replayed; otherwise FactCacheFnHits /
+	// FactCacheFnMisses count per-function replays vs re-analyses.
+	FactCacheProgramHit bool
+	FactCacheFnHits     int
+	FactCacheFnMisses   int
 }
 
 // Result is the outcome of Detect.
@@ -392,6 +404,12 @@ func wrapRuntime(err error) error {
 // A non-nil error means the program failed to compile or crashed at
 // runtime (races found do not make Detect fail); execution failures
 // carry a *RuntimeError retrievable with errors.As.
+//
+// When the failure is a *RuntimeError — the program executed but was
+// cut short by a deadlock, watchdog, livelock, step budget, or panic —
+// the returned Result is non-nil and carries everything detected up to
+// the failure point: an aborted analysis still reports the races it
+// saw. Any other error returns a nil Result.
 func Detect(file, src string, opts Options) (*Result, error) {
 	cfg := opts.config()
 	if len(opts.ReplaySchedule) > 0 {
@@ -406,7 +424,10 @@ func Detect(file, src string, opts Options) (*Result, error) {
 		return nil, err
 	}
 	if res.Err != nil {
-		return nil, wrapRuntime(res.Err)
+		// Partial results survive the failure: the detector has already
+		// finalized, so the reports below are exactly the races observed
+		// before the run was cut short.
+		return convert(res), wrapRuntime(res.Err)
 	}
 	return convert(res), nil
 }
@@ -522,7 +543,11 @@ func convert(res *core.RunResult) *Result {
 			DegradedShards:       res.DetectorStats.Recovery.DegradedShards,
 			DegradedEvents:       res.DetectorStats.Recovery.DegradedEvents,
 			DroppedEvents:        res.DetectorStats.Recovery.DroppedEvents,
+			BackpressureStalls:   res.DetectorStats.Recovery.BackpressureStalls,
 			QueueHighWater:       res.DetectorStats.Recovery.QueueHighWater,
+			FactCacheProgramHit:  res.FactCache.ProgramHit,
+			FactCacheFnHits:      res.FactCache.FnHits,
+			FactCacheFnMisses:    res.FactCache.FnMisses,
 		},
 	}
 	if res.Schedule != nil {
