@@ -16,6 +16,16 @@
 // schedule-dependent; -trace-dir saves each finding's witness schedule,
 // and -replay-schedule re-executes one deterministically.
 //
+// Record once, analyze many: -record run.mjtrace captures the run as a
+// compact binary event trace (a .mjtrace extension selects the binary
+// format; any other extension keeps the text event log). The trace
+// replays offline into any detector configuration without re-executing
+// the program: -replay-trace run.mjtrace honors the usual ablation and
+// back-end flags (-nocache, -shards, -batch, ...), and -ablate
+// "Full,NoCache,Sharded4" sweeps several named configurations over one
+// trace in a single process. -replay-workers bounds the parallel
+// segment decoders.
+//
 // Exit codes:
 //
 //	0  no dataraces detected
@@ -31,6 +41,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"racedet"
@@ -47,26 +58,29 @@ const (
 
 func main() {
 	var (
-		detName     = flag.String("detector", "trie", "runtime detector: trie, eraser, objectrace, hb")
-		noStatic    = flag.Bool("nostatic", false, "disable static datarace analysis (instrument everything)")
-		noDom       = flag.Bool("nodominators", false, "disable static weaker-than elimination and loop peeling")
-		noPeel      = flag.Bool("nopeeling", false, "disable loop peeling only")
-		noInterproc = flag.Bool("nointerproc", false, "disable the interprocedural static strengthenings (must-lock dataflow, cross-call elimination)")
-		noCache     = flag.Bool("nocache", false, "disable the runtime access cache")
-		noOwner     = flag.Bool("noownership", false, "disable the ownership model")
-		noPseudo    = flag.Bool("nopseudolocks", false, "disable join pseudolocks")
-		merged      = flag.Bool("fieldsmerged", false, "detect at object granularity")
-		reportAll   = flag.Bool("all", false, "report every racing access, not one per location")
-		seed        = flag.Int64("seed", 0, "scheduler seed (0 = fixed round-robin)")
-		quantum     = flag.Int("quantum", 0, "scheduler preemption quantum in instructions")
-		maxSteps    = flag.Uint64("maxsteps", 0, "instruction budget (0 = default 200M)")
-		quiet       = flag.Bool("q", false, "suppress program output")
-		showStats   = flag.Bool("stats", false, "print pipeline statistics")
-		recordPath  = flag.String("record", "", "write the event log to this file for post-mortem analysis")
-		replayPath  = flag.String("replay", "", "post-mortem: replay a recorded event log instead of running a program")
-		fullRace    = flag.Bool("fullrace", false, "with -replay: reconstruct every racing access pair (O(N^2))")
-		deadlocks   = flag.Bool("deadlock", false, "also run the lock-order potential-deadlock analysis")
-		immut       = flag.Bool("immutability", false, "also classify shared fields as observed-immutable or mutable")
+		detName         = flag.String("detector", "trie", "runtime detector: trie, eraser, objectrace, hb")
+		noStatic        = flag.Bool("nostatic", false, "disable static datarace analysis (instrument everything)")
+		noDom           = flag.Bool("nodominators", false, "disable static weaker-than elimination and loop peeling")
+		noPeel          = flag.Bool("nopeeling", false, "disable loop peeling only")
+		noInterproc     = flag.Bool("nointerproc", false, "disable the interprocedural static strengthenings (must-lock dataflow, cross-call elimination)")
+		noCache         = flag.Bool("nocache", false, "disable the runtime access cache")
+		noOwner         = flag.Bool("noownership", false, "disable the ownership model")
+		noPseudo        = flag.Bool("nopseudolocks", false, "disable join pseudolocks")
+		merged          = flag.Bool("fieldsmerged", false, "detect at object granularity")
+		reportAll       = flag.Bool("all", false, "report every racing access, not one per location")
+		seed            = flag.Int64("seed", 0, "scheduler seed (0 = fixed round-robin)")
+		quantum         = flag.Int("quantum", 0, "scheduler preemption quantum in instructions")
+		maxSteps        = flag.Uint64("maxsteps", 0, "instruction budget (0 = default 200M)")
+		quiet           = flag.Bool("q", false, "suppress program output")
+		showStats       = flag.Bool("stats", false, "print pipeline statistics")
+		recordPath      = flag.String("record", "", "write the event log to this file for post-mortem analysis (.mjtrace extension selects the compact binary trace)")
+		replayPath      = flag.String("replay", "", "post-mortem: replay a recorded event log instead of running a program")
+		replayTracePath = flag.String("replay-trace", "", "offline detection: replay a recorded binary trace (.mjtrace) through the configured detector instead of running a program")
+		ablateList      = flag.String("ablate", "", `with -replay-trace: comma-separated named configurations to sweep over the trace in one process, e.g. "Full,NoCache,Sharded4"`)
+		replayWorkers   = flag.Int("replay-workers", 0, "with -replay-trace: parallel trace-segment decoders (0 = one per CPU)")
+		fullRace        = flag.Bool("fullrace", false, "with -replay: reconstruct every racing access pair (O(N^2))")
+		deadlocks       = flag.Bool("deadlock", false, "also run the lock-order potential-deadlock analysis")
+		immut           = flag.Bool("immutability", false, "also classify shared fields as observed-immutable or mutable")
 
 		fuzzN       = flag.Int("fuzz", 0, "explore N scheduler seeds and classify races as stable or schedule-dependent")
 		workers     = flag.Int("workers", 0, "parallel workers for -fuzz (0 = one per CPU)")
@@ -123,10 +137,29 @@ func main() {
 			if *retryBudget < 0 {
 				flagErr = fmt.Errorf("-retry-budget must be >= 0 (got %d)", *retryBudget)
 			}
+		case "replay-workers":
+			if *replayWorkers <= 0 {
+				flagErr = fmt.Errorf("-replay-workers must be >= 1 (got %d); omit the flag for one per CPU", *replayWorkers)
+			}
 		}
 	})
 	if flagErr == nil && *inject != "" && *shards < 1 {
 		flagErr = fmt.Errorf("-inject targets the sharded back end; add -shards N")
+	}
+	if flagErr == nil && *replayTracePath != "" {
+		switch {
+		case *recordPath != "":
+			flagErr = fmt.Errorf("-record and -replay-trace are mutually exclusive: a replay consumes a trace, it does not produce one")
+		case *replayPath != "":
+			flagErr = fmt.Errorf("-replay and -replay-trace are mutually exclusive: pick the text event log or the binary trace")
+		case *fuzzN > 0:
+			flagErr = fmt.Errorf("-fuzz explores live schedules and cannot be combined with -replay-trace")
+		case *fullRace:
+			flagErr = fmt.Errorf("-fullrace works on text event logs (-replay), not binary traces")
+		}
+	}
+	if flagErr == nil && *ablateList != "" && *replayTracePath == "" {
+		flagErr = fmt.Errorf("-ablate requires -replay-trace")
 	}
 	if flagErr != nil {
 		fmt.Fprintln(os.Stderr, "racedet:", flagErr)
@@ -140,20 +173,6 @@ func main() {
 	exit := func(code int) {
 		stopProfiles()
 		os.Exit(code)
-	}
-
-	if *replayPath != "" {
-		exit(replay(*replayPath, *fullRace))
-	}
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: racedet [flags] program.mj")
-		flag.PrintDefaults()
-		os.Exit(exitInternal)
-	}
-	file := flag.Arg(0)
-	src, err := os.ReadFile(file)
-	if err != nil {
-		fatal(err)
 	}
 
 	opts := racedet.Options{
@@ -198,6 +217,23 @@ func main() {
 		os.Exit(exitInternal)
 	}
 
+	if *replayPath != "" {
+		exit(replay(*replayPath, *fullRace))
+	}
+	if *replayTracePath != "" {
+		exit(replayTrace(*replayTracePath, opts, *ablateList, *replayWorkers))
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: racedet [flags] program.mj")
+		flag.PrintDefaults()
+		os.Exit(exitInternal)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *explain {
 		c, err := racedet.Compile(file, string(src), opts)
 		if err != nil {
@@ -221,7 +257,14 @@ func main() {
 			fatal(err)
 		}
 		defer recordFile.Close()
-		opts.RecordTo = recordFile
+		// The extension picks the format: .mjtrace records the compact
+		// binary trace (replay with -replay-trace), anything else the
+		// legacy text event log (replay with -replay).
+		if strings.HasSuffix(*recordPath, ".mjtrace") {
+			opts.TraceTo = recordFile
+		} else {
+			opts.RecordTo = recordFile
+		}
 	}
 	if *schedIn != "" {
 		trace, err := os.ReadFile(*schedIn)
@@ -368,6 +411,96 @@ func traceName(field string) string {
 		}
 	}, field)
 	return clean + ".mjsched"
+}
+
+// ablationOpts maps a named configuration onto base — the ablations of
+// the paper's Tables 2/3 plus the back-end variants. Base flags still
+// apply: -replay-trace -nocache -ablate Sharded4 replays NoCache on
+// four shards.
+func ablationOpts(base racedet.Options, name string) (racedet.Options, error) {
+	o := base
+	switch {
+	case name == "Full":
+	case name == "NoCache":
+		o.DisableCache = true
+	case name == "NoOwnership":
+		o.DisableOwnership = true
+	case name == "FieldsMerged":
+		o.MergeFields = true
+	case name == "NoPseudoLocks":
+		o.DisableJoinPseudoLocks = true
+	case name == "ReportAll":
+		o.ReportAllAccesses = true
+	case name == "Eraser":
+		o.Detector = racedet.Eraser
+	case name == "ObjectRace":
+		o.Detector = racedet.ObjectRace
+	case name == "HappensBefore" || name == "HB":
+		o.Detector = racedet.HappensBefore
+	case strings.HasPrefix(name, "Sharded"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "Sharded"))
+		if err != nil || n < 1 {
+			return o, fmt.Errorf("bad shard count in ablation %q", name)
+		}
+		o.Shards = n
+	default:
+		return o, fmt.Errorf("unknown ablation %q (want Full, NoCache, NoOwnership, FieldsMerged, NoPseudoLocks, ReportAll, Eraser, ObjectRace, HappensBefore, or ShardedN)", name)
+	}
+	return o, nil
+}
+
+// replayTrace performs offline detection on a recorded binary trace:
+// one pass with opts as configured, or — with -ablate — one pass per
+// named configuration over the same trace, all in one process. The
+// exit code aggregates the passes: races anywhere exit 1.
+func replayTrace(path string, opts racedet.Options, ablate string, workers int) int {
+	names := []string{""}
+	if ablate != "" {
+		names = strings.Split(ablate, ",")
+	}
+	races := 0
+	for _, name := range names {
+		o := opts
+		name = strings.TrimSpace(name)
+		if name != "" {
+			var err error
+			if o, err = ablationOpts(opts, name); err != nil {
+				fmt.Fprintln(os.Stderr, "racedet:", err)
+				return exitInternal
+			}
+			fmt.Printf("== %s ==\n", name)
+		}
+		res, err := racedet.ReplayTrace(path, o, workers)
+		if err != nil {
+			var runtimeErr *racedet.RuntimeError
+			if errors.As(err, &runtimeErr) {
+				fmt.Fprintln(os.Stderr, "racedet: replay failed:", runtimeErr)
+				return exitRuntime
+			}
+			fmt.Fprintln(os.Stderr, "racedet:", err)
+			return exitInternal
+		}
+		for _, r := range res.Races {
+			fmt.Println(r)
+		}
+		for _, r := range res.BaselineReports {
+			fmt.Println(r)
+		}
+		n := res.RacyObjects
+		if n == 0 && len(res.BaselineReports) > 0 {
+			n = len(res.BaselineReports)
+		}
+		races += n
+		if name != "" {
+			fmt.Fprintf(os.Stderr, "racedet: %s: dataraces on %d object(s)\n", name, n)
+		}
+	}
+	if races > 0 {
+		fmt.Fprintf(os.Stderr, "racedet: dataraces reported on %d object(s)\n", races)
+		return exitRaces
+	}
+	fmt.Fprintln(os.Stderr, "racedet: no dataraces detected")
+	return exitClean
 }
 
 // replay performs post-mortem detection on a recorded event log.

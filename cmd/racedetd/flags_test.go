@@ -38,6 +38,7 @@ func TestFlagValidation(t *testing.T) {
 		{"positional arg", []string{"prog.mj"}, "unexpected argument"},
 		{"bad listen address", []string{"-listen", "127.0.0.1:notaport"}, "listen"},
 		{"bad duration", []string{"-job-timeout", "fast"}, "invalid value"},
+		{"bad max-trace-bytes", []string{"-max-trace-bytes", "lots"}, "invalid value"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,7 +1,11 @@
 // Command racedetd is the detection-as-a-service daemon: a persistent
 // process that accepts compile+analyze jobs from many concurrent
 // clients over a local HTTP API and runs each in an isolated,
-// supervised detector session (see internal/service).
+// supervised detector session (see internal/service). A job may also
+// upload a recorded binary trace (racedet -record prog.mjtrace)
+// instead of source; the session then replays the trace through its
+// detector without compiling or running anything — the daemon side of
+// the record-once/analyze-many workflow.
 //
 //	racedetd -listen 127.0.0.1:7421 -factcache /var/cache/racedet
 //
@@ -58,6 +62,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		shards   = fs.Int("shards", 0, "per-session detector shards (0 = default 2, negative = serial back end)")
 		batch    = fs.Int("batch", 0, "per-session event batch size (0 = default)")
 		journal  = fs.Int("journal", 0, "per-shard journal capacity for crash replay (0 = default, negative = off)")
+		maxTrace = fs.Int("max-trace-bytes", 0, "max uploaded trace size for replay jobs (0 = default 8MiB, negative = request-body limit only)")
 		quiet    = fs.Bool("q", false, "suppress the per-job lifecycle log on stderr")
 	)
 	fs.Usage = func() {
@@ -98,6 +103,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		Shards:         *shards,
 		BatchSize:      *batch,
 		JournalCap:     *journal,
+		MaxTraceBytes:  *maxTrace,
 		Faults:         plan,
 		Log:            logw,
 	})

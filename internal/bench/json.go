@@ -33,6 +33,14 @@ type JSONResult struct {
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	RacyObjects int   `json:"racy_objects"`
 
+	// Replay-throughput axis. EventsPerSec is the detection rate
+	// derived from the median ns/op (present on the Replay* rows and
+	// on live rows that count trace events, so the replay-vs-live
+	// speedup is one division away); TraceBytes is the size of the
+	// recorded binary trace a Replay* row streams.
+	EventsPerSec int64 `json:"events_per_sec,omitempty"`
+	TraceBytes   int   `json:"trace_bytes,omitempty"`
+
 	// Static-phase outcome of the cell's compile (identical across
 	// reps): wall time of the analyses and the emitted-trace budget.
 	// TracesEmitted = TracesInserted - TracesEliminated is the count
@@ -229,6 +237,7 @@ type jsonCell struct {
 
 	ns, allocs, bytes []int64
 	racy              int
+	events            uint64
 	rec               detector.RecoveryStats
 }
 
@@ -247,6 +256,7 @@ func (cl *jsonCell) measure() error {
 				tb.FailNow()
 			}
 			cl.racy = len(rr.RacyObjects)
+			cl.events = rr.Interp.TraceEvents
 			cl.rec = rr.DetectorStats.Recovery
 		}
 	})
@@ -276,8 +286,17 @@ func WriteJSON(w io.Writer, opts JSONOptions) error {
 			cells = append(cells, &jsonCell{bench: b.Name, cfgName: c.Name, cfg: c.Cfg, pipe: pipe})
 		}
 	}
+	rcells, err := replayCells(opts)
+	if err != nil {
+		return err
+	}
 	for rep := 0; rep < o.BenchReps; rep++ {
 		for _, cl := range cells {
+			if err := cl.measure(); err != nil {
+				return err
+			}
+		}
+		for _, cl := range rcells {
 			if err := cl.measure(); err != nil {
 				return err
 			}
@@ -308,6 +327,26 @@ func WriteJSON(w io.Writer, opts JSONOptions) error {
 			DegradedShards:   cl.rec.DegradedShards,
 			DroppedEvents:    cl.rec.DroppedEvents,
 			QueueHighWater:   cl.rec.QueueHighWater,
+			EventsPerSec:     eventsPerSec(cl.events, median(cl.ns)),
+		}
+		if o.BenchReps > 1 {
+			r.Reps = o.BenchReps
+			r.NsMin, r.NsMax = minMax(cl.ns)
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	for _, cl := range rcells {
+		r := JSONResult{
+			Benchmark:    cl.bench,
+			Config:       cl.cfgName,
+			Shards:       cl.cfg.Shards,
+			BatchSize:    cl.cfg.BatchSize,
+			NsPerOp:      median(cl.ns),
+			AllocsPerOp:  median(cl.allocs),
+			BytesPerOp:   median(cl.bytes),
+			RacyObjects:  cl.racy,
+			EventsPerSec: eventsPerSec(cl.events, median(cl.ns)),
+			TraceBytes:   cl.traceBytes,
 		}
 		if o.BenchReps > 1 {
 			r.Reps = o.BenchReps

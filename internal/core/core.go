@@ -34,6 +34,7 @@ import (
 	"racedet/internal/rt/immutable"
 	"racedet/internal/rt/objectrace"
 	"racedet/internal/rt/postmortem"
+	"racedet/internal/rt/trace"
 	"racedet/internal/rt/vclock"
 	"racedet/internal/static/factcache"
 )
@@ -149,6 +150,14 @@ type Config struct {
 	// this writer for post-mortem analysis (§1/§2.6): replay it with
 	// ReplayLog or reconstruct FullRace with postmortem.FullRace.
 	RecordTo io.Writer
+
+	// TraceTo, when non-nil, additionally records the run as a compact
+	// binary event trace (internal/rt/trace): delta-encoded, interned,
+	// segment-indexed, replayable into any detector configuration with
+	// ReplayTrace — record once, analyze many. The writer is finalized
+	// when the run ends, even on a runtime error, so a failed run still
+	// leaves a valid partial trace.
+	TraceTo io.Writer
 
 	// DetectDeadlocks additionally runs the lock-order-graph
 	// potential-deadlock analysis (the paper's §10 future work).
@@ -665,67 +674,12 @@ func (p *Pipeline) RunConfig(cfg Config) (*RunResult, error) {
 		cfg.Quantum = tr.Quantum
 	}
 
-	var sink event.Sink
-	var det detector.Backend
-	var era *eraser.Detector
-	var obr *objectrace.Detector
-	var vcl *vclock.Detector
-	switch cfg.Detector {
-	case DetTrie:
-		dopts := detector.Options{
-			NoCache:           !cfg.Cache,
-			NoOwnership:       !cfg.Ownership,
-			FieldsMerged:      cfg.FieldsMerged,
-			NoPseudoLocks:     !cfg.PseudoLocks,
-			ReportAll:         cfg.ReportAll,
-			PackedTrie:        cfg.PackedTrie,
-			MaxTrieNodes:      cfg.MaxTrieNodes,
-			MaxCacheThreads:   cfg.MaxCacheThreads,
-			MaxOwnerLocations: cfg.MaxOwnerLocations,
-		}
-		if cfg.Shards >= 1 {
-			dopts.JournalCap = cfg.JournalCap
-			dopts.RetryBudget = cfg.RetryBudget
-			dopts.QueueDepth = cfg.ShardQueueDepth
-			dopts.DropOnBackpressure = cfg.DropOnBackpressure
-			dopts.Faults = cfg.Faults
-			if cfg.FaultSpec != "" && dopts.Faults == nil {
-				plan, err := faultinject.Parse(cfg.FaultSpec)
-				if err != nil {
-					return nil, fmt.Errorf("fault injection: %w", err)
-				}
-				if !plan.Empty() {
-					dopts.Faults = plan
-				}
-			}
-			det = detector.NewSharded(dopts, cfg.Shards, cfg.BatchSize)
-		} else {
-			det = detector.New(dopts)
-		}
-		sink = det
-	case DetEraser:
-		era = eraser.New()
-		sink = era
-	case DetObjectRace:
-		obr = objectrace.New()
-		sink = obr
-	case DetVClock:
-		vcl = vclock.New()
-		sink = vcl
-	default:
-		sink = event.NullSink{}
+	ds, err := newDetectorSinks(cfg)
+	if err != nil {
+		return nil, err
 	}
-
-	var dl *deadlock.Detector
-	if cfg.DetectDeadlocks {
-		dl = deadlock.New()
-		sink = event.MultiSink{dl, sink}
-	}
-	var imm *immutable.Detector
-	if cfg.AnalyzeImmutability {
-		imm = immutable.New()
-		sink = event.MultiSink{imm, sink}
-	}
+	sink := ds.sink
+	det := ds.det
 
 	var recorder *postmortem.Recorder
 	if cfg.RecordTo != nil {
@@ -734,6 +688,13 @@ func (p *Pipeline) RunConfig(cfg Config) (*RunResult, error) {
 		// the detector's inlined fast path would absorb, so it wraps
 		// the sink in a MultiSink (which has no fast path).
 		sink = event.MultiSink{recorder, sink}
+	}
+	var tracer *trace.Writer
+	if cfg.TraceTo != nil {
+		tracer = trace.NewWriter(cfg.TraceTo)
+		// Same fast-path consideration as the recorder: the binary trace
+		// must capture the complete stream, so it too rides a MultiSink.
+		sink = event.MultiSink{tracer, sink}
 	}
 
 	var out strings.Builder
@@ -768,6 +729,16 @@ func (p *Pipeline) RunConfig(cfg Config) (*RunResult, error) {
 			err = ferr
 		}
 	}
+	if tracer != nil {
+		// Capture object descriptions from the final heap — the one
+		// report ingredient replay cannot re-derive from events — then
+		// finalize unconditionally: a run cut short by a runtime error
+		// still leaves a valid (partial) trace on disk.
+		tracer.SetDescribeObj(machine.DescribeObj)
+		if terr := tracer.Finalize(); terr != nil && err == nil {
+			err = terr
+		}
+	}
 
 	rr := &RunResult{
 		Config:      cfg,
@@ -780,43 +751,160 @@ func (p *Pipeline) RunConfig(cfg Config) (*RunResult, error) {
 		Err:         err,
 		Schedule:    machine.Schedule(),
 	}
-	if dl != nil {
-		for _, r := range dl.Reports() {
+	ds.harvest(rr)
+	if ds.det != nil {
+		rr.StaticHints = p.staticHints(rr.Reports)
+	}
+	return rr, nil
+}
+
+// detectorSinks bundles one run's detector stack — the configured
+// back end plus any auxiliary analyses — so a live run (RunConfig) and
+// an offline trace replay (ReplayTrace) construct and harvest exactly
+// the same sinks.
+type detectorSinks struct {
+	sink event.Sink
+	det  detector.Backend
+	era  *eraser.Detector
+	obr  *objectrace.Detector
+	vcl  *vclock.Detector
+	dl   *deadlock.Detector
+	imm  *immutable.Detector
+}
+
+func newDetectorSinks(cfg Config) (*detectorSinks, error) {
+	ds := &detectorSinks{}
+	switch cfg.Detector {
+	case DetTrie:
+		dopts := detector.Options{
+			NoCache:           !cfg.Cache,
+			NoOwnership:       !cfg.Ownership,
+			FieldsMerged:      cfg.FieldsMerged,
+			NoPseudoLocks:     !cfg.PseudoLocks,
+			ReportAll:         cfg.ReportAll,
+			PackedTrie:        cfg.PackedTrie,
+			MaxTrieNodes:      cfg.MaxTrieNodes,
+			MaxCacheThreads:   cfg.MaxCacheThreads,
+			MaxOwnerLocations: cfg.MaxOwnerLocations,
+		}
+		if cfg.Shards >= 1 {
+			dopts.JournalCap = cfg.JournalCap
+			dopts.RetryBudget = cfg.RetryBudget
+			dopts.QueueDepth = cfg.ShardQueueDepth
+			dopts.DropOnBackpressure = cfg.DropOnBackpressure
+			dopts.Faults = cfg.Faults
+			if cfg.FaultSpec != "" && dopts.Faults == nil {
+				plan, err := faultinject.Parse(cfg.FaultSpec)
+				if err != nil {
+					return nil, fmt.Errorf("fault injection: %w", err)
+				}
+				if !plan.Empty() {
+					dopts.Faults = plan
+				}
+			}
+			ds.det = detector.NewSharded(dopts, cfg.Shards, cfg.BatchSize)
+		} else {
+			ds.det = detector.New(dopts)
+		}
+		ds.sink = ds.det
+	case DetEraser:
+		ds.era = eraser.New()
+		ds.sink = ds.era
+	case DetObjectRace:
+		ds.obr = objectrace.New()
+		ds.sink = ds.obr
+	case DetVClock:
+		ds.vcl = vclock.New()
+		ds.sink = ds.vcl
+	default:
+		ds.sink = event.NullSink{}
+	}
+	if cfg.DetectDeadlocks {
+		ds.dl = deadlock.New()
+		ds.sink = event.MultiSink{ds.dl, ds.sink}
+	}
+	if cfg.AnalyzeImmutability {
+		ds.imm = immutable.New()
+		ds.sink = event.MultiSink{ds.imm, ds.sink}
+	}
+	return ds, nil
+}
+
+// harvest collects the detector stack's verdicts into rr. For the trie
+// back end a backend error surfaces as rr.Err unless the run already
+// failed for another reason.
+func (ds *detectorSinks) harvest(rr *RunResult) {
+	if ds.dl != nil {
+		for _, r := range ds.dl.Reports() {
 			rr.DeadlockReports = append(rr.DeadlockReports, r.String())
 		}
 	}
-	if imm != nil {
-		for _, r := range imm.Reports() {
+	if ds.imm != nil {
+		for _, r := range ds.imm.Reports() {
 			rr.ImmutabilityReports = append(rr.ImmutabilityReports, r.String())
 		}
 	}
 	switch {
-	case det != nil:
-		rr.Reports = det.Reports()
-		rr.StaticHints = p.staticHints(rr.Reports)
-		rr.RacyObjects = det.RacyObjects()
-		rr.DetectorStats = det.Stats()
-		rr.TrieNodes = det.TrieNodeCount()
-		rr.TrieLocations = det.TrieLocationCount()
-		if berr := det.Err(); berr != nil && rr.Err == nil {
+	case ds.det != nil:
+		rr.Reports = ds.det.Reports()
+		rr.RacyObjects = ds.det.RacyObjects()
+		rr.DetectorStats = ds.det.Stats()
+		rr.TrieNodes = ds.det.TrieNodeCount()
+		rr.TrieLocations = ds.det.TrieLocationCount()
+		if berr := ds.det.Err(); berr != nil && rr.Err == nil {
 			rr.Err = berr
 		}
-	case era != nil:
-		for _, r := range era.Reports() {
+	case ds.era != nil:
+		for _, r := range ds.era.Reports() {
 			rr.BaselineReports = append(rr.BaselineReports, r.String())
 		}
-		rr.RacyObjects = era.RacyObjects()
-	case obr != nil:
-		for _, r := range obr.Reports() {
+		rr.RacyObjects = ds.era.RacyObjects()
+	case ds.obr != nil:
+		for _, r := range ds.obr.Reports() {
 			rr.BaselineReports = append(rr.BaselineReports, r.String())
 		}
-		rr.RacyObjects = obr.RacyObjects()
-	case vcl != nil:
-		for _, r := range vcl.Reports() {
+		rr.RacyObjects = ds.obr.RacyObjects()
+	case ds.vcl != nil:
+		for _, r := range ds.vcl.Reports() {
 			rr.BaselineReports = append(rr.BaselineReports, r.String())
 		}
-		rr.RacyObjects = vcl.RacyObjects()
+		rr.RacyObjects = ds.vcl.RacyObjects()
 	}
+}
+
+// ReplayTrace streams a recorded binary trace (produced via
+// Config.TraceTo) into a fresh detector stack configured by cfg —
+// serial or sharded, any ablation — without compiling or interpreting
+// anything. parallel bounds the segment-decode workers (<= 0 selects
+// GOMAXPROCS); delivery is always in recorded order. The detectors
+// reconstruct locksets from the replayed monitor events exactly as
+// they do live, so at the recording configuration the verdicts are
+// byte-identical to the live run's. A corrupt or truncated trace
+// surfaces as a *trace.FormatError.
+func ReplayTrace(tr *trace.Reader, cfg Config, parallel int) (*RunResult, error) {
+	ds, err := newDetectorSinks(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if ds.det != nil {
+		ds.det.SetDescribeObj(tr.DescribeObj)
+	}
+	start := time.Now()
+	stats, rerr := tr.Replay(ds.sink, parallel)
+	if rerr != nil {
+		// Make sure a partially-fed sharded back end shuts down before
+		// the error propagates.
+		if ds.det != nil {
+			_ = ds.det.Err()
+		}
+		return nil, rerr
+	}
+	rr := &RunResult{
+		Config:   cfg,
+		Duration: time.Since(start),
+	}
+	rr.Interp.TraceEvents = stats.Accesses
+	ds.harvest(rr)
 	return rr, nil
 }
 

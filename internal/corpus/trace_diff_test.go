@@ -1,0 +1,96 @@
+package corpus
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"racedet/internal/core"
+	"racedet/internal/rt/trace"
+)
+
+// replayVariants is the matrix the record/replay equivalence contract
+// is checked over: the serial back end, the sharded back end at the
+// same bracketing shard counts as the live differential test, and one
+// parallel-segment-decode replay.
+func replayVariants(base core.Config) []struct {
+	name    string
+	cfg     core.Config
+	workers int
+} {
+	var out []struct {
+		name    string
+		cfg     core.Config
+		workers int
+	}
+	add := func(name string, cfg core.Config, workers int) {
+		out = append(out, struct {
+			name    string
+			cfg     core.Config
+			workers int
+		}{name, cfg, workers})
+	}
+	add("serial", base, 1)
+	for _, shards := range []int{1, 2, 8} {
+		c := base
+		c.Shards = shards
+		add(fmt.Sprintf("shards=%d", shards), c, 1)
+	}
+	b := base
+	b.Shards = 4
+	b.BatchSize = 16
+	add("shards=4,batch=16", b, 1)
+	add("serial,workers=4", base, 4)
+	return out
+}
+
+// TestCorpusReplayMatchesLive is the record-once/analyze-many
+// differential test: on every corpus program, under ten harness seeds,
+// the run is recorded as a binary trace while the serial detector
+// analyzes it live, and then every replay variant — serial, sharded at
+// bracketing counts, batched, and parallel segment decode — must
+// reproduce the live run's ordered race reports and racy-object set
+// from the trace alone, byte for byte.
+func TestCorpusReplayMatchesLive(t *testing.T) {
+	seeds := int64(10)
+	if testing.Short() {
+		seeds = 2
+	}
+	for _, e := range loadCorpus(t) {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < seeds; seed++ {
+				var buf bytes.Buffer
+				cfg := core.Full().WithSeed(seed)
+				cfg.TraceTo = &buf
+				live, err := core.RunSource(e.name+".mj", e.src, cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if live.Err != nil {
+					t.Fatalf("seed %d: runtime: %v", seed, live.Err)
+				}
+				want := renderReports(live)
+
+				rd, err := trace.NewReader(buf.Bytes())
+				if err != nil {
+					t.Fatalf("seed %d: reading trace: %v", seed, err)
+				}
+				for _, v := range replayVariants(core.Full().WithSeed(seed)) {
+					res, err := core.ReplayTrace(rd, v.cfg, v.workers)
+					if err != nil {
+						t.Fatalf("seed %d %s: %v", seed, v.name, err)
+					}
+					if res.Err != nil {
+						t.Fatalf("seed %d %s: runtime: %v", seed, v.name, res.Err)
+					}
+					if got := renderReports(res); got != want {
+						t.Errorf("seed %d %s replay diverges from live:\n--- live ---\n%s\n--- %s ---\n%s",
+							seed, v.name, want, v.name, got)
+					}
+				}
+			}
+		})
+	}
+}

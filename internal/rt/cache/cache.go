@@ -28,43 +28,50 @@ const Size = 256
 
 // entry is one cache slot. Entries form doubly-linked per-lock
 // eviction lists so both lock-release eviction and conflict eviction
-// are O(1) per entry.
+// are O(1) per entry. Links are 1-based indices into the owning
+// threadCache's slots array (0 = none) rather than pointers: the
+// arrays stay pointer-free, so the GC never scans them, link updates
+// need no write barrier, and a zeroed threadCache is already fully
+// initialized — which is what makes constructing one per thread (and
+// per replay) cheap.
 type entry struct {
 	loc   event.Loc
+	lock  event.ObjID // owning eviction list; hasL distinguishes "no locks held"
+	prev  int32       // 1-based slots index; 0 = list end
+	next  int32
 	valid bool
-	lock  event.ObjID // owning eviction list; hasLock distinguishes "no locks held"
 	hasL  bool
-	prev  *entry
-	next  *entry
-}
-
-// unlink removes the entry from its eviction list.
-func (e *entry) unlink() {
-	if e.prev != nil {
-		e.prev.next = e.next
-	}
-	if e.next != nil {
-		e.next.prev = e.prev
-	}
-	e.prev, e.next = nil, nil
 }
 
 // threadCache is the pair of direct-mapped caches for one thread plus
-// its per-lock eviction lists.
+// its per-lock eviction lists. slots[:Size] is the read cache,
+// slots[Size:] the write cache.
 type threadCache struct {
-	read  [Size]entry
-	write [Size]entry
-	// lists maps a lock to the head of its eviction list. Heads are
-	// dummy-free: the map points straight at the first entry.
-	lists map[event.ObjID]*entry
+	slots [2 * Size]entry
+	// lists maps a lock to the 1-based slots index of its eviction
+	// list head (0/absent = empty). Heads are dummy-free.
+	lists map[event.ObjID]int32
 	// lastUse is the logical time of the thread's most recent cache
 	// operation; the bounded mode evicts the least recently used
 	// thread cache when over budget.
 	lastUse uint64
 }
 
+// unlink removes slot i from its eviction list (not from the map —
+// callers fix the head first when i is the head).
+func (tc *threadCache) unlink(i int32) {
+	e := &tc.slots[i-1]
+	if e.prev != 0 {
+		tc.slots[e.prev-1].next = e.next
+	}
+	if e.next != 0 {
+		tc.slots[e.next-1].prev = e.prev
+	}
+	e.prev, e.next = 0, 0
+}
+
 func newThreadCache() *threadCache {
-	return &threadCache{lists: make(map[event.ObjID]*entry)}
+	return &threadCache{lists: make(map[event.ObjID]int32)}
 }
 
 // Stats counts cache work for the Table 2 harness.
@@ -112,9 +119,9 @@ func NewBounded(maxThreads int) *Cache {
 // Stats returns a copy of the work counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
-// Clone returns a deep copy of the cache layer for checkpointing. The
-// eviction-list pointers of each thread cache point at entries inside
-// that cache's own arrays, so cloning remaps them array-index-wise.
+// Clone returns a deep copy of the cache layer for checkpointing.
+// Eviction-list links are slot indices local to each thread cache, so
+// the per-thread copies are plain struct copies plus a map copy.
 func (c *Cache) Clone() *Cache {
 	nc := &Cache{
 		threads:    make([]*threadCache, len(c.threads)),
@@ -132,28 +139,15 @@ func (c *Cache) Clone() *Cache {
 }
 
 func (tc *threadCache) clone() *threadCache {
+	// Links are slot indices, not pointers, so a struct copy of the
+	// arrays is already a correct deep copy; only the map needs work.
 	nt := &threadCache{
-		read:    tc.read,
-		write:   tc.write,
+		slots:   tc.slots,
 		lastUse: tc.lastUse,
-		lists:   make(map[event.ObjID]*entry, len(tc.lists)),
-	}
-	// Entry pointers (prev/next and list heads) always target entries
-	// embedded in this thread cache's read/write arrays; map each old
-	// address to its same-index counterpart in the copy (nil → nil).
-	remap := make(map[*entry]*entry, 2*Size)
-	for i := range tc.read {
-		remap[&tc.read[i]] = &nt.read[i]
-		remap[&tc.write[i]] = &nt.write[i]
-	}
-	for i := range nt.read {
-		nt.read[i].prev = remap[nt.read[i].prev]
-		nt.read[i].next = remap[nt.read[i].next]
-		nt.write[i].prev = remap[nt.write[i].prev]
-		nt.write[i].next = remap[nt.write[i].next]
+		lists:   make(map[event.ObjID]int32, len(tc.lists)),
 	}
 	for lock, head := range tc.lists {
-		nt.lists[lock] = remap[head]
+		nt.lists[lock] = head
 	}
 	return nt
 }
@@ -225,11 +219,17 @@ func (c *Cache) Lookup(t event.ThreadID, loc event.Loc, kind event.Kind) bool {
 	return false
 }
 
-func (tc *threadCache) slot(loc event.Loc, kind event.Kind) *entry {
+// slotIdx returns the 1-based slots index for (loc, kind).
+func (tc *threadCache) slotIdx(loc event.Loc, kind event.Kind) int32 {
+	i := int32(index(loc)) + 1
 	if kind == event.Write {
-		return &tc.write[index(loc)]
+		i += Size
 	}
-	return &tc.read[index(loc)]
+	return i
+}
+
+func (tc *threadCache) slot(loc event.Loc, kind event.Kind) *entry {
+	return &tc.slots[tc.slotIdx(loc, kind)-1]
 }
 
 // Insert records the access in t's cache. top is the most recently
@@ -239,27 +239,27 @@ func (tc *threadCache) slot(loc event.Loc, kind event.Kind) *entry {
 // any lock in its lockset.
 func (c *Cache) Insert(t event.ThreadID, loc event.Loc, kind event.Kind, top event.ObjID, ok bool) {
 	tc := c.forThread(t)
-	e := tc.slot(loc, kind)
+	i := tc.slotIdx(loc, kind)
+	e := &tc.slots[i-1]
 	if e.valid {
 		// Conflict eviction: drop the previous occupant from its list.
-		if e.hasL && tc.lists[e.lock] == e {
+		if e.hasL && tc.lists[e.lock] == i {
 			tc.lists[e.lock] = e.next
 		}
-		e.unlink()
+		tc.unlink(i)
 		c.stats.Evictions++
 	}
 	e.loc = loc
 	e.valid = true
 	e.hasL = ok
-	e.prev, e.next = nil, nil
+	e.prev, e.next = 0, 0
 	if ok {
 		e.lock = top
-		head := tc.lists[top]
-		if head != nil {
+		if head := tc.lists[top]; head != 0 {
 			e.next = head
-			head.prev = e
+			tc.slots[head-1].prev = i
 		}
-		tc.lists[top] = e
+		tc.lists[top] = i
 	} else {
 		e.lock = 0
 	}
@@ -276,13 +276,14 @@ func (c *Cache) LockReleased(t event.ThreadID, lock event.ObjID) {
 	if tc == nil {
 		return
 	}
-	e := tc.lists[lock]
-	for e != nil {
+	i := tc.lists[lock]
+	for i != 0 {
+		e := &tc.slots[i-1]
 		next := e.next
 		e.valid = false
-		e.prev, e.next = nil, nil
+		e.prev, e.next = 0, 0
 		c.stats.Evictions++
-		e = next
+		i = next
 	}
 	delete(tc.lists, lock)
 }
@@ -292,16 +293,18 @@ func (c *Cache) LockReleased(t event.ThreadID, lock event.ObjID) {
 // owned to shared (§7.2): entries cached while the location was owned
 // no longer imply that a weaker access reached the detector.
 func (c *Cache) EvictLocation(loc event.Loc) {
+	ri := int32(index(loc)) + 1
 	for _, tc := range c.threads {
 		if tc == nil {
 			continue
 		}
-		for _, e := range []*entry{&tc.read[index(loc)], &tc.write[index(loc)]} {
+		for _, i := range [2]int32{ri, ri + Size} {
+			e := &tc.slots[i-1]
 			if e.valid && e.loc == loc {
-				if e.hasL && tc.lists[e.lock] == e {
+				if e.hasL && tc.lists[e.lock] == i {
 					tc.lists[e.lock] = e.next
 				}
-				e.unlink()
+				tc.unlink(i)
 				e.valid = false
 				c.stats.Evictions++
 			}

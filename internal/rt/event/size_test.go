@@ -1,0 +1,33 @@
+//go:build amd64 || arm64
+
+// Size regression guard for the hot-path event record. The zero-
+// allocation pipeline (PR5) and the binary trace encoder both lean on
+// Access staying compact and cache-friendly: at 96 bytes, two records
+// span exactly three 64-byte cache lines and a 4096-entry batch is
+// 384 KiB. Growing the struct is sometimes the right call — but it
+// must be a deliberate one, so this file fails to COMPILE (not just a
+// test failure) the moment the size drifts on 64-bit platforms.
+package event
+
+import (
+	"testing"
+	"unsafe"
+)
+
+const _accessSize = unsafe.Sizeof(Access{})
+
+// Both directions of the inequality: a negative array length is a
+// compile error, so these two declarations together pin equality.
+var (
+	_ [_accessSize - 96]struct{} // fails to compile if Access shrinks below 96 bytes
+	_ [96 - _accessSize]struct{} // fails to compile if Access grows past 96 bytes
+)
+
+// TestAccessSize restates the assertion at run time with a readable
+// message, for humans who get here via a test log rather than a
+// compile error.
+func TestAccessSize(t *testing.T) {
+	if s := unsafe.Sizeof(Access{}); s != 96 {
+		t.Fatalf("unsafe.Sizeof(event.Access) = %d bytes, want 96: the trace encoder and batch sizing assume this layout", s)
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package trace
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile is unavailable on this platform; OpenFile falls back to
+// reading the file into memory.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("mmap unsupported on this platform")
+}

@@ -43,6 +43,7 @@ type metrics struct {
 
 	// Detection outcomes.
 	racesReported atomic.Uint64
+	traceJobs     atomic.Uint64 // admitted jobs replaying an uploaded trace
 
 	// Shared fact cache (aggregated across sessions).
 	factProgramHits atomic.Uint64
@@ -96,6 +97,7 @@ type Snapshot struct {
 	QueueHighWater int64
 
 	RacesReported uint64
+	TraceJobs     uint64
 
 	FactProgramHits uint64
 	FactFnHits      uint64
@@ -138,6 +140,7 @@ func (m *metrics) snapshot() Snapshot {
 		QueueWaiting:         m.queueWaiting.Load(),
 		QueueHighWater:       m.queueHighWater.Load(),
 		RacesReported:        m.racesReported.Load(),
+		TraceJobs:            m.traceJobs.Load(),
 		FactProgramHits:      m.factProgramHits.Load(),
 		FactFnHits:           m.factFnHits.Load(),
 		FactFnMisses:         m.factFnMisses.Load(),
@@ -180,6 +183,7 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		"queue_waiting":          s.QueueWaiting,
 		"queue_high_water":       s.QueueHighWater,
 		"races_reported":         int64(s.RacesReported),
+		"trace_jobs":             int64(s.TraceJobs),
 		"factcache_program_hits": int64(s.FactProgramHits),
 		"factcache_fn_hits":      int64(s.FactFnHits),
 		"factcache_fn_misses":    int64(s.FactFnMisses),

@@ -52,6 +52,7 @@ import (
 
 	"racedet"
 	"racedet/internal/faultinject"
+	"racedet/internal/rt/trace"
 )
 
 // Options configures a Server. The zero value of any field selects the
@@ -87,6 +88,12 @@ type Options struct {
 	// FactCacheDir, when non-empty, is the digest-keyed fact cache
 	// shared by every session for warm compiles.
 	FactCacheDir string
+
+	// MaxTraceBytes bounds an uploaded binary trace in a replay job
+	// (default 8 MiB; negative removes the per-trace bound, leaving
+	// only the request-body limit). Traces above the bound are
+	// rejected as bad requests before any decoding happens.
+	MaxTraceBytes int
 
 	// Per-session detector defaults (overridable per job): Shards
 	// selects the sharded back end (default 2; a value < 0 forces the
@@ -155,6 +162,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ShardRetryBudget <= 0 {
 		o.ShardRetryBudget = 3
+	}
+	switch {
+	case o.MaxTraceBytes == 0:
+		o.MaxTraceBytes = 8 << 20
+	case o.MaxTraceBytes < 0:
+		o.MaxTraceBytes = 0
 	}
 	if o.Log == nil {
 		o.Log = io.Discard
@@ -484,6 +497,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	if err := s.validateTrace(req); err != nil {
+		if s.journalFinish(job, StateBadRequest, 0) {
+			s.m.jobsFailed.Add(1)
+		}
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Trace) > 0 {
+		s.m.traceJobs.Add(1)
+	}
 	s.mu.Lock()
 	if rec, ok := s.journal[job]; ok {
 		rec.File = req.File
@@ -541,6 +564,28 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // magnitude above any MJ program; the bound exists so a misbehaving
 // client cannot OOM the daemon through one request).
 const maxRequestBytes = 16 << 20
+
+// validateTrace vets a replay job at admission: a trace is mutually
+// exclusive with Source, bounded by MaxTraceBytes, and must carry a
+// well-formed header, trailer, and table section before it is allowed
+// to occupy a session slot. Segment payloads are NOT decoded here —
+// mid-stream corruption surfaces inside the session as a structured
+// runtime failure, exactly like any other failed analysis.
+func (s *Server) validateTrace(req JobRequest) error {
+	if len(req.Trace) == 0 {
+		return nil
+	}
+	if req.Source != "" {
+		return fmt.Errorf("source and trace are mutually exclusive")
+	}
+	if max := s.opts.MaxTraceBytes; max > 0 && len(req.Trace) > max {
+		return fmt.Errorf("trace is %d bytes, above the daemon's %d-byte limit", len(req.Trace), max)
+	}
+	if _, err := trace.NewReader(req.Trace); err != nil {
+		return err
+	}
+	return nil
+}
 
 // detectorFor maps the wire detector name to racedet's enum.
 func detectorFor(name string) (racedet.Detector, error) {

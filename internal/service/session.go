@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"racedet"
+	"racedet/internal/rt/trace"
 )
 
 // JobRequest is the wire format of one compile+analyze job. Only the
@@ -20,6 +21,14 @@ type JobRequest struct {
 	// File names the program in diagnostics; Source is the MJ text.
 	File   string `json:"file"`
 	Source string `json:"source"`
+
+	// Trace, when non-empty, is a recorded binary event trace (the
+	// bytes of a racedet -record prog.mjtrace file; base64 on the
+	// wire). The job replays the trace through the session's detector
+	// instead of compiling and running Source — the record-once/
+	// analyze-many mode — so Source must be empty. All the detector
+	// knobs below apply to the replay exactly as to a live run.
+	Trace []byte `json:"trace,omitempty"`
 
 	// Seed perturbs the deterministic scheduler (0 = fixed
 	// round-robin), exactly as racedet -seed.
@@ -178,6 +187,13 @@ func (s *Server) attempt(job uint64, req JobRequest, opts racedet.Options, withF
 	if withFaults && s.opts.Faults != nil {
 		s.opts.Faults.SessionEvent(job)
 	}
+	if len(req.Trace) > 0 {
+		// Replay job: stream the uploaded trace through this session's
+		// detector configuration, no interpreter in the loop. The same
+		// panic barrier, retry budget, and Eraser degradation apply.
+		r, derr := racedet.ReplayTraceData(req.Trace, opts, 0)
+		return jobOutcome{Result: r}, derr, false
+	}
 	r, derr := racedet.Detect(req.File, req.Source, opts)
 	return jobOutcome{Result: r}, derr, false
 }
@@ -196,7 +212,9 @@ func (s *Server) finishResult(out jobOutcome, err error, retries int) JobResult 
 	jr := JobResult{Retries: retries}
 	if err != nil {
 		var re *racedet.RuntimeError
-		if errors.As(err, &re) {
+		var fe *trace.FormatError
+		switch {
+		case errors.As(err, &re):
 			jr.RuntimeError = re.Kind + ": " + re.Msg
 			switch re.Kind {
 			case "watchdog":
@@ -204,7 +222,12 @@ func (s *Server) finishResult(out jobOutcome, err error, retries int) JobResult 
 			case "livelock":
 				s.m.livelockFires.Add(1)
 			}
-		} else {
+		case errors.As(err, &fe):
+			// Mid-stream trace corruption that survived the admission
+			// check: an execution failure of the replay, not a compile
+			// error — partial races observed before it still apply.
+			jr.RuntimeError = err.Error()
+		default:
 			jr.CompileError = err.Error()
 		}
 	}

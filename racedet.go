@@ -43,6 +43,7 @@ import (
 	"racedet/internal/interp"
 	"racedet/internal/rt/detector"
 	"racedet/internal/rt/postmortem"
+	"racedet/internal/rt/trace"
 )
 
 // Detector selects the runtime race-detection algorithm.
@@ -129,6 +130,12 @@ type Options struct {
 	// reconstruct all racing pairs with FullRace). See §1/§2.6 of the
 	// paper.
 	RecordTo io.Writer
+	// TraceTo, when non-nil, additionally records the run as a compact
+	// binary event trace (.mjtrace): delta-encoded, lockset-interned,
+	// segment-indexed. Replay it into any detector configuration with
+	// ReplayTrace — record once, analyze many. The trace is finalized
+	// even when the run fails, so partial traces stay valid.
+	TraceTo io.Writer
 
 	// RecordSchedule captures the scheduler's decision sequence in
 	// Result.Schedule (mjsched text). Feeding it back through
@@ -219,6 +226,7 @@ func (o Options) config() core.Config {
 	cfg.MaxSteps = o.MaxSteps
 	cfg.Out = o.Stdout
 	cfg.RecordTo = o.RecordTo
+	cfg.TraceTo = o.TraceTo
 	cfg.RecordSchedule = o.RecordSchedule
 	cfg.Timeout = o.Timeout
 	cfg.LivelockWindow = o.LivelockWindow
@@ -485,6 +493,45 @@ func Replay(r io.Reader, opts Options) (*Result, error) {
 	res, err := core.ReplayLog(r, opts.config())
 	if err != nil {
 		return nil, err
+	}
+	return convert(res), nil
+}
+
+// ReplayTrace performs offline detection on a binary event trace
+// previously recorded via Options.TraceTo: the detector stack
+// configured by opts (serial or sharded, any ablation) sees exactly
+// the event stream of the original run without re-executing the
+// program, so at the recording configuration the verdicts are
+// byte-identical to the live run's. parallel bounds the trace's
+// segment-decode workers (<= 0 selects GOMAXPROCS); event delivery is
+// always in recorded order. A corrupt or truncated trace fails with a
+// *trace.FormatError.
+func ReplayTrace(path string, opts Options, parallel int) (*Result, error) {
+	tr, err := trace.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+	return replayTrace(tr, opts, parallel)
+}
+
+// ReplayTraceData is ReplayTrace over an in-memory trace, for callers
+// that receive traces over the wire (racedetd trace jobs).
+func ReplayTraceData(data []byte, opts Options, parallel int) (*Result, error) {
+	tr, err := trace.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	return replayTrace(tr, opts, parallel)
+}
+
+func replayTrace(tr *trace.Reader, opts Options, parallel int) (*Result, error) {
+	res, err := core.ReplayTrace(tr, opts.config(), parallel)
+	if err != nil {
+		return nil, err
+	}
+	if res.Err != nil {
+		return nil, wrapRuntime(res.Err)
 	}
 	return convert(res), nil
 }
