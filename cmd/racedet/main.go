@@ -251,12 +251,18 @@ func main() {
 		opts.Stdout = os.Stdout
 	}
 	var recordFile *os.File
+	var recordTmp string
 	if *recordPath != "" {
-		recordFile, err = os.Create(*recordPath)
+		// Crash-safe capture: record into a sibling temp file and
+		// atomically rename it over the requested path only once the
+		// trace is complete and fsync'd. An interrupted run leaves at
+		// most a .tmp — never a torn half-trace under the name a later
+		// -replay-trace or racedetd upload would trust.
+		recordTmp = *recordPath + ".tmp"
+		recordFile, err = os.Create(recordTmp)
 		if err != nil {
 			fatal(err)
 		}
-		defer recordFile.Close()
 		// The extension picks the format: .mjtrace records the compact
 		// binary trace (replay with -replay-trace), anything else the
 		// legacy text event log (replay with -replay).
@@ -269,6 +275,10 @@ func main() {
 	if *schedIn != "" {
 		trace, err := os.ReadFile(*schedIn)
 		if err != nil {
+			if recordTmp != "" {
+				recordFile.Close()
+				os.Remove(recordTmp)
+			}
 			fatal(err)
 		}
 		opts.ReplaySchedule = trace
@@ -284,9 +294,22 @@ func main() {
 		// still carries a partial result: the races observed before the
 		// run was cut short. Print the report below, then exit 2.
 		if !errors.As(err, &runtimeErr) || res == nil {
+			if recordTmp != "" {
+				recordFile.Close()
+				os.Remove(recordTmp)
+			}
 			fatal(err)
 		}
 		fmt.Fprintln(os.Stderr, "racedet: execution failed:", runtimeErr)
+	}
+
+	if recordTmp != "" {
+		// Seal the capture. Partial-run traces (watchdog, deadlock) are
+		// sealed too — they replay up to the cut, and the trace footer
+		// marks them honestly.
+		if ferr := finishRecording(recordFile, recordTmp, *recordPath); ferr != nil {
+			fatal(ferr)
+		}
 	}
 
 	if *schedOut != "" {
@@ -344,6 +367,26 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "racedet:", err)
 	os.Exit(exitInternal)
+}
+
+// finishRecording makes a finished -record capture durable: fsync the
+// temp file, close it, and atomically rename it to the requested
+// path. Any failure removes the temp so no torn capture survives.
+func finishRecording(f *os.File, tmp, dst string) error {
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // fuzz runs the schedule-exploration harness and reports per-seed

@@ -1,0 +1,127 @@
+// Crash-recovery end-to-end: kill the daemon -9 (via the deterministic
+// crash fault) at chosen WAL disk operations, restart it on the same
+// state dir, and prove the durability contract a client relies on:
+//
+//   - crash after the admit was durable → the restarted daemon re-runs
+//     the job, and the client's idempotent retry gets the stored
+//     verdict, byte-identical to a fresh analysis of the same request.
+//   - crash before the admit was durable → nothing was acknowledged,
+//     nothing recovers, the retry simply runs fresh.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"racedet/internal/service"
+)
+
+// waitDeath waits for a crash-injected daemon to SIGKILL itself.
+func waitDeath(t *testing.T, d *daemon, within time.Duration) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		<-d.readDone
+		d.cmd.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(within):
+		t.Fatalf("crash-injected racedetd still alive after %v", within)
+	}
+}
+
+func TestDaemonCrashAfterDurableAdmit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildDaemon(t)
+	state := t.TempDir()
+
+	// WAL disk op 1 is the log magic, op 2 the job's admit record, op 3
+	// its result record: the crash fires after the analysis ran but
+	// before its result became durable — the worst-timed kill -9.
+	d1 := startDaemon(t, bin, "-state-dir", state, "-inject", "crash:disk=wal,at=3", "-q")
+	req := service.JobRequest{File: "racy.mj", Source: racyProg, Seed: 5, IdempotencyKey: "crash-1"}
+	if _, err := d1.client.Analyze(req); err == nil {
+		t.Fatal("analyze survived a daemon that killed itself mid-result")
+	}
+	waitDeath(t, d1, 10*time.Second)
+
+	// Restart: the admitted-but-incomplete job re-runs before the
+	// listening line prints, so the client's retry is answered from the
+	// recovered result without a third execution.
+	d2 := startDaemon(t, bin, "-state-dir", state, "-q")
+	res, err := d2.client.Analyze(req)
+	if err != nil {
+		t.Fatalf("retry after restart: %v", err)
+	}
+	if !res.Deduped {
+		t.Fatalf("retry was re-analyzed, want the recovered job's stored result: %+v", res)
+	}
+	if len(res.Races) == 0 {
+		t.Fatalf("recovered verdict lost the race: %+v", res)
+	}
+
+	// Byte-identical recovery: a fresh keyless run of the same request
+	// in the same daemon must produce the same race report.
+	fresh, err := d2.client.Analyze(service.JobRequest{File: "racy.mj", Source: racyProg, Seed: 5})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	got, _ := json.Marshal(res.Races)
+	want, _ := json.Marshal(fresh.Races)
+	if !bytes.Equal(got, want) {
+		t.Errorf("recovered races not byte-identical to a fresh run:\n got %s\nwant %s", got, want)
+	}
+
+	m, err := d2.client.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m["jobs_recovered"] != 1 || m["jobs_deduped"] != 1 {
+		t.Errorf("jobs_recovered=%d jobs_deduped=%d, want 1/1", m["jobs_recovered"], m["jobs_deduped"])
+	}
+	if m["jobs_admitted"] != m["jobs_completed"]+m["jobs_failed"]+m["jobs_degraded"]+m["jobs_aborted_at_drain"]+m["jobs_deduped"] {
+		t.Errorf("terminal-state invariant broken after recovery: %v", m)
+	}
+}
+
+func TestDaemonCrashBeforeDurableAdmit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildDaemon(t)
+	state := t.TempDir()
+
+	// Crash at op 2: the admit record never lands, so the client never
+	// got (and never could have gotten) an acknowledgment.
+	d1 := startDaemon(t, bin, "-state-dir", state, "-inject", "crash:disk=wal,at=2", "-q")
+	req := service.JobRequest{File: "racy.mj", Source: racyProg, IdempotencyKey: "crash-2"}
+	if _, err := d1.client.Analyze(req); err == nil {
+		t.Fatal("analyze survived a daemon that killed itself mid-admit")
+	}
+	waitDeath(t, d1, 10*time.Second)
+
+	d2 := startDaemon(t, bin, "-state-dir", state, "-q")
+	res, err := d2.client.Analyze(req)
+	if err != nil {
+		t.Fatalf("retry after restart: %v", err)
+	}
+	if res.Deduped {
+		t.Fatalf("nothing was admitted, yet the retry was deduped: %+v", res)
+	}
+	if len(res.Races) == 0 {
+		t.Errorf("retry lost the verdict: %+v", res)
+	}
+	m, err := d2.client.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m["jobs_recovered"] != 0 {
+		t.Errorf("jobs_recovered = %d, want 0 (no durable admit to recover)", m["jobs_recovered"])
+	}
+}

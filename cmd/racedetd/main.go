@@ -63,6 +63,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		batch    = fs.Int("batch", 0, "per-session event batch size (0 = default)")
 		journal  = fs.Int("journal", 0, "per-shard journal capacity for crash replay (0 = default, negative = off)")
 		maxTrace = fs.Int("max-trace-bytes", 0, "max uploaded trace size for replay jobs (0 = default 8MiB, negative = request-body limit only)")
+		stateDir = fs.String("state-dir", "", "durable state directory: admitted jobs are journaled to a WAL here and recovered after a crash")
+		walSync  = fs.String("wal-sync", "always", "WAL durability: 'always' fsyncs every append, 'none' trusts the page cache")
 		quiet    = fs.Bool("q", false, "suppress the per-job lifecycle log on stderr")
 	)
 	fs.Usage = func() {
@@ -75,6 +77,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "racedetd: unexpected argument %q\n", fs.Arg(0))
 		fs.Usage()
+		return exitUsage
+	}
+
+	if *walSync != "always" && *walSync != "none" {
+		fmt.Fprintf(stderr, "racedetd: -wal-sync: unknown mode %q (want 'always' or 'none')\n", *walSync)
 		return exitUsage
 	}
 
@@ -104,13 +111,30 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		BatchSize:      *batch,
 		JournalCap:     *journal,
 		MaxTraceBytes:  *maxTrace,
-		Faults:         plan,
-		Log:            logw,
+		StateDir:       *stateDir,
+		WalSync:        *walSync,
+		// The shard-level half of the plan reaches each session's
+		// sharded back end by spec, re-parsed per run (fresh counters).
+		DetectorFaultSpec: *inject,
+		Faults:            plan,
+		Log:               logw,
 	})
+
+	// Crash recovery runs to completion before the daemon accepts or
+	// even listens for work: every job acknowledged by the previous
+	// incarnation has a result again once the listening line prints.
+	rec, err := srv.Recover()
+	if err != nil {
+		fmt.Fprintf(stderr, "racedetd: recover: %v\n", err)
+		return exitUsage
+	}
+	if rec.Enabled {
+		fmt.Fprintf(stderr, "racedetd: recovered state: replayed=%d completed=%d rerun=%d deduped=%d tail_truncated=%v\n",
+			rec.Replayed, rec.Completed, rec.Rerun, rec.Deduped, rec.TailTruncated)
+	}
 
 	var (
 		l   net.Listener
-		err error
 		url string
 	)
 	if *socket != "" {

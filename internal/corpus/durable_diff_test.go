@@ -1,0 +1,134 @@
+// Crash-recovery differential: for every corpus program under ten
+// seeds, a WAL left holding an acknowledged-but-unfinished job (the
+// exact state a kill -9 after admission leaves behind) must recover to
+// a verdict byte-identical to a clean one-shot racedet run. The
+// deterministic scheduler is what makes this equality exact rather
+// than statistical — the whole reason recovery can simply re-run.
+package corpus
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"racedet"
+	"racedet/internal/service"
+	"racedet/internal/service/durable"
+)
+
+// verdict is the canonical comparable form of an analysis: everything
+// a client acts on, nothing timing-dependent.
+type verdict struct {
+	Races           []racedet.Race `json:"races"`
+	RacyObjects     int            `json:"racy_objects"`
+	BaselineReports []string       `json:"baseline_reports"`
+	Output          string         `json:"output"`
+}
+
+func canonical(t *testing.T, v verdict) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestCorpusRecoveredVerdictsMatchOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full corpus through WAL recovery")
+	}
+	const seeds = 10
+	for _, e := range loadCorpus(t) {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			t.Parallel()
+
+			// Seed one WAL with ten acknowledged jobs (one per seed),
+			// none with a result: the post-crash state after the daemon
+			// fsync'd every admit and then died.
+			dir := t.TempDir()
+			st, _, err := durable.Open(durable.Options{Dir: dir, Sync: durable.SyncNone})
+			if err != nil {
+				t.Fatalf("seeding WAL: %v", err)
+			}
+			for seed := int64(0); seed < seeds; seed++ {
+				req := service.JobRequest{
+					File:           e.name + ".mj",
+					Source:         e.src,
+					Seed:           seed,
+					IdempotencyKey: fmt.Sprintf("%s-seed-%d", e.name, seed),
+				}
+				reqJSON, err := json.Marshal(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := st.Append(durable.Record{
+					Kind:    durable.KindAdmit,
+					Job:     uint64(seed) + 1,
+					Key:     req.IdempotencyKey,
+					Request: reqJSON,
+				}); err != nil {
+					t.Fatalf("seeding admit %d: %v", seed, err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			srv := service.New(service.Options{StateDir: dir})
+			rep, err := srv.Recover()
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if rep.Rerun != seeds {
+				t.Fatalf("recovery = %+v, want %d re-runs", rep, seeds)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			client := &service.Client{Base: ts.URL}
+
+			for seed := int64(0); seed < seeds; seed++ {
+				want, err := racedet.Detect(e.name+".mj", e.src, racedet.Options{Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d one-shot: %v", seed, err)
+				}
+
+				// The client's retry of its lost acknowledgment.
+				res, err := client.Analyze(service.JobRequest{
+					File:           e.name + ".mj",
+					Source:         e.src,
+					Seed:           seed,
+					IdempotencyKey: fmt.Sprintf("%s-seed-%d", e.name, seed),
+				})
+				if err != nil {
+					t.Fatalf("seed %d resubmit: %v", seed, err)
+				}
+				if !res.Deduped {
+					t.Fatalf("seed %d resubmit re-ran instead of serving the recovered result", seed)
+				}
+				if res.CompileError != "" || res.RuntimeError != "" || res.Degraded {
+					t.Fatalf("seed %d recovered job not clean: %+v", seed, res)
+				}
+
+				got := canonical(t, verdict{res.Races, res.RacyObjects, res.BaselineReports, res.Output})
+				ref := canonical(t, verdict{want.Races, want.RacyObjects, want.BaselineReports, want.Output})
+				if !bytes.Equal(got, ref) {
+					t.Errorf("seed %d: recovered verdict not byte-identical to one-shot:\n--- recovered ---\n%s\n--- one-shot ---\n%s",
+						seed, got, ref)
+				}
+			}
+
+			m := srv.Metrics()
+			if m.JobsRecovered != seeds || m.JobsDeduped != seeds {
+				t.Errorf("jobs_recovered=%d jobs_deduped=%d, want %d/%d",
+					m.JobsRecovered, m.JobsDeduped, seeds, seeds)
+			}
+			if m.Terminal() != m.JobsAdmitted {
+				t.Errorf("terminal=%d admitted=%d", m.Terminal(), m.JobsAdmitted)
+			}
+		})
+	}
+}

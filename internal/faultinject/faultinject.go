@@ -31,14 +31,31 @@
 //	slow-client:job=J,delay=D      stall job J's request body by D
 //	admission-full:times=T         report the admission queue full T
 //	                               times (load-shed with retry-after)
+//
+// Disk-level faults target durable write paths (the racedetd WAL in
+// internal/service/durable). The disk= selector names the stream
+// ("wal"; * matches any); write and sync operations are counted per
+// stream from 1, so at=N pins a fault to an exact operation and a
+// failing crash-recovery scenario replays exactly:
+//
+//	enospc:disk=S,times=T      fail T writes of stream S with ENOSPC
+//	shortwrite:disk=S,at=N     tear stream S's N-th write: half the
+//	                           payload reaches the disk, then an error
+//	fsyncfail:disk=S,times=T   fail T fsyncs of stream S
+//	crash:disk=S,at=N          kill the whole process (SIGKILL, no
+//	                           deferred cleanup) at stream S's N-th
+//	                           write — the kill-9 harness
 package faultinject
 
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -92,6 +109,30 @@ type admissionFault struct {
 	left atomic.Int64
 }
 
+// Disk-level fault types (durable write paths; see
+// internal/service/durable). disk = "*" matches every stream.
+
+type enospcFault struct {
+	disk string
+	left atomic.Int64
+}
+
+type shortWriteFault struct {
+	disk string
+	at   uint64
+	done atomic.Bool
+}
+
+type fsyncFault struct {
+	disk string
+	left atomic.Int64
+}
+
+type crashFault struct {
+	disk string
+	at   uint64
+}
+
 // Plan is a deterministic set of faults; safe for concurrent use.
 type Plan struct {
 	panics   []*panicFault
@@ -104,12 +145,29 @@ type Plan struct {
 	slowClients []*slowClientFault
 	admissions  []*admissionFault
 
+	enospcs     []*enospcFault
+	shortWrites []*shortWriteFault
+	fsyncFails  []*fsyncFault
+	crashes     []*crashFault
+
+	// Per-stream operation counters for the at= selectors; the maps are
+	// keyed by the stream tag so independent streams count independently.
+	diskWrites sync.Map // string -> *atomic.Uint64
+	diskSyncs  sync.Map // string -> *atomic.Uint64
+
 	fired atomic.Uint64
 }
 
 func match(sel, shard int) bool { return sel == anyShard || sel == shard }
 
 func matchJob(sel, job uint64) bool { return sel == anyJob || sel == job }
+
+func matchDisk(sel, disk string) bool { return sel == "*" || sel == disk }
+
+func diskOp(m *sync.Map, tag string) uint64 {
+	v, _ := m.LoadOrStore(tag, new(atomic.Uint64))
+	return v.(*atomic.Uint64).Add(1)
+}
 
 // WorkerEvent implements the worker-side hook: it panics when a panic
 // fault matches (one-shot, so a journaled replay of the same event
@@ -203,6 +261,51 @@ func (p *Plan) AdmissionFull() bool {
 	return false
 }
 
+// DiskWrite implements the durable-write hook: it is consulted once
+// before every write of the tagged stream, counting operations from 1.
+// A non-nil error means the write must fail; partial true additionally
+// asks the caller to tear the write (persist roughly half the payload
+// before failing), modeling a torn page. A matching crash fault does
+// not return: it SIGKILLs the process at exactly this operation, so no
+// deferred cleanup, rollback, or response can run — the only honest
+// model of kill -9.
+func (p *Plan) DiskWrite(tag string) (partial bool, err error) {
+	n := diskOp(&p.diskWrites, tag)
+	for _, f := range p.crashes {
+		if matchDisk(f.disk, tag) && n == f.at {
+			p.fired.Add(1)
+			proc, _ := os.FindProcess(os.Getpid())
+			proc.Kill() // SIGKILL: never returns
+		}
+	}
+	for _, f := range p.shortWrites {
+		if matchDisk(f.disk, tag) && n == f.at && f.done.CompareAndSwap(false, true) {
+			p.fired.Add(1)
+			return true, fmt.Errorf("faultinject: injected short write on %s op %d", tag, n)
+		}
+	}
+	for _, f := range p.enospcs {
+		if matchDisk(f.disk, tag) && f.left.Add(-1) >= 0 {
+			p.fired.Add(1)
+			return false, fmt.Errorf("faultinject: injected ENOSPC on %s op %d: %w", tag, n, syscall.ENOSPC)
+		}
+	}
+	return false, nil
+}
+
+// DiskSync implements the fsync hook of durable streams: a non-nil
+// error while a matching fsyncfail fault has firings left.
+func (p *Plan) DiskSync(tag string) error {
+	n := diskOp(&p.diskSyncs, tag)
+	for _, f := range p.fsyncFails {
+		if matchDisk(f.disk, tag) && f.left.Add(-1) >= 0 {
+			p.fired.Add(1)
+			return fmt.Errorf("faultinject: injected fsync failure on %s op %d", tag, n)
+		}
+	}
+	return nil
+}
+
 // Fired returns how many injections have triggered so far. Tests use
 // it to assert the plan actually disturbed the run (a panic planned
 // past the end of the stream never fires).
@@ -211,7 +314,15 @@ func (p *Plan) Fired() uint64 { return p.fired.Load() }
 // Empty reports whether the plan contains no faults at all.
 func (p *Plan) Empty() bool {
 	return len(p.panics) == 0 && len(p.slows) == 0 &&
-		len(p.qfulls) == 0 && len(p.corrupts) == 0 && !p.HasSessionFaults()
+		len(p.qfulls) == 0 && len(p.corrupts) == 0 &&
+		!p.HasSessionFaults() && !p.HasDiskFaults()
+}
+
+// HasDiskFaults reports whether the plan contains durable-write faults
+// (which neither the sharded back end nor the session hooks consult).
+func (p *Plan) HasDiskFaults() bool {
+	return len(p.enospcs) > 0 || len(p.shortWrites) > 0 ||
+		len(p.fsyncFails) > 0 || len(p.crashes) > 0
 }
 
 // HasSessionFaults reports whether the plan contains daemon-level
@@ -298,6 +409,39 @@ func Parse(spec string) (*Plan, error) {
 			f.left.Store(int64(times))
 			p.admissions = append(p.admissions, f)
 			continue
+		// Disk-level kinds take disk=, not shard=.
+		case "enospc":
+			times, err := args.uintArg("times")
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: %w", part, err)
+			}
+			f := &enospcFault{disk: args.disk()}
+			f.left.Store(int64(times))
+			p.enospcs = append(p.enospcs, f)
+			continue
+		case "shortwrite":
+			at, err := args.uintArg("at")
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: %w", part, err)
+			}
+			p.shortWrites = append(p.shortWrites, &shortWriteFault{disk: args.disk(), at: at})
+			continue
+		case "fsyncfail":
+			times, err := args.uintArg("times")
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: %w", part, err)
+			}
+			f := &fsyncFault{disk: args.disk()}
+			f.left.Store(int64(times))
+			p.fsyncFails = append(p.fsyncFails, f)
+			continue
+		case "crash":
+			at, err := args.uintArg("at")
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: %w", part, err)
+			}
+			p.crashes = append(p.crashes, &crashFault{disk: args.disk(), at: at})
+			continue
 		}
 		shard, err := args.shard()
 		if err != nil {
@@ -366,6 +510,16 @@ func (a faultArgs) job() (uint64, error) {
 		return 0, fmt.Errorf("bad job %q (want positive index, * or any)", v)
 	}
 	return n, nil
+}
+
+// disk parses the disk= selector of durable-write faults: a stream tag
+// such as "wal", defaulting to * (any stream) when absent.
+func (a faultArgs) disk() string {
+	v, ok := a["disk"]
+	if !ok || v == "any" {
+		return "*"
+	}
+	return v
 }
 
 func (a faultArgs) shard() (int, error) {

@@ -1,7 +1,9 @@
 package faultinject
 
 import (
+	"errors"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -218,6 +220,83 @@ func TestSlowClientAndAdmission(t *testing.T) {
 	}
 	if p.AdmissionFull() {
 		t.Error("admission budget exhausted but still firing")
+	}
+}
+
+func TestDiskFaults(t *testing.T) {
+	p, err := Parse("enospc:disk=wal,times=2; shortwrite:disk=wal,at=4; fsyncfail:times=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Empty() {
+		t.Error("plan with disk faults reported Empty")
+	}
+	if !p.HasDiskFaults() {
+		t.Error("HasDiskFaults() = false")
+	}
+	// Ops 1-2: ENOSPC budget; op 3: clean; op 4: the torn write.
+	for i := 0; i < 2; i++ {
+		partial, err := p.DiskWrite("wal")
+		if err == nil || partial {
+			t.Fatalf("op %d: partial=%v err=%v, want full-fail ENOSPC", i+1, partial, err)
+		}
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("op %d: error %v does not unwrap to ENOSPC", i+1, err)
+		}
+	}
+	if partial, err := p.DiskWrite("wal"); err != nil || partial {
+		t.Fatalf("op 3 should be clean, got partial=%v err=%v", partial, err)
+	}
+	if partial, err := p.DiskWrite("wal"); err == nil || !partial {
+		t.Fatalf("op 4 should be the torn write, got partial=%v err=%v", partial, err)
+	}
+	if partial, err := p.DiskWrite("wal"); err != nil || partial {
+		t.Fatalf("shortwrite must be one-shot, got partial=%v err=%v", partial, err)
+	}
+	// fsyncfail with no disk= matches any stream, once.
+	if err := p.DiskSync("wal"); err == nil {
+		t.Error("expected one fsync failure")
+	}
+	if err := p.DiskSync("wal"); err != nil {
+		t.Errorf("fsync budget exhausted but still failing: %v", err)
+	}
+	if p.Fired() != 4 {
+		t.Errorf("Fired() = %d, want 4", p.Fired())
+	}
+}
+
+func TestDiskFaultStreamsCountIndependently(t *testing.T) {
+	p, err := Parse("shortwrite:disk=wal,at=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes on another stream must not advance wal's op counter.
+	if partial, err := p.DiskWrite("other"); err != nil || partial {
+		t.Fatalf("other op 1: partial=%v err=%v", partial, err)
+	}
+	if partial, err := p.DiskWrite("wal"); err != nil || partial {
+		t.Fatalf("wal op 1: partial=%v err=%v", partial, err)
+	}
+	if _, err := p.DiskWrite("wal"); err == nil {
+		t.Fatal("wal op 2 should tear")
+	}
+	if _, err := p.DiskWrite("other"); err != nil {
+		t.Fatalf("disk=wal fault leaked onto another stream: %v", err)
+	}
+}
+
+func TestDiskSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"enospc:disk=wal",          // missing times
+		"enospc:disk=wal,times=0",  // zero times
+		"shortwrite:disk=wal",      // missing at
+		"shortwrite:disk=wal,at=0", // zero at
+		"fsyncfail:disk=wal",       // missing times
+		"crash:disk=wal",           // missing at
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
 	}
 }
 

@@ -24,6 +24,13 @@ type metrics struct {
 	jobsFailed         atomic.Uint64 // compile error, bad request, runtime failure
 	jobsDegraded       atomic.Uint64 // retry budget exhausted, Eraser-only verdict
 	jobsAbortedAtDrain atomic.Uint64 // still running when the drain deadline hit
+	jobsDeduped        atomic.Uint64 // served a stored result for a repeated idempotency key
+
+	// Durability (the -state-dir WAL; see internal/service/durable).
+	// WAL-level counters (records, append errors, fsync high-water)
+	// live in the store itself and are merged in by Server.Metrics.
+	jobsRecovered   atomic.Uint64 // admitted-but-incomplete jobs re-run at startup
+	factWriteErrors atomic.Uint64 // fact-cache stores that degraded to cache-off
 
 	// Session robustness.
 	sessionPanics  atomic.Uint64 // contained panics inside session runners
@@ -82,6 +89,16 @@ type Snapshot struct {
 	JobsFailed           uint64
 	JobsDegraded         uint64
 	JobsAbortedAtDrain   uint64
+	JobsDeduped          uint64
+
+	// Durability. The Wal* gauges mirror the live WAL store; they are
+	// zero when the daemon runs without -state-dir.
+	JobsRecovered        uint64
+	WalRecords           uint64
+	WalCorruptTailTrunc  uint64
+	WalAppendErrors      uint64
+	WalFsyncMaxNs        int64
+	FactcacheWriteErrors uint64
 
 	SessionPanics  uint64
 	SessionRetries uint64
@@ -115,9 +132,11 @@ type Snapshot struct {
 
 // Terminal is the number of admitted jobs that reached a terminal
 // state. A drained daemon must satisfy Terminal == JobsAdmitted: no
-// admitted job may ever be dropped without a counted outcome.
+// admitted job may ever be dropped without a counted outcome. A
+// deduplicated job (stored result served for a repeated idempotency
+// key) is terminal too — it was admitted, occupied a slot, and ended.
 func (s Snapshot) Terminal() uint64 {
-	return s.JobsCompleted + s.JobsFailed + s.JobsDegraded + s.JobsAbortedAtDrain
+	return s.JobsCompleted + s.JobsFailed + s.JobsDegraded + s.JobsAbortedAtDrain + s.JobsDeduped
 }
 
 func (m *metrics) snapshot() Snapshot {
@@ -129,6 +148,9 @@ func (m *metrics) snapshot() Snapshot {
 		JobsFailed:           m.jobsFailed.Load(),
 		JobsDegraded:         m.jobsDegraded.Load(),
 		JobsAbortedAtDrain:   m.jobsAbortedAtDrain.Load(),
+		JobsDeduped:          m.jobsDeduped.Load(),
+		JobsRecovered:        m.jobsRecovered.Load(),
+		FactcacheWriteErrors: m.factWriteErrors.Load(),
 		SessionPanics:        m.sessionPanics.Load(),
 		SessionRetries:       m.sessionRetries.Load(),
 		WatchdogFires:        m.watchdogFires.Load(),
@@ -165,35 +187,42 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		return 0
 	}
 	lines := map[string]int64{
-		"jobs_admitted":          int64(s.JobsAdmitted),
-		"jobs_shed":              int64(s.JobsShed),
-		"jobs_rejected_draining": int64(s.JobsRejectedDraining),
-		"jobs_completed":         int64(s.JobsCompleted),
-		"jobs_failed":            int64(s.JobsFailed),
-		"jobs_degraded":          int64(s.JobsDegraded),
-		"jobs_aborted_at_drain":  int64(s.JobsAbortedAtDrain),
-		"session_panics":         int64(s.SessionPanics),
-		"session_retries":        int64(s.SessionRetries),
-		"watchdog_fires":         int64(s.WatchdogFires),
-		"livelock_fires":         int64(s.LivelockFires),
-		"client_disconnects":     int64(s.ClientDisconnects),
-		"slow_client_stalls":     int64(s.SlowClientStalls),
-		"sessions_active":        s.SessionsActive,
-		"sessions_peak":          s.SessionsPeak,
-		"queue_waiting":          s.QueueWaiting,
-		"queue_high_water":       s.QueueHighWater,
-		"races_reported":         int64(s.RacesReported),
-		"trace_jobs":             int64(s.TraceJobs),
-		"factcache_program_hits": int64(s.FactProgramHits),
-		"factcache_fn_hits":      int64(s.FactFnHits),
-		"factcache_fn_misses":    int64(s.FactFnMisses),
-		"worker_restarts":        int64(s.WorkerRestarts),
-		"events_replayed":        int64(s.EventsReplayed),
-		"checkpoints":            int64(s.Checkpoints),
-		"degraded_shards":        int64(s.DegradedShards),
-		"dropped_events":         int64(s.DroppedEvents),
-		"backpressure_stalls":    int64(s.BackpressureStalls),
-		"draining":               int64(b(s.Draining)),
+		"jobs_admitted":                int64(s.JobsAdmitted),
+		"jobs_shed":                    int64(s.JobsShed),
+		"jobs_rejected_draining":       int64(s.JobsRejectedDraining),
+		"jobs_completed":               int64(s.JobsCompleted),
+		"jobs_failed":                  int64(s.JobsFailed),
+		"jobs_degraded":                int64(s.JobsDegraded),
+		"jobs_aborted_at_drain":        int64(s.JobsAbortedAtDrain),
+		"jobs_deduped":                 int64(s.JobsDeduped),
+		"jobs_recovered":               int64(s.JobsRecovered),
+		"wal_records":                  int64(s.WalRecords),
+		"wal_corrupt_tail_truncations": int64(s.WalCorruptTailTrunc),
+		"wal_append_errors":            int64(s.WalAppendErrors),
+		"wal_fsync_max_ns":             s.WalFsyncMaxNs,
+		"factcache_write_errors":       int64(s.FactcacheWriteErrors),
+		"session_panics":               int64(s.SessionPanics),
+		"session_retries":              int64(s.SessionRetries),
+		"watchdog_fires":               int64(s.WatchdogFires),
+		"livelock_fires":               int64(s.LivelockFires),
+		"client_disconnects":           int64(s.ClientDisconnects),
+		"slow_client_stalls":           int64(s.SlowClientStalls),
+		"sessions_active":              s.SessionsActive,
+		"sessions_peak":                s.SessionsPeak,
+		"queue_waiting":                s.QueueWaiting,
+		"queue_high_water":             s.QueueHighWater,
+		"races_reported":               int64(s.RacesReported),
+		"trace_jobs":                   int64(s.TraceJobs),
+		"factcache_program_hits":       int64(s.FactProgramHits),
+		"factcache_fn_hits":            int64(s.FactFnHits),
+		"factcache_fn_misses":          int64(s.FactFnMisses),
+		"worker_restarts":              int64(s.WorkerRestarts),
+		"events_replayed":              int64(s.EventsReplayed),
+		"checkpoints":                  int64(s.Checkpoints),
+		"degraded_shards":              int64(s.DegradedShards),
+		"dropped_events":               int64(s.DroppedEvents),
+		"backpressure_stalls":          int64(s.BackpressureStalls),
+		"draining":                     int64(b(s.Draining)),
 	}
 	names := make([]string, 0, len(lines))
 	for n := range lines {

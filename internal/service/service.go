@@ -53,6 +53,7 @@ import (
 	"racedet"
 	"racedet/internal/faultinject"
 	"racedet/internal/rt/trace"
+	"racedet/internal/service/durable"
 )
 
 // Options configures a Server. The zero value of any field selects the
@@ -89,6 +90,27 @@ type Options struct {
 	// shared by every session for warm compiles.
 	FactCacheDir string
 
+	// StateDir, when non-empty, enables the durable job journal: every
+	// admitted job is fsync'd to StateDir/wal.log before it can be
+	// acknowledged, completions append their result, and Recover
+	// (which the caller must run before serving) replays the log after
+	// a crash — re-running incomplete jobs and serving completed ones
+	// by idempotency key. Empty keeps the daemon purely in-memory.
+	StateDir string
+	// WalSync selects the WAL durability mode: "always" (default;
+	// fsync per record — an acknowledged job survives kill -9 and
+	// power loss) or "none" (OS page cache only — survives a daemon
+	// crash, not a machine crash).
+	WalSync string
+
+	// DetectorFaultSpec, when non-empty, is a shard-level fault
+	// injection spec (see internal/faultinject) passed to every
+	// session's detector back end — the knob the durability tests use
+	// to make a replay deterministically slow or crashy inside the
+	// session. Requires the sharded back end (Shards >= 1 after
+	// defaults) to have any effect.
+	DetectorFaultSpec string
+
 	// MaxTraceBytes bounds an uploaded binary trace in a replay job
 	// (default 8 MiB; negative removes the per-trace bound, leaving
 	// only the request-body limit). Traces above the bound are
@@ -105,9 +127,10 @@ type Options struct {
 	JournalCap       int
 	ShardRetryBudget int
 
-	// Faults installs deterministic session-level fault injection
-	// (nil in production). Shard-level faults in the same plan reach
-	// each session's sharded back end too.
+	// Faults installs deterministic session-level and disk-level fault
+	// injection (nil in production). Shard-level faults for the
+	// sessions' detector back ends go through DetectorFaultSpec
+	// instead, so every session gets its own fresh fault state.
 	Faults *faultinject.Plan
 
 	// Log receives one line per lifecycle event (nil = discard).
@@ -169,6 +192,9 @@ func (o Options) withDefaults() Options {
 	case o.MaxTraceBytes < 0:
 		o.MaxTraceBytes = 0
 	}
+	if o.WalSync == "" {
+		o.WalSync = "always"
+	}
 	if o.Log == nil {
 		o.Log = io.Discard
 	}
@@ -188,6 +214,10 @@ const (
 	StateDegraded   jobState = "degraded"
 	StateAborted    jobState = "aborted-at-drain"
 	StateBadRequest jobState = "bad-request"
+	// StateDeduped marks a job that repeated an already-known
+	// idempotency key and was answered from the stored (or in-flight)
+	// original result without running a session.
+	StateDeduped jobState = "deduped"
 )
 
 // JobRecord is one admitted job's journal entry.
@@ -214,6 +244,22 @@ type Server struct {
 	mu      sync.Mutex
 	journal map[uint64]*JobRecord
 	servers []*http.Server
+
+	// Durable state (nil / empty without Options.StateDir).
+	store     *durable.Store
+	recovered atomic.Bool // Recover ran (or was a no-op)
+
+	keyMu sync.Mutex
+	byKey map[string]*keyEntry
+}
+
+// keyEntry memoizes one idempotency key: the first job to claim the
+// key runs; duplicates wait on done and are answered from res.
+type keyEntry struct {
+	job   uint64
+	done  chan struct{}
+	res   *JobResult
+	state jobState
 }
 
 // New builds a daemon core with the given options.
@@ -224,6 +270,7 @@ func New(opts Options) *Server {
 		slots:   make(chan struct{}, o.MaxSessions),
 		drainCh: make(chan struct{}),
 		journal: make(map[uint64]*JobRecord),
+		byKey:   make(map[string]*keyEntry),
 	}
 }
 
@@ -260,8 +307,19 @@ func (s *Server) Serve(l net.Listener) error {
 	return err
 }
 
-// Metrics returns a point-in-time snapshot of the daemon's counters.
-func (s *Server) Metrics() Snapshot { return s.m.snapshot() }
+// Metrics returns a point-in-time snapshot of the daemon's counters,
+// including the live WAL store's gauges when durability is on.
+func (s *Server) Metrics() Snapshot {
+	snap := s.m.snapshot()
+	if s.store != nil {
+		st := s.store.Stats()
+		snap.WalRecords = st.Records
+		snap.WalCorruptTailTrunc = st.CorruptTailTruncations
+		snap.WalAppendErrors = st.AppendErrors
+		snap.WalFsyncMaxNs = st.FsyncMaxNs
+	}
+	return snap
+}
 
 // Jobs returns a copy of the job journal, sorted by job index.
 func (s *Server) Jobs() []JobRecord {
@@ -345,6 +403,14 @@ func (s *Server) Drain(timeout time.Duration) DrainReport {
 		for _, hs := range servers {
 			hs.Close()
 		}
+		if s.store != nil {
+			// Close the WAL last: a clean drain has no appends left; an
+			// unclean one leaves aborted jobs' admit records incomplete
+			// on purpose — the restarted daemon re-runs them.
+			if err := s.store.Close(); err != nil {
+				s.logf("drain: WAL close: %v", err)
+			}
+		}
 		snap := s.m.snapshot()
 		s.logf("drained: clean=%v admitted=%d terminal=%d aborted=%d",
 			rep.Clean, snap.JobsAdmitted, snap.Terminal(), len(rep.Aborted))
@@ -379,7 +445,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.m.snapshot().WriteTo(w)
+	s.Metrics().WriteTo(w)
 }
 
 // admit implements admission control: an immediate slot if one is
@@ -504,14 +570,48 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if len(req.Trace) > 0 {
-		s.m.traceJobs.Add(1)
-	}
 	s.mu.Lock()
 	if rec, ok := s.journal[job]; ok {
 		rec.File = req.File
 	}
 	s.mu.Unlock()
+
+	// Idempotency: a repeated key never runs a second session — it is
+	// answered from the original job's result, waiting for it if the
+	// original is still in flight.
+	var ent *keyEntry
+	if req.IdempotencyKey != "" {
+		e, isNew := s.claimKey(req.IdempotencyKey, job)
+		if !isNew {
+			s.serveDuplicate(w, r, job, req, e)
+			return
+		}
+		ent = e
+	}
+
+	// Durable admit: with a state dir, the job must be fsync'd to the
+	// WAL before any acknowledgment can reach the client. A WAL that
+	// cannot append (disk full, failed fsync) load-sheds — at-least-once
+	// means the client retries a job the daemon could not make durable.
+	admitted := false
+	if s.store != nil {
+		if err := s.appendAdmit(job, req); err != nil {
+			s.dropKey(req.IdempotencyKey, ent)
+			if s.journalFinish(job, StateFailed, 0) {
+				s.m.jobsFailed.Add(1)
+			}
+			s.logf("job %d: WAL admit refused: %v", job, err)
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+			http.Error(w, "durability unavailable: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		admitted = true
+	}
+
+	if len(req.Trace) > 0 {
+		s.m.traceJobs.Add(1)
+	}
 
 	// Injected client disconnect: the client is gone, but the admitted
 	// session still runs to completion and is journaled — an abandoned
@@ -524,13 +624,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	res := s.runSession(job, req)
 	res.Job = job
 
-	state := StateCompleted
-	switch {
-	case res.Degraded:
-		state = StateDegraded
-	case res.CompileError != "" || res.RuntimeError != "":
-		state = StateFailed
-	}
+	state := terminalState(res)
 	if s.journalFinish(job, state, len(res.Races)+len(res.BaselineReports)) {
 		switch state {
 		case StateDegraded:
@@ -540,6 +634,21 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		default:
 			s.m.jobsCompleted.Add(1)
 		}
+		// The result record is appended only for jobs the drain did not
+		// already count aborted: an aborted job must stay incomplete in
+		// the WAL so the restarted daemon re-runs it.
+		if admitted {
+			if err := s.appendResult(job, req.IdempotencyKey, state, res); err != nil {
+				// The verdict still reaches the client; losing the result
+				// record only means an idempotent re-run at the next boot.
+				s.logf("job %d: WAL result append failed (job re-runs at restart): %v", job, err)
+			}
+		}
+	}
+	// Publish the key result even when the drain counted the job
+	// aborted: duplicates waiting on the key must never hang.
+	if ent != nil {
+		s.resolveKey(ent, res, state)
 	}
 	s.logf("job %d: file=%q state=%s races=%d retries=%d",
 		job, req.File, state, len(res.Races), res.Retries)

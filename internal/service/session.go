@@ -43,6 +43,14 @@ type JobRequest struct {
 	// NoStatic disables the static race analysis for this job
 	// (instrument everything), as racedet -nostatic.
 	NoStatic bool `json:"nostatic,omitempty"`
+
+	// IdempotencyKey, when non-empty, makes the submission safely
+	// at-least-once: the first job to present a key runs; any later
+	// job with the same key is answered from the first one's result
+	// (waiting for it if still in flight), and with a state dir the
+	// stored result survives daemon restarts. Keys are client-chosen;
+	// two different requests sharing a key get the first one's result.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // JobResult is the wire format of a finished job. Exactly one of the
@@ -69,6 +77,11 @@ type JobResult struct {
 	Retries        int    `json:"retries,omitempty"`
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degraded_reason,omitempty"`
+
+	// Deduped marks a response served from a stored result because the
+	// request repeated an idempotency key; Job then names the original
+	// job that produced the verdict, not this submission.
+	Deduped bool `json:"deduped,omitempty"`
 
 	// CompileError is a parse/typecheck failure; RuntimeError is an
 	// execution failure (deadlock, watchdog, livelock, step budget,
@@ -106,6 +119,11 @@ func (s *Server) jobOptions(req JobRequest) racedet.Options {
 	if o.Shards >= 1 {
 		o.JournalCap = s.opts.JournalCap
 		o.RetryBudget = s.opts.ShardRetryBudget
+		// Shard-level faults in the daemon's plan reach each session's
+		// sharded back end through the spec (the structural *Plan in
+		// Options.Faults is daemon-scoped; per-session state like fault
+		// op counters must not be shared across jobs).
+		o.FaultInjection = s.opts.DetectorFaultSpec
 	}
 	o.Detector, _ = detectorFor(req.Detector) // validated at admission
 	return o
@@ -248,6 +266,7 @@ func (s *Server) finishResult(out jobOutcome, err error, retries int) JobResult 
 	}
 	s.m.factFnHits.Add(uint64(res.Stats.FactCacheFnHits))
 	s.m.factFnMisses.Add(uint64(res.Stats.FactCacheFnMisses))
+	s.m.factWriteErrors.Add(uint64(res.Stats.FactCacheWriteErrors))
 	s.m.workerRestarts.Add(res.Stats.WorkerRestarts)
 	s.m.eventsReplayed.Add(res.Stats.EventsReplayed)
 	s.m.checkpoints.Add(res.Stats.Checkpoints)

@@ -51,6 +51,10 @@ type Stats struct {
 	// partial path (both zero on a program hit).
 	FnHits   int
 	FnMisses int
+	// WriteErrors counts failed Stores (full disk, unwritable dir).
+	// A failed write degrades the cache to a no-op for the rest of the
+	// compile — counted, never a failed analysis.
+	WriteErrors int
 }
 
 // InstrKey addresses one instruction in pre-instrumentation IR: the
@@ -92,9 +96,10 @@ const entryVersion = 1
 
 // Cache is a handle on one cache directory + configuration.
 type Cache struct {
-	dir   string
-	cfg   string
-	Stats Stats
+	dir      string
+	cfg      string
+	disabled bool // a write failed; stores are skipped from then on
+	Stats    Stats
 }
 
 // Fingerprint digests the configuration knobs that change static
@@ -210,28 +215,62 @@ func (c *Cache) Latest() (*Entry, bool) {
 
 // Store persists the entry under the program digest (see Lookup: the
 // digest of the un-instrumented lowering) and as the configuration's
-// latest. Failures are silent: a cache that cannot write degrades to a
-// no-op.
+// latest, via write-temp-fsync-then-atomic-rename so a crash or torn
+// write never leaves a half-written entry where Lookup could read it.
+// A failure (full disk, unwritable dir) is counted in Stats and
+// degrades the cache to a no-op for the rest of the compile — a cache
+// problem must cost warmth, never the analysis.
 func (c *Cache) Store(programDigest string, e *Entry) {
+	if c.disabled {
+		return
+	}
 	e.Version = entryVersion
 	e.Config = c.cfg
 	e.ProgramDigest = programDigest
 	data, err := json.Marshal(e)
 	if err != nil {
+		c.fail()
 		return
 	}
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		c.fail()
 		return
 	}
-	write := func(path string) {
+	write := func(path string) bool {
 		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, data, 0o644); err != nil {
-			return
+		f, err := os.Create(tmp)
+		if err != nil {
+			return false
 		}
-		_ = os.Rename(tmp, path)
+		if _, err := f.Write(data); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return false
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return false
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return false
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return false
+		}
+		return true
 	}
-	write(c.entryPath(e.ProgramDigest))
-	write(c.latestPath())
+	if !write(c.entryPath(e.ProgramDigest)) || !write(c.latestPath()) {
+		c.fail()
+	}
+}
+
+// fail records a degraded store: one counted error, then cache-off.
+func (c *Cache) fail() {
+	c.disabled = true
+	c.Stats.WriteErrors++
 }
 
 // TracedSet captures a function's surviving traces as positions in

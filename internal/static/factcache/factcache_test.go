@@ -172,3 +172,47 @@ func TestStoreLookupLatest(t *testing.T) {
 		t.Error("corrupt entry treated as hit")
 	}
 }
+
+func TestStoreFailureDegradesToCacheOff(t *testing.T) {
+	// Point the cache at a path that is a regular file: MkdirAll fails
+	// for root and non-root alike, exercising the degradation path.
+	blocked := filepath.Join(t.TempDir(), "cache")
+	if err := os.WriteFile(blocked, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := Open(blocked, Fingerprint(true, true, true, true, true))
+
+	c.Store("pd", &Entry{StableDigest: "s"})
+	if c.Stats.WriteErrors != 1 {
+		t.Fatalf("WriteErrors = %d after failed store, want 1", c.Stats.WriteErrors)
+	}
+
+	// Degraded means cache-off, not repeated failures: later stores are
+	// silent no-ops and the error stays counted exactly once.
+	c.Store("pd2", &Entry{StableDigest: "s"})
+	if c.Stats.WriteErrors != 1 {
+		t.Errorf("WriteErrors = %d after degraded store, want still 1", c.Stats.WriteErrors)
+	}
+	if _, ok := c.Lookup("pd"); ok {
+		t.Error("lookup hit on a cache that never persisted anything")
+	}
+}
+
+func TestStoreLeavesNoTempFiles(t *testing.T) {
+	prog := build(t, roundtripSrc)
+	dir := t.TempDir()
+	c := Open(dir, Fingerprint(true, true, true, true, true))
+	c.Store(c.ProgramDigest(prog), &Entry{StableDigest: "s"})
+	if c.Stats.WriteErrors != 0 {
+		t.Fatalf("clean store counted WriteErrors = %d", c.Stats.WriteErrors)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Errorf("temp file %s left behind after a clean store", e.Name())
+		}
+	}
+}

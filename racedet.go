@@ -337,6 +337,10 @@ type Stats struct {
 	FactCacheProgramHit bool
 	FactCacheFnHits     int
 	FactCacheFnMisses   int
+	// FactCacheWriteErrors counts cache stores that failed (full disk,
+	// unwritable dir) and degraded the cache to a no-op — the analysis
+	// itself is unaffected.
+	FactCacheWriteErrors int
 }
 
 // Result is the outcome of Detect.
@@ -595,6 +599,7 @@ func convert(res *core.RunResult) *Result {
 			FactCacheProgramHit:  res.FactCache.ProgramHit,
 			FactCacheFnHits:      res.FactCache.FnHits,
 			FactCacheFnMisses:    res.FactCache.FnMisses,
+			FactCacheWriteErrors: res.FactCache.WriteErrors,
 		},
 	}
 	if res.Schedule != nil {
