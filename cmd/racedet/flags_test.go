@@ -38,6 +38,13 @@ func TestCLIFlagValidation(t *testing.T) {
 		{"ablate without replay-trace", []string{"-ablate", "Full,NoCache", prog}, "-ablate requires -replay-trace"},
 		{"replay-workers zero", []string{"-replay-workers", "0", "-replay-trace", "t.mjtrace"}, "-replay-workers must be >= 1"},
 		{"replay-workers negative", []string{"-replay-workers", "-2", "-replay-trace", "t.mjtrace"}, "-replay-workers must be >= 1"},
+		{"sample-k zero", []string{"-sample-k", "0", prog}, "-sample-k must be >= 1"},
+		{"sample-k negative", []string{"-sample-k", "-4", prog}, "-sample-k must be >= 1"},
+		{"sample-budget zero", []string{"-sample-budget", "0", prog}, "-sample-budget must be in (0, 1]"},
+		{"sample-budget negative", []string{"-sample-budget", "-0.5", prog}, "-sample-budget must be in (0, 1]"},
+		{"sample-budget over one", []string{"-sample-budget", "1.5", prog}, "-sample-budget must be in (0, 1]"},
+		{"sampling without ownership", []string{"-sample-k", "4", "-noownership", prog}, "require the ownership filter"},
+		{"sampling and ablate", []string{"-sample-k", "4", "-replay-trace", "t.mjtrace", "-ablate", "Full"}, "cannot be combined with -sample-k"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -61,6 +68,35 @@ func TestCLIFlagValidation(t *testing.T) {
 	if out, err := exec.Command(bin, "-q", prog).CombinedOutput(); err != nil {
 		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != exitRaces {
 			t.Fatalf("default flags: exit = %v, want %d\n%s", err, exitRaces, out)
+		}
+	}
+}
+
+// TestCLISamplingSmoke runs adaptive throttling end to end: the racy
+// program is still reported with sampling on (serial and sharded), and
+// -stats surfaces the sampling counters.
+func TestCLISamplingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary")
+	}
+	bin := buildCLI(t)
+	prog := writeProg(t, racyProg)
+
+	for _, args := range [][]string{
+		{"-q", "-stats", "-sample-k", "4", prog},
+		{"-q", "-stats", "-sample-budget", "0.25", prog},
+		{"-q", "-stats", "-sample-k", "4", "-shards", "2", prog},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != exitRaces {
+			t.Fatalf("%v: exit = %v, want %d\n%s", args, err, exitRaces, out)
+		}
+		text := string(out)
+		if !strings.Contains(text, "datarace on Data.f") {
+			t.Errorf("%v: sampled run lost the race report:\n%s", args, text)
+		}
+		if !strings.Contains(text, "sampling: shipped=") {
+			t.Errorf("%v: -stats missing the sampling line:\n%s", args, text)
 		}
 	}
 }

@@ -61,6 +61,19 @@ type JSONResult struct {
 	DegradedShards  int    `json:"degraded_shards,omitempty"`
 	DroppedEvents   uint64 `json:"dropped_events,omitempty"`
 	QueueHighWater  int    `json:"queue_high_water,omitempty"`
+
+	// Adaptive-throttling axis (last run of the measurement). Every
+	// observed event lands in exactly one filter bucket, so
+	// EventsObserved == EventsShipped + cache hits + owner skips +
+	// EventsSuppressed; the FullSampled* rows are compared against
+	// Full's EventsShipped to quantify the trie work saved.
+	// EventsShipped is present on every row (Full rows too) —
+	// EventsSuppressed and the site counters only where throttling ran.
+	EventsObserved   uint64 `json:"events_observed,omitempty"`
+	EventsShipped    uint64 `json:"events_shipped,omitempty"`
+	EventsSuppressed uint64 `json:"events_suppressed,omitempty"`
+	SitesDemoted     uint64 `json:"sites_demoted,omitempty"`
+	SitesRearmed     uint64 `json:"sites_rearmed,omitempty"`
 }
 
 // JSONReport is the top-level structure of the bench JSON artifact
@@ -139,6 +152,12 @@ func jsonConfigs(o JSONOptions) []struct {
 	supervised := both
 	supervised.JournalCap = o.JournalCap
 	supervised.RetryBudget = o.RetryBudget
+	sampled := func(k int, budget float64) core.Config {
+		c := core.Full()
+		c.SampleK = k
+		c.SampleBudget = budget
+		return c
+	}
 	add := func(name string, cfg core.Config) struct {
 		Name string
 		Cfg  core.Config
@@ -153,6 +172,13 @@ func jsonConfigs(o JSONOptions) []struct {
 		add(fmt.Sprintf("FullBatched%d", o.BatchSize), batched),
 		add(fmt.Sprintf("FullSharded%dBatched%d", o.Shards, o.BatchSize), both),
 		add("FullSupervised", supervised),
+		// The throttling sweep: fixed K at three demotion speeds plus
+		// the adaptive controller, all on the serial back end so the
+		// suppression effect is isolated from sharding.
+		add("FullSampled4", sampled(4, 0)),
+		add("FullSampled16", sampled(16, 0)),
+		add("FullSampled64", sampled(64, 0)),
+		add("FullSampledAdaptive", sampled(2, 0.25)),
 	)
 }
 
@@ -239,6 +265,7 @@ type jsonCell struct {
 	racy              int
 	events            uint64
 	rec               detector.RecoveryStats
+	det               detector.Stats
 }
 
 func (cl *jsonCell) measure() error {
@@ -258,6 +285,7 @@ func (cl *jsonCell) measure() error {
 			cl.racy = len(rr.RacyObjects)
 			cl.events = rr.Interp.TraceEvents
 			cl.rec = rr.DetectorStats.Recovery
+			cl.det = rr.DetectorStats
 		}
 	})
 	if runErr != nil {
@@ -328,6 +356,11 @@ func WriteJSON(w io.Writer, opts JSONOptions) error {
 			DroppedEvents:    cl.rec.DroppedEvents,
 			QueueHighWater:   cl.rec.QueueHighWater,
 			EventsPerSec:     eventsPerSec(cl.events, median(cl.ns)),
+			EventsObserved:   cl.det.Accesses,
+			EventsShipped:    cl.det.Shipped,
+			EventsSuppressed: cl.det.Sample.Suppressed,
+			SitesDemoted:     cl.det.Sample.Demotions,
+			SitesRearmed:     cl.det.Sample.Rearms,
 		}
 		if o.BenchReps > 1 {
 			r.Reps = o.BenchReps

@@ -206,6 +206,19 @@ type Config struct {
 	// parsed by internal/faultinject. Faults wins when both are set.
 	Faults    detector.FaultInjector
 	FaultSpec string
+
+	// SampleK > 0 enables adaptive per-site throttling (-sample-k): a
+	// static access site demotes to a counting-only stub after K
+	// consecutive clean observations and re-arms on ownership
+	// contact; stub suppression is per-location and write-aware, so
+	// stable (recurring) races still ship. Applies to live runs and
+	// trace replays alike — sampling lives in the detector's filter,
+	// never in the recorder. Requires the ownership filter.
+	SampleK int
+	// SampleBudget > 0 enables the target-overhead controller
+	// (-sample-budget): K adapts each window to hold the events-shipped
+	// ratio at the budget (0 < budget <= 1).
+	SampleBudget float64
 }
 
 // Full returns the paper's complete configuration.
@@ -786,6 +799,8 @@ func newDetectorSinks(cfg Config) (*detectorSinks, error) {
 			MaxTrieNodes:      cfg.MaxTrieNodes,
 			MaxCacheThreads:   cfg.MaxCacheThreads,
 			MaxOwnerLocations: cfg.MaxOwnerLocations,
+			SampleK:           cfg.SampleK,
+			SampleBudget:      cfg.SampleBudget,
 		}
 		if cfg.Shards >= 1 {
 			dopts.JournalCap = cfg.JournalCap

@@ -23,6 +23,7 @@ import (
 	"racedet/internal/rt/cache"
 	"racedet/internal/rt/event"
 	"racedet/internal/rt/ownership"
+	"racedet/internal/rt/sitestate"
 	"racedet/internal/rt/trie"
 )
 
@@ -69,6 +70,22 @@ type Options struct {
 	// DescribeObj renders an object for reports (e.g. "TspSolver#3
 	// allocated at tsp.mj:12:9"); optional.
 	DescribeObj func(event.ObjID) string
+
+	// SampleK > 0 enables adaptive per-site throttling: a static access
+	// site (source position + access kind) demotes to a counting-only
+	// stub after K consecutive clean observations under an unchanged
+	// lock environment, and re-arms on ownership contact (see
+	// internal/rt/sitestate). Requires the ownership filter; ignored
+	// under NoOwnership. Sampling disables the QuickCheck fast path so
+	// the filter observes the complete event stream — which is what
+	// makes a live sampled run byte-identical to replaying an
+	// (unsampled) recorded trace with sampling on.
+	SampleK int
+	// SampleBudget > 0 additionally enables the target-overhead
+	// controller: K is tightened/loosened each window to hold the
+	// events-shipped ratio at the budget (0 < budget <= 1). With
+	// SampleK == 0 the initial K is sitestate.DefaultK.
+	SampleBudget float64
 
 	// JournalCap enables fault tolerance in the sharded back end: each
 	// shard keeps a bounded write-ahead journal of up to this many
@@ -125,6 +142,15 @@ type Stats struct {
 	Accesses   uint64 // trace events received
 	CacheHits  uint64
 	OwnerSkips uint64 // accesses absorbed by the ownership filter
+	// Shipped counts accesses delivered to the trie stage — the
+	// detection work the filter layers could not absorb. The accounting
+	// invariant, sampled or not:
+	//
+	//	Accesses == Shipped + CacheHits + OwnerSkips + Sample.Suppressed
+	Shipped uint64
+	// Sample reports the per-site throttling layer's counters (all zero
+	// unless SampleK/SampleBudget enabled it).
+	Sample sitestate.Stats
 	// OwnerLocations is the number of locations the ownership table
 	// tracks — the detector-memory growth witness behind the paper's
 	// mtrt/NoStatic out-of-memory observation.
@@ -190,6 +216,7 @@ type Detector struct {
 	cache  *cache.Cache
 	owner  *ownership.Table
 	trie   history
+	sites  *sitestate.Table // non-nil iff per-site throttling is on
 	stats  Stats
 	parent map[event.ThreadID]event.ThreadID
 
@@ -234,7 +261,21 @@ func New(opts Options) *Detector {
 	}); ok {
 		st.SetInterner(it)
 	}
+	if sc, on := samplingConfig(opts); on {
+		d.sites = sitestate.New(sc)
+		d.owner.SetOnContact(d.sites.Contact)
+	}
 	return d
+}
+
+// samplingConfig resolves the Options sampling knobs. Throttling needs
+// the ownership filter's contact signal to stay over-report-never-miss,
+// so NoOwnership disables it.
+func samplingConfig(opts Options) (sitestate.Config, bool) {
+	if opts.NoOwnership || (opts.SampleK <= 0 && opts.SampleBudget <= 0) {
+		return sitestate.Config{}, false
+	}
+	return sitestate.Config{K: opts.SampleK, Budget: opts.SampleBudget}, true
 }
 
 // Interner exposes the per-run lockset intern table (read-only use:
@@ -270,6 +311,9 @@ func (d *Detector) Stats() Stats {
 	s.OwnerOverflows = d.owner.Overflows()
 	s.Trie = d.trie.Stats()
 	s.Cache = d.cache.Stats()
+	if d.sites != nil {
+		s.Sample = d.sites.Stats()
+	}
 	return s
 }
 
@@ -326,7 +370,10 @@ func (d *Detector) MonitorExit(t event.ThreadID, lock event.ObjID, depth int) {
 // materializing a full access event; true means the access was
 // absorbed by the cache.
 func (d *Detector) QuickCheck(t event.ThreadID, loc event.Loc, kind event.Kind) bool {
-	if d.opts.NoCache {
+	// Under sampling the fast path is off: the throttling layer must
+	// observe the complete stream (site counters, touch accounting), and
+	// a live sampled run must see exactly what a trace replay feeds it.
+	if d.opts.NoCache || d.sites != nil {
 		return false
 	}
 	if d.opts.FieldsMerged && loc.Slot >= event.ArraySlot {
@@ -384,6 +431,7 @@ func (d *Detector) filter(t event.ThreadID, loc event.Loc, kind event.Kind) (eve
 // materialize the (interned) lockset, run the trie, and insert into
 // the cache so equal-or-stronger accesses short-circuit.
 func (d *Detector) deliver(a event.Access, loc event.Loc) {
+	d.stats.Shipped++
 	a.Loc = loc
 	a.Locks = d.locks.Held(a.Thread)
 	a.LockID = d.locks.HeldID(a.Thread)
@@ -402,6 +450,10 @@ func (d *Detector) deliver(a event.Access, loc event.Loc) {
 // lookup here is a second (cheap) miss except for sinks that do not
 // use the fast path.
 func (d *Detector) Access(a event.Access) {
+	if d.sites != nil {
+		d.sampledAccess(&a)
+		return
+	}
 	loc, forward := d.filter(a.Thread, a.Loc, a.Kind)
 	if forward {
 		d.deliver(a, loc)
@@ -417,6 +469,12 @@ func (d *Detector) Access(a event.Access) {
 // batch slice itself is never retained or mutated (MultiSink hands
 // the same slice to every batch-aware child).
 func (d *Detector) AccessBatch(batch []event.Access) {
+	if d.sites != nil {
+		for i := range batch {
+			d.sampledAccess(&batch[i])
+		}
+		return
+	}
 	for i := range batch {
 		a := &batch[i]
 		loc, forward := d.filter(a.Thread, a.Loc, a.Kind)

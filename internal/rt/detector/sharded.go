@@ -53,6 +53,7 @@ import (
 	"racedet/internal/rt/event"
 	"racedet/internal/rt/journal"
 	"racedet/internal/rt/ownership"
+	"racedet/internal/rt/sitestate"
 	"racedet/internal/rt/spsc"
 	"racedet/internal/rt/trie"
 )
@@ -168,6 +169,7 @@ type Sharded struct {
 	locks  *event.LockTracker
 	cache  *cache.Cache
 	owner  *ownership.Table
+	sites  *sitestate.Table // non-nil iff per-site throttling is on
 	seq    uint64
 
 	// Router-side filter accounting: Accesses/CacheHits/OwnerSkips are
@@ -219,6 +221,13 @@ func NewSharded(opts Options, n, batchSize int) *Sharded {
 	}
 	if opts.MaxOwnerLocations > 0 {
 		s.owner = ownership.NewBounded(opts.MaxOwnerLocations)
+	}
+	if sc, on := samplingConfig(opts); on {
+		// The throttling table lives router-side with the other filter
+		// layers, so its evolution is serial-order deterministic and
+		// untouched by worker restarts.
+		s.sites = sitestate.New(sc)
+		s.owner.SetOnContact(s.sites.Contact)
 	}
 	depth := opts.QueueDepth
 	if depth <= 0 {
@@ -395,7 +404,9 @@ var _ event.BatchSink = (*Sharded)(nil)
 // materialized, so the parallel back end pays routing cost only for
 // accesses that need trie work.
 func (s *Sharded) QuickCheck(t event.ThreadID, loc event.Loc, kind event.Kind) bool {
-	if s.opts.NoCache {
+	// Off under sampling, as in the serial detector: the throttling
+	// layer needs the complete stream.
+	if s.opts.NoCache || s.sites != nil {
 		return false
 	}
 	if s.opts.FieldsMerged && loc.Slot >= event.ArraySlot {
@@ -495,6 +506,7 @@ func (s *Sharded) filter(t event.ThreadID, loc event.Loc, kind event.Kind) (even
 // equal-or-stronger accesses short-circuit (same order as
 // Detector.deliver).
 func (s *Sharded) route(a event.Access, loc event.Loc) {
+	s.stats.Shipped++
 	a.Loc = loc
 	a.Locks = s.locks.Held(a.Thread) // immutable canonical slice
 	a.LockID = s.locks.HeldID(a.Thread)
@@ -517,6 +529,10 @@ func (s *Sharded) route(a event.Access, loc event.Loc) {
 // Access implements event.Sink: the serial filter pipeline runs here
 // on the router, and only survivors are routed.
 func (s *Sharded) Access(a event.Access) {
+	if s.sites != nil {
+		s.sampledAccess(&a)
+		return
+	}
 	loc, forward := s.filter(a.Thread, a.Loc, a.Kind)
 	if forward {
 		s.route(a, loc)
@@ -528,6 +544,12 @@ func (s *Sharded) Access(a event.Access) {
 // per-element event copy paid only for filter survivors. The batch
 // slice is never retained or mutated.
 func (s *Sharded) AccessBatch(batch []event.Access) {
+	if s.sites != nil {
+		for i := range batch {
+			s.sampledAccess(&batch[i])
+		}
+		return
+	}
 	for i := range batch {
 		a := &batch[i]
 		loc, forward := s.filter(a.Thread, a.Loc, a.Kind)
@@ -614,6 +636,9 @@ func (s *Sharded) doFinalize() {
 	s.stats.OwnerLocations = s.owner.Locations()
 	s.stats.OwnerOverflows = s.owner.Overflows()
 	s.stats.Cache = s.cache.Stats()
+	if s.sites != nil {
+		s.stats.Sample = s.sites.Stats()
+	}
 	for i, w := range s.workers {
 		if w.err != nil {
 			errs = append(errs, w.err)

@@ -65,6 +65,15 @@ type metrics struct {
 	droppedEvents      atomic.Uint64
 	backpressureStalls atomic.Uint64
 
+	// Adaptive throttling, aggregated across all sessions' runs. Per
+	// run the filter accounts for every observed event exactly once:
+	// observed == shipped + cache hits + owner skips + suppressed, so
+	// events_suppressed here is work the trie never had to do.
+	eventsShipped    atomic.Uint64
+	eventsSuppressed atomic.Uint64
+	sitesDemoted     atomic.Uint64
+	sitesRearmed     atomic.Uint64
+
 	draining atomic.Bool
 }
 
@@ -127,6 +136,11 @@ type Snapshot struct {
 	DroppedEvents      uint64
 	BackpressureStalls uint64
 
+	EventsShipped    uint64
+	EventsSuppressed uint64
+	SitesDemoted     uint64
+	SitesRearmed     uint64
+
 	Draining bool
 }
 
@@ -172,6 +186,10 @@ func (m *metrics) snapshot() Snapshot {
 		DegradedShards:       m.degradedShards.Load(),
 		DroppedEvents:        m.droppedEvents.Load(),
 		BackpressureStalls:   m.backpressureStalls.Load(),
+		EventsShipped:        m.eventsShipped.Load(),
+		EventsSuppressed:     m.eventsSuppressed.Load(),
+		SitesDemoted:         m.sitesDemoted.Load(),
+		SitesRearmed:         m.sitesRearmed.Load(),
 		Draining:             m.draining.Load(),
 	}
 }
@@ -222,6 +240,10 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		"degraded_shards":              int64(s.DegradedShards),
 		"dropped_events":               int64(s.DroppedEvents),
 		"backpressure_stalls":          int64(s.BackpressureStalls),
+		"events_shipped":               int64(s.EventsShipped),
+		"events_suppressed":            int64(s.EventsSuppressed),
+		"sites_demoted":                int64(s.SitesDemoted),
+		"sites_rearmed":                int64(s.SitesRearmed),
 		"draining":                     int64(b(s.Draining)),
 	}
 	names := make([]string, 0, len(lines))

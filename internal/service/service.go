@@ -127,6 +127,14 @@ type Options struct {
 	JournalCap       int
 	ShardRetryBudget int
 
+	// SampleK/SampleBudget are the per-session adaptive-throttling
+	// defaults (overridable per job), exactly as in racedet.Options:
+	// SampleK > 0 demotes an access site after K consecutive clean
+	// observations; SampleBudget in (0, 1] targets a shipped-events
+	// ratio. Both zero (the default) disable throttling.
+	SampleK      int
+	SampleBudget float64
+
 	// Faults installs deterministic session-level and disk-level fault
 	// injection (nil in production). Shard-level faults for the
 	// sessions' detector back ends go through DetectorFaultSpec
@@ -191,6 +199,12 @@ func (o Options) withDefaults() Options {
 		o.MaxTraceBytes = 8 << 20
 	case o.MaxTraceBytes < 0:
 		o.MaxTraceBytes = 0
+	}
+	if o.SampleK < 0 {
+		o.SampleK = 0
+	}
+	if o.SampleBudget < 0 {
+		o.SampleBudget = 0
 	}
 	if o.WalSync == "" {
 		o.WalSync = "always"
@@ -570,6 +584,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	if err := validateSampling(req); err != nil {
+		if s.journalFinish(job, StateBadRequest, 0) {
+			s.m.jobsFailed.Add(1)
+		}
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
 	s.mu.Lock()
 	if rec, ok := s.journal[job]; ok {
 		rec.File = req.File
@@ -692,6 +713,18 @@ func (s *Server) validateTrace(req JobRequest) error {
 	}
 	if _, err := trace.NewReader(req.Trace); err != nil {
 		return err
+	}
+	return nil
+}
+
+// validateSampling vets a job's throttling overrides at admission: a
+// budget outside [0, 1] can never be satisfied and is refused before
+// the job occupies a session slot. SampleK's sign is meaningful and
+// never rejected (> 0 overrides the daemon default, < 0 forces
+// throttling off, mirroring the Shards convention).
+func validateSampling(req JobRequest) error {
+	if req.SampleBudget < 0 || req.SampleBudget > 1 {
+		return fmt.Errorf("sample_budget must be in [0, 1] (got %g)", req.SampleBudget)
 	}
 	return nil
 }

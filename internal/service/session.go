@@ -44,6 +44,13 @@ type JobRequest struct {
 	// (instrument everything), as racedet -nostatic.
 	NoStatic bool `json:"nostatic,omitempty"`
 
+	// SampleK/SampleBudget override the daemon's per-session adaptive-
+	// throttling defaults when > 0, exactly as racedet -sample-k /
+	// -sample-budget; SampleK < 0 forces throttling off for this job.
+	// SampleBudget outside [0, 1] is rejected at admission.
+	SampleK      int     `json:"sample_k,omitempty"`
+	SampleBudget float64 `json:"sample_budget,omitempty"`
+
 	// IdempotencyKey, when non-empty, makes the submission safely
 	// at-least-once: the first job to present a key runs; any later
 	// job with the same key is answered from the first one's result
@@ -115,6 +122,17 @@ func (s *Server) jobOptions(req JobRequest) racedet.Options {
 	}
 	if req.Batch > 0 {
 		o.BatchSize = req.Batch
+	}
+	o.SampleK = s.opts.SampleK
+	o.SampleBudget = s.opts.SampleBudget
+	switch {
+	case req.SampleK > 0:
+		o.SampleK = req.SampleK
+	case req.SampleK < 0:
+		o.SampleK, o.SampleBudget = 0, 0
+	}
+	if req.SampleBudget > 0 {
+		o.SampleBudget = req.SampleBudget
 	}
 	if o.Shards >= 1 {
 		o.JournalCap = s.opts.JournalCap
@@ -273,5 +291,9 @@ func (s *Server) finishResult(out jobOutcome, err error, retries int) JobResult 
 	s.m.degradedShards.Add(uint64(res.Stats.DegradedShards))
 	s.m.droppedEvents.Add(res.Stats.DroppedEvents)
 	s.m.backpressureStalls.Add(res.Stats.BackpressureStalls)
+	s.m.eventsShipped.Add(res.Stats.EventsShipped)
+	s.m.eventsSuppressed.Add(res.Stats.EventsSuppressed)
+	s.m.sitesDemoted.Add(res.Stats.SitesDemoted)
+	s.m.sitesRearmed.Add(res.Stats.SitesRearmed)
 	return jr
 }

@@ -199,6 +199,29 @@ type Options struct {
 	// "panic:shard=1,event=100" (see internal/faultinject for the
 	// syntax). Empty disables injection; an invalid spec fails Detect.
 	FaultInjection string
+
+	// SampleK > 0 enables adaptive per-site throttling: a static
+	// access site that produces SampleK consecutive clean observations
+	// demotes to a counting-only stub, and is re-armed the moment the
+	// ownership table reports new-thread contact on a location the
+	// site touched. Stub suppression is per-location and write-aware:
+	// only traffic that provably cannot complete a race pair — against
+	// either concurrently suppressed accesses or the trie's shipped
+	// history — is dropped, plus all traffic on locations whose
+	// shipped history already guarantees a race report. Stable
+	// (recurring) races are therefore still reported; the residual
+	// blind spot is a race whose only occurrence is a single access
+	// at an already-demoted site.
+	// Requires the ownership filter (ignored with DisableOwnership).
+	// Sampling lives in the detector's filter, never the recorder:
+	// traces recorded with TraceTo capture the full stream, and replay
+	// with sampling on matches a live sampled run.
+	SampleK int
+	// SampleBudget, in (0, 1], targets a shipped-events ratio: the
+	// throttle halves or doubles K per 4096-event window to keep
+	// shipped/observed near the budget. Setting SampleBudget alone
+	// implies SampleK = 16 as the starting point.
+	SampleBudget float64
 }
 
 func (o Options) config() core.Config {
@@ -240,6 +263,8 @@ func (o Options) config() core.Config {
 	cfg.ShardQueueDepth = o.ShardQueueDepth
 	cfg.DropOnBackpressure = o.DropOnBackpressure
 	cfg.FaultSpec = o.FaultInjection
+	cfg.SampleK = o.SampleK
+	cfg.SampleBudget = o.SampleBudget
 	switch o.Detector {
 	case Eraser:
 		cfg.Detector = core.DetEraser
@@ -329,6 +354,25 @@ type Stats struct {
 	// size their queues.
 	BackpressureStalls uint64
 	QueueHighWater     int
+
+	// Adaptive-sampling counters (all zero unless Options.SampleK or
+	// Options.SampleBudget enabled throttling). The filter stages
+	// account for every observed event exactly once:
+	//
+	//	TraceEvents == EventsShipped + CacheHits + OwnerSkips + EventsSuppressed
+	//
+	// EventsShipped counts events that reached the trie detector;
+	// EventsSuppressed counts events absorbed by demoted sites.
+	EventsShipped    uint64
+	EventsSuppressed uint64
+	// SitesSampled is the number of distinct static access sites seen;
+	// SitesDemoted / SitesRearmed count demotion and re-arm
+	// transitions (a site may cycle several times). SampleK is the
+	// throttle's K at exit (adaptive runs move it within [2, 1024]).
+	SitesSampled int
+	SitesDemoted uint64
+	SitesRearmed uint64
+	SampleK      int
 
 	// Fact-cache outcome of this run's compile (all zero when
 	// Options.FactCacheDir was empty). FactCacheProgramHit means the
@@ -596,6 +640,12 @@ func convert(res *core.RunResult) *Result {
 			DroppedEvents:        res.DetectorStats.Recovery.DroppedEvents,
 			BackpressureStalls:   res.DetectorStats.Recovery.BackpressureStalls,
 			QueueHighWater:       res.DetectorStats.Recovery.QueueHighWater,
+			EventsShipped:        res.DetectorStats.Shipped,
+			EventsSuppressed:     res.DetectorStats.Sample.Suppressed,
+			SitesSampled:         res.DetectorStats.Sample.Sites,
+			SitesDemoted:         res.DetectorStats.Sample.Demotions,
+			SitesRearmed:         res.DetectorStats.Sample.Rearms,
+			SampleK:              res.DetectorStats.Sample.CurrentK,
 			FactCacheProgramHit:  res.FactCache.ProgramHit,
 			FactCacheFnHits:      res.FactCache.FnHits,
 			FactCacheFnMisses:    res.FactCache.FnMisses,
