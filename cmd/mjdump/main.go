@@ -29,6 +29,7 @@ func main() {
 		raceSet  = flag.Bool("raceset", false, "dump the static datarace set and pruning stats")
 		icgDump  = flag.Bool("icg", false, "dump the interthread call graph analyses")
 		facts    = flag.Bool("facts", false, "dump the per-access-site keep/kill report of the static phase")
+		tiers    = flag.Bool("discipline", false, "dump the severity-ranked lock-discipline pair report")
 		noOpt    = flag.Bool("noopt", false, "disable peeling and the static weaker-than elimination")
 	)
 	flag.Parse()
@@ -53,7 +54,7 @@ func main() {
 		for _, e := range errs {
 			fmt.Fprintln(os.Stderr, "mjdump:", e)
 		}
-		if !*dumpAST && !*dumpIR && !*pointsTo && !*raceSet && !*icgDump && !*facts {
+		if !*dumpAST && !*dumpIR && !*pointsTo && !*raceSet && !*icgDump && !*facts && !*tiers {
 			return
 		}
 	}
@@ -96,6 +97,9 @@ func main() {
 	}
 	if *facts {
 		fmt.Print(pipe.FactsReport())
+	}
+	if *tiers {
+		fmt.Print(pipe.DisciplineReport())
 	}
 	if *raceSet {
 		if pipe.Static == nil {

@@ -1,6 +1,6 @@
 // Command perfgate is the CI performance-regression gate. It compares
 // a freshly measured racebench -json artifact against the checked-in
-// baseline (BENCH_PR9.json) and fails if any gated configuration got
+// baseline (BENCH_PR10.json) and fails if any gated configuration got
 // more than -threshold slower (ns/op) on any benchmark.
 //
 // Only the configurations named by -configs are gated — by default the
@@ -10,7 +10,10 @@
 // ReplayFull (trace-replay throughput, so the record-once/analyze-many
 // path cannot silently lose its speed advantage), and
 // FullSampledAdaptive (the bounded-overhead production mode, so
-// throttling cannot silently lose its suppression). The remaining
+// throttling cannot silently lose its suppression), and
+// FullSampledPriors (the adaptive mode seeded with static
+// lock-discipline tiers, so the prior plumbing cannot silently become
+// a per-event tax). The remaining
 // configurations are reported but never fail the gate, because on a
 // noisy shared runner gating every ablation would make the gate cry
 // wolf.
@@ -18,7 +21,7 @@
 // Usage:
 //
 //	racebench -json fresh.json -benchreps 3
-//	perfgate -baseline BENCH_PR9.json -current fresh.json
+//	perfgate -baseline BENCH_PR10.json -current fresh.json
 package main
 
 import (
@@ -30,10 +33,10 @@ import (
 
 func main() {
 	var (
-		baseline  = flag.String("baseline", "BENCH_PR9.json", "checked-in racebench -json artifact to compare against")
+		baseline  = flag.String("baseline", "BENCH_PR10.json", "checked-in racebench -json artifact to compare against")
 		current   = flag.String("current", "", "freshly measured racebench -json artifact (required)")
 		threshold = flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression ratio of a gated configuration")
-		configs   = flag.String("configs", "Full,FullSharded4Batched64,StaticAnalysis,ReplayFull,FullSampledAdaptive", "comma-separated configuration names that fail the gate on regression")
+		configs   = flag.String("configs", "Full,FullSharded4Batched64,StaticAnalysis,ReplayFull,FullSampledAdaptive,FullSampledPriors", "comma-separated configuration names that fail the gate on regression")
 	)
 	flag.CommandLine.Init(os.Args[0], flag.ContinueOnError)
 	if err := flag.CommandLine.Parse(os.Args[1:]); err != nil {

@@ -99,9 +99,12 @@ func main() {
 		inject      = flag.String("inject", "", `fault-injection spec for robustness testing, e.g. "panic:shard=1,event=100" (see docs/robustness.md)`)
 		sampleK     = flag.Int("sample-k", 0, "adaptive throttling: demote an access site after K consecutive clean observations (0 = off; see docs/performance.md)")
 		sampleBud   = flag.Float64("sample-budget", 0, "adaptive throttling: target shipped-events ratio in (0,1]; the throttle adapts K per window (implies -sample-k 16 when set alone)")
+		priorsMode  = flag.String("priors", "", `seed sampling with static lock-discipline priors: "on" pins unguarded/guarded-inconsistent sites armed and demotes guarded-consistent sites early, "invert" swaps the two (ablation), "off"/"" ignores the tiers; requires -sample-k/-sample-budget`)
 		factCache   = flag.String("factcache", "", "persist static-analysis results under this directory and reuse them for unchanged functions")
 		ptsWorkers  = flag.Int("pts-workers", 0, "parallel workers for the points-to solver (0 = serial; the result is identical)")
 		explain     = flag.Bool("explain-static", false, "print the per-access-site keep/kill report of the static phase and exit")
+		staticRep   = flag.Bool("static-report", false, "print the severity-ranked lock-discipline race report of the static phase and exit")
+		staticOnly  = flag.Bool("static-only", false, "static-only detection: print the lock-discipline report, exit 1 when statically unguarded pairs exist, 0 otherwise")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -151,11 +154,38 @@ func main() {
 			if *sampleBud <= 0 || *sampleBud > 1 {
 				flagErr = fmt.Errorf("-sample-budget must be in (0, 1] (got %g); omit the flag to disable the adaptive controller", *sampleBud)
 			}
+		case "priors":
+			switch *priorsMode {
+			case "on", "off", "invert", "":
+			default:
+				flagErr = fmt.Errorf(`-priors must be "on", "off", or "invert" (got %q)`, *priorsMode)
+			}
 		}
 	})
 	samplingOn := *sampleK > 0 || *sampleBud > 0
 	if flagErr == nil && samplingOn && *noOwner {
 		flagErr = fmt.Errorf("-sample-k/-sample-budget require the ownership filter; drop -noownership")
+	}
+	priorsOn := *priorsMode == "on" || *priorsMode == "invert"
+	if flagErr == nil && priorsOn {
+		switch {
+		case !samplingOn:
+			flagErr = fmt.Errorf("-priors %s seeds the sampler and needs -sample-k or -sample-budget", *priorsMode)
+		case *noStatic:
+			flagErr = fmt.Errorf("-priors come from the static lock-discipline tiers; drop -nostatic")
+		case *replayTracePath != "":
+			flagErr = fmt.Errorf("-priors need a compiled program to take tiers from and cannot be combined with -replay-trace")
+		}
+	}
+	if flagErr == nil && (*staticRep || *staticOnly) {
+		switch {
+		case *noStatic:
+			flagErr = fmt.Errorf("-static-report/-static-only run the static phase; drop -nostatic")
+		case *replayTracePath != "" || *replayPath != "":
+			flagErr = fmt.Errorf("-static-report/-static-only analyze a program, not a recorded trace")
+		case *fuzzN > 0:
+			flagErr = fmt.Errorf("-static-report/-static-only are purely static and cannot be combined with -fuzz")
+		}
 	}
 	if flagErr == nil && *inject != "" && *shards < 1 {
 		flagErr = fmt.Errorf("-inject targets the sharded back end; add -shards N")
@@ -221,6 +251,7 @@ func main() {
 		FaultInjection:         *inject,
 		SampleK:                *sampleK,
 		SampleBudget:           *sampleBud,
+		Priors:                 *priorsMode,
 	}
 	switch *detName {
 	case "trie":
@@ -259,6 +290,25 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(c.StaticReport())
+		exit(exitClean)
+	}
+
+	if *staticRep || *staticOnly {
+		// Detection before a single execution: the ranked lock-discipline
+		// report. -static-only turns it into a verdict — statically
+		// unguarded pairs are the "report" of the static-only detector.
+		c, err := racedet.Compile(file, string(src), opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(c.DisciplineReport())
+		if *staticOnly {
+			if n := c.UnguardedPairs(); n > 0 {
+				fmt.Fprintf(os.Stderr, "racedet: %d statically unguarded may-race pair(s)\n", n)
+				exit(exitRaces)
+			}
+			fmt.Fprintln(os.Stderr, "racedet: no statically unguarded pairs")
+		}
 		exit(exitClean)
 	}
 
@@ -367,6 +417,10 @@ func main() {
 			// every observed event is accounted for exactly once.
 			fmt.Printf("sampling: shipped=%d suppressed=%d sites=%d demoted=%d rearmed=%d k=%d\n",
 				s.EventsShipped, s.EventsSuppressed, s.SitesSampled, s.SitesDemoted, s.SitesRearmed, s.SampleK)
+			if s.PriorHighSites > 0 || s.PriorLowSites > 0 {
+				fmt.Printf("priors: high=%d low=%d fastDemotions=%d\n",
+					s.PriorHighSites, s.PriorLowSites, s.PriorFastDemotions)
+			}
 		}
 		if s.WorkerRestarts > 0 || s.DegradedShards > 0 || s.DroppedEvents > 0 {
 			fmt.Printf("recovery: restarts=%d replayed=%d checkpoints=%d degradedShards=%d degradedEvents=%d droppedEvents=%d queueHighWater=%d\n",

@@ -74,6 +74,13 @@ type JSONResult struct {
 	EventsSuppressed uint64 `json:"events_suppressed,omitempty"`
 	SitesDemoted     uint64 `json:"sites_demoted,omitempty"`
 	SitesRearmed     uint64 `json:"sites_rearmed,omitempty"`
+
+	// Discipline-prior axis (FullSampledPriors rows only): sites
+	// pinned / fast-demoting by static tier, and demotions that fired
+	// earlier than the adaptive K thanks to a low prior.
+	PriorHighSites     int    `json:"prior_high_sites,omitempty"`
+	PriorLowSites      int    `json:"prior_low_sites,omitempty"`
+	PriorFastDemotions uint64 `json:"prior_fast_demotions,omitempty"`
 }
 
 // JSONReport is the top-level structure of the bench JSON artifact
@@ -158,6 +165,11 @@ func jsonConfigs(o JSONOptions) []struct {
 		c.SampleBudget = budget
 		return c
 	}
+	sampledPriors := func(k int, budget float64) core.Config {
+		c := sampled(k, budget)
+		c.Priors = "on"
+		return c
+	}
 	add := func(name string, cfg core.Config) struct {
 		Name string
 		Cfg  core.Config
@@ -179,6 +191,10 @@ func jsonConfigs(o JSONOptions) []struct {
 		add("FullSampled16", sampled(16, 0)),
 		add("FullSampled64", sampled(64, 0)),
 		add("FullSampledAdaptive", sampled(2, 0.25)),
+		// The adaptive controller again, but seeded with the static
+		// lock-discipline tiers as per-site priors: guarded-consistent
+		// sites demote early, unguarded ones stay pinned.
+		add("FullSampledPriors", sampledPriors(2, 0.25)),
 	)
 }
 
@@ -361,6 +377,10 @@ func WriteJSON(w io.Writer, opts JSONOptions) error {
 			EventsSuppressed: cl.det.Sample.Suppressed,
 			SitesDemoted:     cl.det.Sample.Demotions,
 			SitesRearmed:     cl.det.Sample.Rearms,
+
+			PriorHighSites:     cl.det.Sample.PriorHighSites,
+			PriorLowSites:      cl.det.Sample.PriorLowSites,
+			PriorFastDemotions: cl.det.Sample.PriorFastDemotions,
 		}
 		if o.BenchReps > 1 {
 			r.Reps = o.BenchReps

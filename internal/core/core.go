@@ -34,9 +34,11 @@ import (
 	"racedet/internal/rt/immutable"
 	"racedet/internal/rt/objectrace"
 	"racedet/internal/rt/postmortem"
+	"racedet/internal/rt/sitestate"
 	"racedet/internal/rt/trace"
 	"racedet/internal/rt/vclock"
 	"racedet/internal/static/factcache"
+	"racedet/internal/static/lockdiscipline"
 )
 
 // DetectorKind selects the runtime detector.
@@ -219,7 +221,25 @@ type Config struct {
 	// (-sample-budget): K adapts each window to hold the events-shipped
 	// ratio at the budget (0 < budget <= 1).
 	SampleBudget float64
+
+	// Priors seeds the sampler with per-site static lock-discipline
+	// priors (-priors): "on" pins statically unguarded and
+	// guarded-inconsistent sites armed and demotes guarded-consistent
+	// sites early; "invert" swaps the two (the ablation mode); "" or
+	// "off" ignores the tiers. Requires sampling and a compiled
+	// pipeline with static analysis.
+	Priors string
+	// SitePriors supplies the per-site prior map explicitly. Leave it
+	// nil for live runs — RunConfig fills it from the compiled
+	// pipeline's discipline tiers; trace replays (ReplayTrace) have no
+	// pipeline, so callers wanting priors there must set it, typically
+	// from Pipeline.SitePriors of the program that produced the trace.
+	SitePriors map[sitestate.Key]sitestate.Prior
 }
+
+// PriorsEnabled reports whether mode requests prior-seeded sampling
+// ("on" or "invert"; "" and "off" do not).
+func PriorsEnabled(mode string) bool { return mode == "on" || mode == "invert" }
 
 // Full returns the paper's complete configuration.
 func Full() Config {
@@ -291,6 +311,14 @@ type StaticStats struct {
 	ElimIntra     int
 	ElimPeel      int
 	ElimInterproc int
+	// Tier* summarize the lock-discipline classification of the
+	// surviving pairs and kept sites (see internal/static/lockdiscipline).
+	TierUnguardedPairs    int
+	TierInconsistentPairs int
+	TierDemotedPairs      int
+	TierUnguardedSites    int
+	TierInconsistentSites int
+	TierConsistentSites   int
 	// AnalysisNs is the wall time of the static phase: points-to, call
 	// graph, escape, race analysis, and trace insertion/elimination.
 	AnalysisNs int64
@@ -310,6 +338,18 @@ type Pipeline struct {
 	ICG    *icfg.Graph
 	Esc    *escape.Result
 
+	// Discipline is the lock-discipline tier classification over the
+	// static result (nil when Config.Static is false or on a fact-cache
+	// program hit, which replays the rendered report and tier entries
+	// instead of the live structure).
+	Discipline *lockdiscipline.Result
+	// disciplineReport is the rendered ranked pair report; tierEntries
+	// is the portable per-site tier list — both survive program-level
+	// cache hits verbatim, which is what keeps -static-report
+	// byte-identical on warm compiles.
+	disciplineReport string
+	tierEntries      []factcache.TierEntry
+
 	// ElimReport details every weaker-than elimination (nil unless
 	// Config.Instrument && Config.Dominators).
 	ElimReport *instrument.Report
@@ -319,6 +359,11 @@ type Pipeline struct {
 
 	InstrStats  instrument.Stats
 	StaticStats StaticStats
+
+	// priorsOnce/sitePriors memoize the tier-derived sampling priors
+	// (shared read-only by every run of this pipeline).
+	priorsOnce sync.Once
+	sitePriors map[sitestate.Key]sitestate.Prior
 
 	// hintOnce/hintIndex memoize the static may-race partner index used
 	// by staticHints: the pairs are fixed at compile time, but the index
@@ -401,6 +446,13 @@ func Compile(file, src string, cfg Config) (*Pipeline, error) {
 		}
 		p.Static = racestatic.AnalyzeOpts(p.Prog, p.Pts, p.ICG, p.Esc, opt)
 		filter = p.Static.Filter()
+		p.Discipline = lockdiscipline.Analyze(p.Static, p.ICG, opt.MustLock, p.Esc, p.Pts)
+		p.disciplineReport = p.Discipline.Report()
+		for _, t := range p.Discipline.SiteTiers() {
+			p.tierEntries = append(p.tierEntries, factcache.TierEntry{
+				File: t.File, Line: t.Line, Col: t.Col, Write: t.Write, Tier: uint8(t.Tier),
+			})
+		}
 		p.StaticStats = StaticStats{
 			AccessSites:       len(p.Static.Sites),
 			RaceSetSize:       len(p.Static.InRaceSet),
@@ -409,6 +461,13 @@ func Compile(file, src string, cfg Config) (*Pipeline, error) {
 			SameThreadPruned:  p.Static.PrunedSameThread,
 			CommonSyncPruned:  p.Static.PrunedCommonSync,
 			FlowSyncPruned:    p.Static.PrunedCommonSyncFlow,
+
+			TierUnguardedPairs:    p.Discipline.UnguardedPairs,
+			TierInconsistentPairs: p.Discipline.InconsistentPairs,
+			TierDemotedPairs:      p.Discipline.DemotedPairs,
+			TierUnguardedSites:    p.Discipline.UnguardedSites,
+			TierInconsistentSites: p.Discipline.InconsistentSites,
+			TierConsistentSites:   p.Discipline.ConsistentSites,
 		}
 	}
 
@@ -522,11 +581,23 @@ func (p *Pipeline) semDigests(filter instrument.Filter) map[*ir.Func]string {
 	out := make(map[*ir.Func]string, len(p.Prog.Funcs))
 	for _, fn := range p.Prog.Funcs {
 		var bits []bool
+		var tiers []uint8
 		var callees []string
 		for _, b := range fn.Blocks {
 			for _, in := range b.Instrs {
 				if in.IsAccess() {
 					bits = append(bits, filter == nil || filter(in))
+					// The discipline tier is a semantic fact of the
+					// access (0 = not in the race set, else tier+1), so
+					// tier changes invalidate the function's entry like
+					// race-set changes do.
+					tb := uint8(0)
+					if p.Discipline != nil {
+						if t, ok := p.Discipline.Tier[in]; ok {
+							tb = uint8(t) + 1
+						}
+					}
+					tiers = append(tiers, tb)
 				}
 				if in.Op == ir.OpCall {
 					names := make([]string, 0, len(p.Pts.Callees[in]))
@@ -537,7 +608,7 @@ func (p *Pipeline) semDigests(filter instrument.Filter) map[*ir.Func]string {
 				}
 			}
 		}
-		out[fn] = factcache.SemDigest(factcache.FnDigest(fn), bits, callees, roots[fn])
+		out[fn] = factcache.SemDigest(factcache.FnDigest(fn), bits, tiers, callees, roots[fn])
 	}
 	return out
 }
@@ -577,6 +648,8 @@ func (p *Pipeline) cacheEntry(semDigests map[*ir.Func]string, perFnInserted map[
 	if p.Static != nil {
 		e.HintIndex = p.buildHintIndex()
 	}
+	e.Discipline = p.disciplineReport
+	e.Tiers = p.tierEntries
 	if raw, err := json.Marshal(p.StaticStats); err == nil {
 		e.StaticStats = raw
 	}
@@ -622,7 +695,44 @@ func (p *Pipeline) applyCached(e *factcache.Entry) error {
 	}
 	p.ElimReport = &instrument.Report{Elims: e.Elims}
 	p.hintIndex = e.HintIndex
+	p.disciplineReport = e.Discipline
+	p.tierEntries = e.Tiers
 	return nil
+}
+
+// DisciplineReport returns the rendered lock-discipline pair report
+// ("" when static analysis was disabled). It is byte-identical across
+// recompiles of the same program, including fact-cache program hits.
+func (p *Pipeline) DisciplineReport() string { return p.disciplineReport }
+
+// SitePriors derives the sampler's per-site prior map from the
+// discipline tiers: unguarded and guarded-inconsistent sites get
+// PriorHigh (pinned armed), guarded-consistent kept sites PriorLow
+// (fast demotion). Sites outside the static race set are not
+// instrumented and need no prior. The map is memoized and shared
+// read-only by every run of the pipeline; nil when static analysis
+// was disabled.
+func (p *Pipeline) SitePriors() map[sitestate.Key]sitestate.Prior {
+	p.priorsOnce.Do(func() {
+		if len(p.tierEntries) == 0 {
+			return
+		}
+		m := make(map[sitestate.Key]sitestate.Prior, len(p.tierEntries))
+		for _, t := range p.tierEntries {
+			kind := event.Read
+			if t.Write {
+				kind = event.Write
+			}
+			k := sitestate.Key{File: t.File, Line: t.Line, Col: t.Col, Kind: kind}
+			if lockdiscipline.Tier(t.Tier) == lockdiscipline.GuardedConsistent {
+				m[k] = sitestate.PriorLow
+			} else {
+				m[k] = sitestate.PriorHigh
+			}
+		}
+		p.sitePriors = m
+	})
+	return p.sitePriors
 }
 
 // RunResult is one execution's outcome.
@@ -685,6 +795,9 @@ func (p *Pipeline) RunConfig(cfg Config) (*RunResult, error) {
 		// scheduler's parameters so nothing else can perturb it.
 		cfg.Seed = 0
 		cfg.Quantum = tr.Quantum
+	}
+	if PriorsEnabled(cfg.Priors) && cfg.SitePriors == nil {
+		cfg.SitePriors = p.SitePriors()
 	}
 
 	ds, err := newDetectorSinks(cfg)
@@ -801,6 +914,10 @@ func newDetectorSinks(cfg Config) (*detectorSinks, error) {
 			MaxOwnerLocations: cfg.MaxOwnerLocations,
 			SampleK:           cfg.SampleK,
 			SampleBudget:      cfg.SampleBudget,
+		}
+		if PriorsEnabled(cfg.Priors) {
+			dopts.Priors = cfg.SitePriors
+			dopts.InvertPriors = cfg.Priors == "invert"
 		}
 		if cfg.Shards >= 1 {
 			dopts.JournalCap = cfg.JournalCap

@@ -2,13 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"racedet/internal/instrument"
 	"racedet/internal/ir"
 	"racedet/internal/lang/token"
-	"racedet/internal/racestatic"
 )
 
 // FactsReport renders the per-access-site keep/kill decisions of the
@@ -51,18 +49,9 @@ func (p *Pipeline) FactsReport() string {
 		}
 	}
 
-	sites := make([]racestatic.AccessSite, len(p.Static.Sites))
-	copy(sites, p.Static.Sites)
-	sort.SliceStable(sites, func(i, j int) bool {
-		a, b := sites[i], sites[j]
-		if a.Fn.Name != b.Fn.Name {
-			return a.Fn.Name < b.Fn.Name
-		}
-		if a.Instr.Pos.Line != b.Instr.Pos.Line {
-			return a.Instr.Pos.Line < b.Instr.Pos.Line
-		}
-		return a.Instr.Pos.Col < b.Instr.Pos.Col
-	})
+	// Sites come out of the static phase already in canonical
+	// (file, line, col, kind) order; no per-caller sorting.
+	sites := p.Static.Sites
 
 	var kept, killed, elimSites int
 	for _, s := range sites {
@@ -83,10 +72,23 @@ func (p *Pipeline) FactsReport() string {
 		switch {
 		case v.ThreadLocal:
 			killed++
-			b.WriteString("      kill: thread-local (escape analysis, §5.4)\n")
+			if field != nil && p.Esc != nil && p.Esc.ThreadSpecificField(field) {
+				b.WriteString("      kill: thread-specific field (escape analysis, §5.4)\n")
+			} else {
+				b.WriteString("      kill: thread-local (escape analysis, §5.4)\n")
+			}
 		case v.Racy > 0:
 			kept++
 			fmt.Fprintf(&b, "      keep: %d surviving may-race pair(s) of %d examined\n", v.Racy, v.Pairs)
+			if p.Discipline != nil {
+				if t, ok := p.Discipline.Tier[s.Instr]; ok {
+					fmt.Fprintf(&b, "      tier: %s\n", t)
+				}
+			}
+			if field != nil && !field.Static && p.Esc != nil &&
+				field.Class.IsThread() && p.Esc.UnsafeThread(field.Class) {
+				b.WriteString("      note: unsafe thread class — construction may overlap its execution\n")
+			}
 			switch {
 			case traced[s.Instr]:
 				b.WriteString("      trace: inserted\n")

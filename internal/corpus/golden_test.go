@@ -23,6 +23,9 @@ var goldenPrograms = []struct {
 	{"unsafe_publish", "kill: must-same-thread"},
 	{"guarded_lazy_init", "kill: must-common-sync"},
 	{"fanin_accumulator", "eliminated interprocedurally"},
+	{"inconsistent_guard", "tier: guarded-inconsistent"},
+	{"thread_specific_state", "kill: thread-specific field"},
+	{"unsafe_start_in_ctor", "note: unsafe thread class"},
 }
 
 // TestGoldenFacts compares each pinned program's FactsReport (the

@@ -86,6 +86,12 @@ func (r *Result) ThreadLocalAccess(fn *ir.Func, in *ir.Instr) bool {
 // ThreadSpecificField reports the §5.4 classification of a field.
 func (r *Result) ThreadSpecificField(f *sem.Field) bool { return r.threadSpecificFields[f] }
 
+// ThreadSpecificMethod reports the §5.4 classification of a method:
+// it executes only on the thread of its receiver (a thread class's
+// constructor, or run and everything it transitively calls without an
+// explicit invocation elsewhere).
+func (r *Result) ThreadSpecificMethod(m *sem.Method) bool { return r.threadSpecificMethods[m] }
+
 // UnsafeThread reports whether the class is an unsafe thread (its
 // execution may overlap its construction).
 func (r *Result) UnsafeThread(cl *sem.Class) bool { return r.unsafeThreads[cl] }

@@ -180,7 +180,55 @@ func AnalyzeOpts(prog *ir.Program, pts *pointsto.Result, g *icfg.Graph, esc *esc
 		}
 	}
 	r.InRaceSet = inPairs
+	r.normalize()
 	return r
+}
+
+// normalize puts Sites and Pairs into a canonical (file, line, col,
+// kind) order once at build time, so every downstream report —
+// -explain-static, the hint index, the lock-discipline tiers — is
+// byte-stable without per-caller sorting. Each pair is reordered so
+// its lesser site comes first.
+func (r *Result) normalize() {
+	sort.SliceStable(r.Sites, func(i, j int) bool {
+		return siteLess(r.Sites[i], r.Sites[j])
+	})
+	for i, p := range r.Pairs {
+		if siteLess(p[1], p[0]) {
+			r.Pairs[i] = [2]AccessSite{p[1], p[0]}
+		}
+	}
+	sort.SliceStable(r.Pairs, func(i, j int) bool {
+		if siteLess(r.Pairs[i][0], r.Pairs[j][0]) {
+			return true
+		}
+		if siteLess(r.Pairs[j][0], r.Pairs[i][0]) {
+			return false
+		}
+		return siteLess(r.Pairs[i][1], r.Pairs[j][1])
+	})
+}
+
+// siteLess orders access sites by (file, line, col, kind): reads
+// before writes at the same position, function name as a last resort
+// for cloned positions (loop peeling duplicates source locations).
+func siteLess(a, b AccessSite) bool {
+	ap, bp := a.Instr.Pos, b.Instr.Pos
+	if ap.File != bp.File {
+		return ap.File < bp.File
+	}
+	if ap.Line != bp.Line {
+		return ap.Line < bp.Line
+	}
+	if ap.Col != bp.Col {
+		return ap.Col < bp.Col
+	}
+	aKind, _, _, _ := a.Instr.AccessInfo()
+	bKind, _, _, _ := b.Instr.AccessInfo()
+	if aKind != bKind {
+		return aKind < bKind
+	}
+	return a.Fn.Name < b.Fn.Name
 }
 
 // conflictKey buckets sites that could possibly access the same

@@ -87,6 +87,14 @@ type Options struct {
 	// SampleK == 0 the initial K is sitestate.DefaultK.
 	SampleBudget float64
 
+	// Priors seeds the throttle with per-site static lock-discipline
+	// priors (see sitestate.Prior): high-prior sites are pinned armed,
+	// low-prior sites demote early. Nil means no priors. InvertPriors
+	// swaps high and low — the ablation mode. Both are ignored unless
+	// sampling is enabled.
+	Priors       map[sitestate.Key]sitestate.Prior
+	InvertPriors bool
+
 	// JournalCap enables fault tolerance in the sharded back end: each
 	// shard keeps a bounded write-ahead journal of up to this many
 	// routed messages and checkpoints its state when the journal fills,
@@ -275,7 +283,12 @@ func samplingConfig(opts Options) (sitestate.Config, bool) {
 	if opts.NoOwnership || (opts.SampleK <= 0 && opts.SampleBudget <= 0) {
 		return sitestate.Config{}, false
 	}
-	return sitestate.Config{K: opts.SampleK, Budget: opts.SampleBudget}, true
+	return sitestate.Config{
+		K:            opts.SampleK,
+		Budget:       opts.SampleBudget,
+		Priors:       opts.Priors,
+		InvertPriors: opts.InvertPriors,
+	}, true
 }
 
 // Interner exposes the per-run lockset intern table (read-only use:

@@ -25,22 +25,22 @@
 //  2. otherwise run the ownership filter (its state must evolve
 //     exactly as in the unsampled run — it is the re-arm signal):
 //     - owned→shared transition: the first cross-thread contact is
-//       never suppressed — re-arm and deliver (the Contact callback
-//       has already re-armed every other site that touched the
-//       location and armed the location itself);
+//     never suppressed — re-arm and deliver (the Contact callback
+//     has already re-armed every other site that touched the
+//     location and armed the location itself);
 //     - absorbed (still owned): identical to the unsampled pipeline,
-//       counted as an owner skip;
+//     counted as an owner skip;
 //     - forwarded but not tracked as shared (bounded-table overflow,
-//       born-shared): never suppressed — the unsampled run ships every
-//       such access and overflow locations emit no contact signal;
+//     born-shared): never suppressed — the unsampled run ships every
+//     such access and overflow locations emit no contact signal;
 //     - shared and suppressible (see sitestate.CanSuppress): suppress
-//       and remember the touch;
+//     and remember the touch;
 //     - shared and racy-shaped: the site stays demoted and the access
-//       rides the cache — a hit is absorbed exactly as in the
-//       unsampled pipeline, a miss ships and is cached. No re-arm is
-//       needed: shipped history only grows, so the location keeps
-//       refusing suppression and the forwarded recurrences complete
-//       any race pair in the trie.
+//     rides the cache — a hit is absorbed exactly as in the
+//     unsampled pipeline, a miss ships and is cached. No re-arm is
+//     needed: shipped history only grows, so the location keeps
+//     refusing suppression and the forwarded recurrences complete
+//     any race pair in the trie.
 //
 // Throttling therefore suppresses two provably-redundant classes:
 // repeat traffic that cannot complete a race pair (read-read sharing,

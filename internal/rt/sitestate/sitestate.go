@@ -74,6 +74,23 @@ const (
 	DefaultMaxTouched = 8192
 )
 
+// Prior is a static confidence hint for one site, seeded from the
+// lock-discipline tiers: PriorLow marks guarded-consistent sites
+// (static analysis found no live inconsistency — cheap to demote),
+// PriorHigh marks unguarded and guarded-inconsistent sites (the
+// statically suspicious ones — pinned armed, never demoted). Priors
+// bias WHERE the budget goes; the coverage contract is enforced by
+// the write-aware suppression machinery regardless, so even an
+// inverted prior map cannot hide a stable race.
+type Prior uint8
+
+// Priors.
+const (
+	PriorNone Prior = iota
+	PriorLow
+	PriorHigh
+)
+
 // Config configures a Table.
 type Config struct {
 	// K is the demotion threshold: consecutive clean armed
@@ -89,6 +106,14 @@ type Config struct {
 	Window int
 	// MaxTouched bounds the suppressed-touch index (0 = DefaultMaxTouched).
 	MaxTouched int
+	// Priors maps site keys to their static discipline prior; sites
+	// absent from the map get PriorNone. The map is read-only and may
+	// be shared between tables.
+	Priors map[Key]Prior
+	// InvertPriors swaps PriorLow and PriorHigh at intern time — the
+	// ablation mode that proves the coverage contract does not depend
+	// on the priors pointing the right way.
+	InvertPriors bool
 }
 
 // Key is the identity of a static access site: source position plus
@@ -119,6 +144,13 @@ type Stats struct {
 	// WindowRatio is the shipped ratio of the last completed controller
 	// window (0 before the first window completes).
 	WindowRatio float64
+	// PriorHighSites / PriorLowSites count interned sites carrying a
+	// high (pinned armed) resp. low (fast-demoting) static prior.
+	PriorHighSites int
+	PriorLowSites  int
+	// PriorFastDemotions counts demotions that fired at the reduced
+	// PriorLow threshold before the default K would have.
+	PriorFastDemotions uint64
 }
 
 // state is one site's throttling state; pointer-free so the states
@@ -126,6 +158,7 @@ type Stats struct {
 type state struct {
 	clean   uint32 // consecutive clean armed observations since last re-arm
 	demoted bool
+	prior   Prior // static discipline prior, fixed at intern time
 }
 
 // touchEntry remembers suppressed stub traffic on one location: which
@@ -196,6 +229,8 @@ type Table struct {
 	budget     float64
 	window     int
 	maxTouched int
+	priors     map[Key]Prior // shared, read-only
+	invert     bool
 
 	index  map[Key]int32
 	states []state
@@ -237,6 +272,8 @@ func New(cfg Config) *Table {
 		budget:     cfg.Budget,
 		window:     w,
 		maxTouched: mt,
+		priors:     cfg.Priors,
+		invert:     cfg.InvertPriors,
 		index:      make(map[Key]int32, 256),
 		touched:    make(map[event.Loc]touchEntry),
 		armed:      make(map[event.Loc]struct{}),
@@ -252,7 +289,22 @@ func (st *Table) SiteID(pos token.Pos, kind event.Kind) int32 {
 	}
 	id := int32(len(st.states))
 	st.index[k] = id
-	st.states = append(st.states, state{})
+	p := st.priors[k]
+	if st.invert {
+		switch p {
+		case PriorLow:
+			p = PriorHigh
+		case PriorHigh:
+			p = PriorLow
+		}
+	}
+	switch p {
+	case PriorHigh:
+		st.stats.PriorHighSites++
+	case PriorLow:
+		st.stats.PriorLowSites++
+	}
+	st.states = append(st.states, state{prior: p})
 	return id
 }
 
@@ -266,16 +318,45 @@ func (st *Table) Demoted(id int32) bool { return st.states[id].demoted }
 // counter — cache-defeating churn is exactly the repeat traffic the
 // throttle exists to absorb, and the cross-thread re-arm web (not a
 // per-site environment) is what keeps recurring races reported.
+// The site's static prior bends the threshold: PriorHigh sites are
+// pinned armed (statically unguarded traffic is exactly what the trie
+// must see), PriorLow sites demote at a quarter of the live K —
+// statically consistent sites earn the cheap stub sooner.
 func (st *Table) Observe(id int32, shipped bool) {
 	s := &st.states[id]
 	if s.clean != ^uint32(0) {
 		s.clean++
 	}
-	if int(s.clean) >= st.k && !s.demoted {
-		s.demoted = true
-		st.stats.Demotions++
+	if !s.demoted {
+		switch s.prior {
+		case PriorHigh:
+			// Pinned: never demotes.
+		case PriorLow:
+			if int(s.clean) >= lowK(st.k) {
+				s.demoted = true
+				st.stats.Demotions++
+				if int(s.clean) < st.k {
+					st.stats.PriorFastDemotions++
+				}
+			}
+		default:
+			if int(s.clean) >= st.k {
+				s.demoted = true
+				st.stats.Demotions++
+			}
+		}
 	}
 	st.tick(shipped)
+}
+
+// lowK is the PriorLow demotion threshold: K/4, floored at MinK, and
+// tracking the adaptive controller's live K.
+func lowK(k int) int {
+	k /= 4
+	if k < MinK {
+		k = MinK
+	}
+	return k
 }
 
 // Rearm revokes a site's demotion and resets its counter (idempotent
@@ -474,6 +555,8 @@ func (st *Table) Clone() *Table {
 		budget:        st.budget,
 		window:        st.window,
 		maxTouched:    st.maxTouched,
+		priors:        st.priors, // read-only, safely shared
+		invert:        st.invert,
 		index:         make(map[Key]int32, len(st.index)),
 		states:        append([]state(nil), st.states...),
 		touched:       make(map[event.Loc]touchEntry, len(st.touched)),

@@ -74,6 +74,12 @@ type metrics struct {
 	sitesDemoted     atomic.Uint64
 	sitesRearmed     atomic.Uint64
 
+	// Static lock-discipline priors, aggregated across all sessions'
+	// sampled runs that enabled them.
+	priorHighSites     atomic.Uint64
+	priorLowSites      atomic.Uint64
+	priorFastDemotions atomic.Uint64
+
 	draining atomic.Bool
 }
 
@@ -141,6 +147,10 @@ type Snapshot struct {
 	SitesDemoted     uint64
 	SitesRearmed     uint64
 
+	PriorHighSites     uint64
+	PriorLowSites      uint64
+	PriorFastDemotions uint64
+
 	Draining bool
 }
 
@@ -190,6 +200,9 @@ func (m *metrics) snapshot() Snapshot {
 		EventsSuppressed:     m.eventsSuppressed.Load(),
 		SitesDemoted:         m.sitesDemoted.Load(),
 		SitesRearmed:         m.sitesRearmed.Load(),
+		PriorHighSites:       m.priorHighSites.Load(),
+		PriorLowSites:        m.priorLowSites.Load(),
+		PriorFastDemotions:   m.priorFastDemotions.Load(),
 		Draining:             m.draining.Load(),
 	}
 }
@@ -244,6 +257,9 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 		"events_suppressed":            int64(s.EventsSuppressed),
 		"sites_demoted":                int64(s.SitesDemoted),
 		"sites_rearmed":                int64(s.SitesRearmed),
+		"prior_high_sites":             int64(s.PriorHighSites),
+		"prior_low_sites":              int64(s.PriorLowSites),
+		"prior_fast_demotions":         int64(s.PriorFastDemotions),
 		"draining":                     int64(b(s.Draining)),
 	}
 	names := make([]string, 0, len(lines))

@@ -726,6 +726,21 @@ func validateSampling(req JobRequest) error {
 	if req.SampleBudget < 0 || req.SampleBudget > 1 {
 		return fmt.Errorf("sample_budget must be in [0, 1] (got %g)", req.SampleBudget)
 	}
+	switch req.Priors {
+	case "", "off":
+	case "on", "invert":
+		if req.SampleK < 0 {
+			return fmt.Errorf("priors %q seed the sampler, but sample_k < 0 forces throttling off", req.Priors)
+		}
+		if len(req.Trace) > 0 {
+			return fmt.Errorf("priors need a compiled program to take tiers from; trace jobs cannot use them")
+		}
+		if req.NoStatic {
+			return fmt.Errorf("priors come from the static lock-discipline tiers; drop nostatic")
+		}
+	default:
+		return fmt.Errorf(`priors must be "on", "off", or "invert" (got %q)`, req.Priors)
+	}
 	return nil
 }
 

@@ -50,6 +50,12 @@ type JobRequest struct {
 	// SampleBudget outside [0, 1] is rejected at admission.
 	SampleK      int     `json:"sample_k,omitempty"`
 	SampleBudget float64 `json:"sample_budget,omitempty"`
+	// Priors seeds the job's sampler with the program's static
+	// lock-discipline tiers ("on" or "invert", exactly as racedet
+	// -priors; "" or "off" ignores them). Needs sampling and a source
+	// job — rejected at admission for trace jobs, which have no
+	// compiled pipeline to take tiers from.
+	Priors string `json:"priors,omitempty"`
 
 	// IdempotencyKey, when non-empty, makes the submission safely
 	// at-least-once: the first job to present a key runs; any later
@@ -134,6 +140,7 @@ func (s *Server) jobOptions(req JobRequest) racedet.Options {
 	if req.SampleBudget > 0 {
 		o.SampleBudget = req.SampleBudget
 	}
+	o.Priors = req.Priors
 	if o.Shards >= 1 {
 		o.JournalCap = s.opts.JournalCap
 		o.RetryBudget = s.opts.ShardRetryBudget
@@ -295,5 +302,8 @@ func (s *Server) finishResult(out jobOutcome, err error, retries int) JobResult 
 	s.m.eventsSuppressed.Add(res.Stats.EventsSuppressed)
 	s.m.sitesDemoted.Add(res.Stats.SitesDemoted)
 	s.m.sitesRearmed.Add(res.Stats.SitesRearmed)
+	s.m.priorHighSites.Add(uint64(res.Stats.PriorHighSites))
+	s.m.priorLowSites.Add(uint64(res.Stats.PriorLowSites))
+	s.m.priorFastDemotions.Add(res.Stats.PriorFastDemotions)
 	return jr
 }

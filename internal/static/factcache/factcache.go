@@ -79,6 +79,18 @@ type FnEntry struct {
 	Eliminated int `json:"eliminated"`
 }
 
+// TierEntry is one kept access site's lock-discipline tier in
+// portable position-keyed form (the cached counterpart of
+// lockdiscipline.SiteTier; the runtime turns these into sampling
+// priors on warm compiles).
+type TierEntry struct {
+	File  string `json:"file"`
+	Line  int32  `json:"line"`
+	Col   int32  `json:"col"`
+	Write bool   `json:"write,omitempty"`
+	Tier  uint8  `json:"tier"`
+}
+
 // Entry is one serialized compile outcome.
 type Entry struct {
 	Version       int                 `json:"version"`
@@ -90,9 +102,17 @@ type Entry struct {
 	Elims         []instrument.Elim   `json:"elims,omitempty"`
 	StaticStats   json.RawMessage     `json:"static_stats,omitempty"`
 	LoopsPeeled   int                 `json:"loops_peeled"`
+	// Discipline is the rendered lock-discipline report and Tiers the
+	// per-site tier list; replaying them verbatim keeps -static-report
+	// byte-identical on program-level hits.
+	Discipline string      `json:"discipline,omitempty"`
+	Tiers      []TierEntry `json:"tiers,omitempty"`
 }
 
-const entryVersion = 1
+// entryVersion 2 added the discipline report, the tier entries, and
+// the tier component of SemDigest; bumping it (it is part of the
+// configuration fingerprint) invalidates every v1 cache.
+const entryVersion = 2
 
 // Cache is a handle on one cache directory + configuration.
 type Cache struct {
@@ -126,10 +146,11 @@ func FnDigest(fn *ir.Func) string {
 }
 
 // SemDigest combines a function's content digest with the bits of
-// whole-program analysis that feed its elimination: which of its
-// accesses are in the static race set (in program order), the resolved
-// callee names of each call site, and whether it is a thread root.
-func SemDigest(irDigest string, filterBits []bool, calleeNames []string, threadRoot bool) string {
+// whole-program analysis that feed its elimination and priors: which
+// of its accesses are in the static race set (in program order), each
+// access's discipline tier, the resolved callee names of each call
+// site, and whether it is a thread root.
+func SemDigest(irDigest string, filterBits []bool, tiers []uint8, calleeNames []string, threadRoot bool) string {
 	var b strings.Builder
 	b.WriteString(irDigest)
 	b.WriteString("|f:")
@@ -139,6 +160,10 @@ func SemDigest(irDigest string, filterBits []bool, calleeNames []string, threadR
 		} else {
 			b.WriteByte('0')
 		}
+	}
+	b.WriteString("|t:")
+	for _, t := range tiers {
+		b.WriteByte('0' + t)
 	}
 	b.WriteString("|c:")
 	for _, n := range calleeNames {

@@ -222,6 +222,14 @@ type Options struct {
 	// shipped/observed near the budget. Setting SampleBudget alone
 	// implies SampleK = 16 as the starting point.
 	SampleBudget float64
+	// Priors seeds the sampler with the static lock-discipline tiers:
+	// "on" pins statically unguarded and guarded-inconsistent sites
+	// armed and demotes guarded-consistent sites at a quarter of K;
+	// "invert" swaps the two (the ablation mode); "" or "off" ignores
+	// the tiers. Requires sampling (SampleK/SampleBudget) and static
+	// analysis; meaningless for trace replay, which has no compiled
+	// pipeline to take tiers from.
+	Priors string
 }
 
 func (o Options) config() core.Config {
@@ -265,6 +273,7 @@ func (o Options) config() core.Config {
 	cfg.FaultSpec = o.FaultInjection
 	cfg.SampleK = o.SampleK
 	cfg.SampleBudget = o.SampleBudget
+	cfg.Priors = o.Priors
 	switch o.Detector {
 	case Eraser:
 		cfg.Detector = core.DetEraser
@@ -373,6 +382,14 @@ type Stats struct {
 	SitesDemoted uint64
 	SitesRearmed uint64
 	SampleK      int
+	// PriorHighSites / PriorLowSites count sites carrying a high
+	// (pinned armed) resp. low (fast-demoting) static discipline
+	// prior; PriorFastDemotions counts demotions that fired at the
+	// reduced low-prior threshold. All zero unless Options.Priors
+	// enabled prior seeding.
+	PriorHighSites     int
+	PriorLowSites      int
+	PriorFastDemotions uint64
 
 	// Fact-cache outcome of this run's compile (all zero when
 	// Options.FactCacheDir was empty). FactCacheProgramHit means the
@@ -512,6 +529,22 @@ func (c *Compiled) StaticReport() string {
 	return c.pipe.FactsReport()
 }
 
+// DisciplineReport renders the severity-ranked lock-discipline pair
+// report (racedet -static-report): every surviving may-race pair
+// graded unguarded / guarded-inconsistent / start-ordered, with the
+// must-held locks of each side, plus per-tier site counts. Byte-stable
+// across recompiles, including fact-cache hits. Empty when static
+// analysis was disabled.
+func (c *Compiled) DisciplineReport() string {
+	return c.pipe.DisciplineReport()
+}
+
+// UnguardedPairs is the number of live (non-demoted) statically
+// unguarded may-race pairs — the racedet -static-only exit criterion.
+func (c *Compiled) UnguardedPairs() int {
+	return c.pipe.StaticStats.TierUnguardedPairs
+}
+
 // Run executes the compiled program once.
 func (c *Compiled) Run() (*Result, error) {
 	res, err := c.pipe.Run()
@@ -646,6 +679,9 @@ func convert(res *core.RunResult) *Result {
 			SitesDemoted:         res.DetectorStats.Sample.Demotions,
 			SitesRearmed:         res.DetectorStats.Sample.Rearms,
 			SampleK:              res.DetectorStats.Sample.CurrentK,
+			PriorHighSites:       res.DetectorStats.Sample.PriorHighSites,
+			PriorLowSites:        res.DetectorStats.Sample.PriorLowSites,
+			PriorFastDemotions:   res.DetectorStats.Sample.PriorFastDemotions,
 			FactCacheProgramHit:  res.FactCache.ProgramHit,
 			FactCacheFnHits:      res.FactCache.FnHits,
 			FactCacheFnMisses:    res.FactCache.FnMisses,
